@@ -1,0 +1,134 @@
+"""Figure 11: execution time with varying query sizes.
+
+Paper result: processing time stays proportional to the amount of data a
+query retrieves, for both applications; the generated code stays within
+17% (IPARS, average 14%) / 4% (Titan) of hand-written at every size.
+
+Figure 11(a) sweeps the IPARS TIME-window width; Figure 11(b) sweeps the
+Titan spatial box extent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import HandwrittenIparsL0, HandwrittenTitan
+from repro.bench import (
+    Series,
+    fig11_box_fractions,
+    fig11_time_windows,
+    measure_storm,
+    print_figure,
+    ratio,
+)
+from repro.storm import QueryService
+
+
+def ipars_window_query(config, frac):
+    width = max(2, int(config.num_times * frac))
+    lo = 0
+    return f"SELECT * FROM IparsData WHERE TIME>{lo} AND TIME<={width}"
+
+
+def titan_box_query(config, frac):
+    x = config.extent[0] * frac
+    y = config.extent[1] * frac
+    return (
+        f"SELECT * FROM TitanData WHERE X>=0 AND X<={x:.0f} "
+        f"AND Y>=0 AND Y<={y:.0f}"
+    )
+
+
+def run_fig11a(config, cluster, gen_service):
+    hand_service = QueryService(HandwrittenIparsL0(config), cluster)
+    hand = Series("hand-written")
+    generated = Series("generated")
+    for frac in fig11_time_windows(config):
+        sql = ipars_window_query(config, frac)
+        generated.add(measure_storm(gen_service, sql, "gen", remote=False))
+        hand.add(measure_storm(hand_service, sql, "hand", remote=False))
+    hand_service.close()
+    return hand, generated
+
+
+def run_fig11b(config, cluster, gen_service, summaries):
+    hand_service = QueryService(HandwrittenTitan(config, summaries), cluster)
+    hand = Series("hand-written")
+    generated = Series("generated")
+    for frac in fig11_box_fractions():
+        sql = titan_box_query(config, frac)
+        generated.add(measure_storm(gen_service, sql, "gen", remote=False))
+        hand.add(measure_storm(hand_service, sql, "hand", remote=False))
+    hand_service.close()
+    return hand, generated
+
+
+def _assert_fig11_shape(hand, generated, tolerance):
+    # Identical answers.
+    for h, g in zip(hand.measurements, generated.measurements):
+        assert h.rows == g.rows
+    for series in (hand, generated):
+        times = series.simulated
+        rows = [m.rows for m in series.measurements]
+        # Time grows with query size...
+        for a, b in zip(times, times[1:]):
+            assert b > a, series.label
+        # ...proportionally to the data retrieved: time per retrieved row
+        # stays within a 2x band across the sweep.
+        per_row = [t / max(r, 1) for t, r in zip(times, rows)]
+        assert max(per_row) < 2 * min(per_row), series.label
+    # Generated close to hand-written at every size.
+    for g, h in zip(generated.simulated, hand.simulated):
+        assert 1 - tolerance < ratio(g, h) < 1 + tolerance
+
+
+def test_fig11a_ipars_query_size(benchmark, ipars_l0_env):
+    config, cluster, dataset, service = ipars_l0_env
+    hand, generated = benchmark.pedantic(
+        run_fig11a, args=(config, cluster, service), rounds=1, iterations=1
+    )
+    labels = [f"{int(f * 100)}% of run" for f in fig11_time_windows(config)]
+    print_figure(
+        "fig11a",
+        "IPARS: execution time vs query window size",
+        labels,
+        [hand, generated],
+        notes=["paper: proportional to data retrieved; gen within 17%"],
+    )
+    _assert_fig11_shape(hand, generated, tolerance=0.20)
+
+
+def test_fig11b_titan_query_size(benchmark, titan_env):
+    config, cluster, dataset, summaries, service, _, _ = titan_env
+    hand, generated = benchmark.pedantic(
+        run_fig11b,
+        args=(config, cluster, service, summaries),
+        rounds=1,
+        iterations=1,
+    )
+    labels = [f"{int(f * 100)}% box" for f in fig11_box_fractions()]
+    print_figure(
+        "fig11b",
+        "Titan: execution time vs spatial box size",
+        labels,
+        [hand, generated],
+        notes=["paper: proportional to data retrieved; gen within 4%"],
+    )
+    _assert_fig11_shape(hand, generated, tolerance=0.10)
+
+
+def test_fig11_planning_wall_generated(benchmark, ipars_l0_env):
+    """Wall-clock of the generated index function alone (plan building)."""
+    config, _, dataset, _ = ipars_l0_env
+    sql = ipars_window_query(config, 0.4)
+    result = benchmark(lambda: len(dataset.plan(sql).afcs))
+    assert result > 0
+
+
+def test_fig11_planning_wall_handwritten(benchmark, ipars_l0_env):
+    """Wall-clock of the hand-written index function (the paper's rival)."""
+    config, _, _, _ = ipars_l0_env
+    hand = HandwrittenIparsL0(config)
+    sql = ipars_window_query(config, 0.4)
+    result = benchmark(lambda: len(hand.plan(sql).afcs))
+    assert result > 0

@@ -1,0 +1,90 @@
+"""Figure 6: PostgreSQL vs STORM on the five Titan queries (Figure 7).
+
+Paper result: STORM wins Q1, Q2, Q3, Q5 (e.g. Q1: 9300 s PostgreSQL vs
+2600 s STORM); PostgreSQL wins only Q4, where its selective B-tree index
+on S1 touches a tiny fraction of the pages.  The mechanisms are the ~3x
+storage blow-up of the loaded database plus higher per-tuple CPU on one
+side, and the index-assisted point lookup on the other — both reproduced
+here and asserted at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    Series,
+    TITAN_QUERY_NAMES,
+    measure_rowstore,
+    measure_storm,
+    print_figure,
+    ratio,
+)
+from repro.datasets import figure7_queries
+
+
+def run_figure6(titan_env):
+    config, _, dataset, _, service, store, info = titan_env
+    queries = figure7_queries(config)
+    storm = Series("STORM")
+    postgres = Series("PostgreSQL")
+    for sql in queries:
+        storm.add(measure_storm(service, sql, "storm"))
+        postgres.add(measure_rowstore(store, sql.replace("TitanData", "TitanData")))
+    raw_bytes = dataset.total_data_bytes
+    notes = [
+        f"raw dataset {raw_bytes / 1e6:.0f} MB -> loaded database "
+        f"{info.total_bytes / 1e6:.0f} MB "
+        f"(factor {info.total_bytes / raw_bytes:.2f}; paper: 6 GB -> 18 GB)",
+        "database load took "
+        f"{getattr(info, 'load_wall_seconds', 0.0):.2f}s wall — an overhead "
+        "the virtualization approach avoids entirely (paper §5)",
+        f"row-store plans: " + "; ".join(
+            f"Q{i + 1}={store.explain(q)}" for i, q in enumerate(queries)
+        ),
+    ]
+    return storm, postgres, notes
+
+
+def test_fig6_postgres_vs_storm(benchmark, titan_env):
+    storm, postgres, notes = benchmark.pedantic(
+        run_figure6, args=(titan_env,), rounds=1, iterations=1
+    )
+    print_figure(
+        "fig6",
+        "PostgreSQL vs STORM, Titan queries (simulated seconds)",
+        TITAN_QUERY_NAMES,
+        [postgres, storm],
+        notes,
+    )
+
+    pg = postgres.simulated
+    st = storm.simulated
+    # Paper shape: STORM wins everywhere except the indexed Q4.
+    for qi in (0, 1, 2, 4):
+        assert st[qi] < pg[qi], f"STORM should win Q{qi + 1}"
+    assert pg[3] < st[3], "PostgreSQL should win Q4 via the S1 index"
+    # Full scan is the worst case for both systems.
+    assert max(st) == st[0]
+    assert max(pg) == pg[0]
+    # The full-scan gap is driven by the storage factor (~3x in the paper).
+    assert 1.5 < ratio(pg[0], st[0]) < 8.0
+
+
+def test_fig6_storm_full_scan_wall(benchmark, titan_env):
+    """Wall-clock microbenchmark: STORM full scan of the Titan dataset."""
+    _, _, _, _, service, _, _ = titan_env
+
+    def scan():
+        service.drop_caches()
+        return service.submit("SELECT * FROM TitanData", remote=False).num_rows
+
+    rows = benchmark(scan)
+    assert rows > 0
+
+
+def test_fig6_rowstore_full_scan_wall(benchmark, titan_env):
+    """Wall-clock microbenchmark: row-store full scan (the Q1 baseline)."""
+    _, _, _, _, _, store, _ = titan_env
+    result = benchmark(lambda: store.query("SELECT * FROM TitanData").num_rows)
+    assert result > 0

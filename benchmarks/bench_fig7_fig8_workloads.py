@@ -1,0 +1,96 @@
+"""Figures 7 & 8: the evaluation query workloads (paper tables).
+
+These two figures are tables of query text; "regenerating" them means
+printing the workload our generators produce at the benchmark scale and
+checking that every query parses, plans, and classifies into the paper's
+archetypes (scan / indexed subset / subset+filter / subset+UDF / remote).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import fig6_titan_config, fig9_ipars_config
+from repro.bench.harness import results_dir
+from repro.datasets import figure7_queries, figure8_queries
+from repro.sql import FunctionCall, parse_query
+from repro.sql.ranges import extract_ranges
+
+
+def classify(query):
+    """Which archetype a query is (mirrors the paper's Type column)."""
+    if query.where is None:
+        return "full scan"
+
+    def has_udf(node):
+        if isinstance(node, FunctionCall):
+            return True
+        for attr in ("terms", "term", "left", "right", "operand"):
+            child = getattr(node, attr, None)
+            if child is None:
+                continue
+            children = child if isinstance(child, tuple) else (child,)
+            if any(has_udf(c) for c in children if hasattr(c, "evaluate")):
+                return True
+        return False
+
+    ranges = extract_ranges(query.where)
+    udf = has_udf(query.where)
+    if udf:
+        return "subset + user-defined function" if ranges else "user-defined function"
+    return "subsetting by range"
+
+
+def print_workload(figure, title, queries):
+    lines = [f"=== {figure}: {title} ==="]
+    parsed = [parse_query(q) for q in queries]
+    for i, (text, query) in enumerate(zip(queries, parsed), 1):
+        lines.append(f"  Q{i} [{classify(query)}]")
+        lines.append(f"     {text}")
+    print("\n" + "\n".join(lines))
+    payload = {
+        "figure": figure,
+        "title": title,
+        "queries": queries,
+        "types": [classify(q) for q in parsed],
+    }
+    with open(os.path.join(results_dir(), f"{figure}.json"), "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return parsed
+
+
+def test_fig7_titan_workload(benchmark):
+    config = fig6_titan_config()
+    queries = figure7_queries(config)
+    parsed = benchmark.pedantic(
+        lambda: print_workload("fig7", "Titan queries", queries),
+        rounds=1, iterations=1,
+    )
+    assert len(parsed) == 5
+    assert classify(parsed[0]) == "full scan"
+    assert classify(parsed[1]) == "subsetting by range"
+    assert "function" in classify(parsed[2])  # DISTANCE()
+    assert classify(parsed[3]) == "subsetting by range"  # S1 < 0.01
+    assert all(q.table == "TitanData" for q in parsed)
+
+
+def test_fig8_ipars_workload(benchmark):
+    config = fig9_ipars_config()
+    queries = figure8_queries(config)
+    parsed = benchmark.pedantic(
+        lambda: print_workload("fig8", "IPARS queries", queries),
+        rounds=1, iterations=1,
+    )
+    assert len(parsed) == 5
+    assert classify(parsed[0]) == "full scan"
+    assert classify(parsed[1]) == "subsetting by range"
+    assert classify(parsed[2]) == "subsetting by range"  # + SOIL filter
+    assert "function" in classify(parsed[3])  # Speed()
+    assert classify(parsed[4]) == "subsetting by range"  # remote client
+    # The TIME windows match the paper's pattern: Q5 is half of Q2's.
+    r2 = extract_ranges(parsed[1].where)["TIME"]
+    r5 = extract_ranges(parsed[4].where)["TIME"]
+    assert r5.bounds[1] <= r2.bounds[1]

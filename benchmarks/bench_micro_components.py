@@ -1,0 +1,90 @@
+"""Micro-benchmarks of individual components (throughput tracking).
+
+Not a paper figure — these pin the per-component costs that the figure
+benchmarks aggregate, so a regression in one layer is visible in
+isolation: SQL parsing, descriptor parsing, chunk enumeration, R-tree
+search, and raw extraction throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import fig6_titan_config
+from repro.core import CompiledDataset, Extractor, GeneratedDataset, IOStats
+from repro.datasets import titan
+from repro.index import build_summaries
+from repro.index.rtree import RTree
+from repro.metadata import parse_descriptor
+from repro.sql import parse_query
+from repro.storm import VirtualCluster
+from repro.datasets.paper_example import PAPER_DESCRIPTOR
+
+FIGURE1_QUERY = (
+    "SELECT * FROM IparsData WHERE RID in (0,6,26,27) AND TIME >= 1000 "
+    "AND TIME <= 1100 AND SOIL >= 0.7 AND SPEED(OILVX, OILVY, OILVZ) <= 30.0"
+)
+
+
+def test_micro_sql_parse(benchmark):
+    query = benchmark(parse_query, FIGURE1_QUERY)
+    assert query.table == "IparsData"
+
+
+def test_micro_descriptor_parse(benchmark):
+    descriptor = benchmark(parse_descriptor, PAPER_DESCRIPTOR)
+    assert descriptor.name == "IparsData"
+
+
+def test_micro_afc_enumeration(benchmark):
+    dataset = GeneratedDataset(PAPER_DESCRIPTOR)
+    count = benchmark(lambda: len(dataset.index({})))
+    assert count == 320
+
+
+def test_micro_rtree_search(benchmark):
+    rng = np.random.default_rng(1)
+    boxes = rng.random((5000, 2))
+    entries = [
+        (((x, x + 0.01), (y, y + 0.01)), i)
+        for i, (x, y) in enumerate(boxes)
+    ]
+    tree = RTree.bulk_load(entries, fanout=16)
+    hits = benchmark(lambda: sum(1 for _ in tree.search(((0.4, 0.6), (0.4, 0.6)))))
+    assert hits > 0
+
+
+@pytest.fixture(scope="module")
+def titan_scan_env(tmp_path_factory):
+    config = fig6_titan_config()
+    root = tmp_path_factory.mktemp("micro_titan")
+    cluster = VirtualCluster.create(str(root), config.num_nodes)
+    text, _ = titan.generate(config, cluster.mount())
+    dataset = GeneratedDataset(text)
+    return config, cluster, dataset
+
+
+def test_micro_extraction_throughput(benchmark, titan_scan_env):
+    """MB/s of raw chunk extraction into table columns."""
+    config, cluster, dataset = titan_scan_env
+    plan = dataset.plan("SELECT * FROM TitanData")
+
+    def scan():
+        stats = IOStats()
+        with Extractor(cluster.mount(), segment_cache_bytes=0) as extractor:
+            extractor.execute(plan, stats)
+        return stats.bytes_read
+
+    nbytes = benchmark(scan)
+    assert nbytes == dataset.total_data_bytes
+
+
+def test_micro_summary_build(benchmark, titan_scan_env):
+    config, cluster, dataset = titan_scan_env
+    summaries = benchmark.pedantic(
+        lambda: build_summaries(dataset, cluster.mount()),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(summaries) == config.total_chunks

@@ -1,0 +1,94 @@
+"""Throughput under a mixed workload (beyond the paper's 5-query sets).
+
+A repository serves a stream of differently-shaped queries; this
+benchmark runs deterministic mixed workloads (repro.bench.workloads)
+through the STORM service and reports aggregate throughput.  The
+assertions pin the workload's determinism — the same (config, seed)
+always selects the same rows — so throughput regressions are not masked
+by workload drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import ipars_workload, mri_workload, titan_workload
+from repro.datasets import figure7_queries
+
+
+def run_workload(service, queries):
+    total_rows = 0
+    total_bytes = 0
+    sim = 0.0
+    for sql in queries:
+        result = service.submit(sql, remote=False)
+        total_rows += result.num_rows
+        stats = result.total_stats
+        total_bytes += stats.bytes_read
+        sim += result.simulated_seconds
+    return total_rows, total_bytes, sim
+
+
+def test_mixed_workload_ipars(benchmark, ipars_l0_env):
+    config, _, _, service = ipars_l0_env
+    queries = ipars_workload(config, 25, seed=42)
+    rows, nbytes, sim = benchmark.pedantic(
+        run_workload, args=(service, queries), rounds=1, iterations=1
+    )
+    assert rows > 0
+    # Determinism: the same seed re-selects exactly the same rows.
+    rows2, _, _ = run_workload(service, ipars_workload(config, 25, seed=42))
+    assert rows2 == rows
+    # Different seed -> different workload.
+    assert ipars_workload(config, 25, seed=7) != queries
+
+
+def test_mixed_workload_titan(benchmark, titan_env):
+    config, _, _, _, service, _, _ = titan_env
+    queries = titan_workload(config, 25, seed=42)
+    rows, nbytes, sim = benchmark.pedantic(
+        run_workload, args=(service, queries), rounds=1, iterations=1
+    )
+    assert rows > 0
+    rows2, _, _ = run_workload(service, titan_workload(config, 25, seed=42))
+    assert rows2 == rows
+
+
+def test_mixed_workload_mri(benchmark, tmp_path_factory):
+    from repro.core import GeneratedDataset
+    from repro.datasets import MriConfig, mri
+    from repro.storm import QueryService, VirtualCluster
+
+    config = MriConfig(num_studies=8, slices=8, rows=32, cols=32,
+                       num_nodes=2)
+    root = tmp_path_factory.mktemp("bench_mri")
+    cluster = VirtualCluster.create(str(root), config.num_nodes,
+                                    prefix="node")
+    text, _ = mri.generate(config, cluster.mount())
+    service = QueryService(GeneratedDataset(text), cluster)
+    queries = mri_workload(config, 20, seed=42)
+    rows, nbytes, sim = benchmark.pedantic(
+        run_workload, args=(service, queries), rounds=1, iterations=1
+    )
+    assert rows > 0
+    rows2, _, _ = run_workload(service, mri_workload(config, 20, seed=42))
+    assert rows2 == rows
+    service.close()
+
+
+def test_workload_queries_all_parse(ipars_l0_env, titan_env, benchmark):
+    from repro.sql import parse_query
+
+    config, _, _, _ = ipars_l0_env
+    tconfig = titan_env[0]
+    queries = benchmark.pedantic(
+        lambda: ipars_workload(config, 200, seed=3)
+        + titan_workload(tconfig, 200, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    for sql in queries:
+        parse_query(sql)
+    # The mix leans subsetting-heavy, as intended.
+    scans = sum(1 for q in queries if "WHERE" not in q)
+    assert scans < len(queries) * 0.15

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Onboarding a new data layout: the workflow the paper automates.
+
+The paper's pitch: "handling a new dataset layout or virtual view only
+involves writing a new meta-data descriptor" — no hand-written extractor,
+no database load.  This example plays the data-repository administrator:
+
+1. A climate model wrote its output in an idiosyncratic layout: one file
+   per month per station-group, humidity and pressure stored as separate
+   arrays within each file (variable-as-array), elevations in a shared
+   side file.
+2. We write the descriptor, letting validation catch a typical mistake.
+3. We query across the month files, compare against reading the binary
+   files by hand, and inspect the code the tool generated.
+
+Run:  python examples/custom_layout.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import MetadataValidationError, Virtualizer, local_mount
+
+# ---------------------------------------------------------------------------
+# 1. The climate model's own output format (written with plain numpy).
+# ---------------------------------------------------------------------------
+root = tempfile.mkdtemp(prefix="repro-custom-")
+NUM_STATIONS, NUM_MONTHS, SAMPLES = 6, 12, 30
+
+rng = np.random.default_rng(7)
+elevation = (rng.random(NUM_STATIONS) * 3000).astype("<f4")
+humidity = rng.random((NUM_MONTHS, SAMPLES, NUM_STATIONS)).astype("<f4")
+pressure = (900 + 200 * rng.random((NUM_MONTHS, SAMPLES, NUM_STATIONS))).astype("<f4")
+
+site = os.path.join(root, "archive", "climate")
+os.makedirs(site)
+elevation.tofile(os.path.join(site, "elevations.bin"))
+for month in range(1, NUM_MONTHS + 1):
+    # Within a month file: all humidity samples, then all pressure samples
+    # (each variable stored as an array — the tricky part of this layout).
+    with open(os.path.join(site, f"month{month:02d}.bin"), "wb") as fh:
+        humidity[month - 1].tofile(fh)
+        pressure[month - 1].tofile(fh)
+
+# ---------------------------------------------------------------------------
+# 2. First descriptor attempt — with a classic mistake.
+# ---------------------------------------------------------------------------
+SCHEMA_AND_STORAGE = f"""
+[CLIMATE]
+MONTH = int
+SAMPLE = int
+ELEV = float
+HUM = float
+PRES = float
+
+[Climate]
+DatasetDescription = CLIMATE
+DIR[0] = archive/climate
+"""
+
+BROKEN_LAYOUT = f"""
+DATASET "Climate" {{
+  DATATYPE {{ CLIMATE }}
+  DATAINDEX {{ MONTH }}
+  DATA {{ DATASET elev DATASET months }}
+  DATASET "elev" {{
+    DATASPACE {{ LOOP STATION 0:{NUM_STATIONS - 1}:1 {{ ELEV }} }}
+    DATA {{ DIR[0]/elevations.bin }}
+  }}
+  DATASET "months" {{
+    DATASPACE {{
+      LOOP SAMPLE 0:{SAMPLES - 1}:1 {{
+        LOOP STATION 0:{NUM_STATIONS - 1}:1 {{ HUM PRES }}   // WRONG: interleaved
+      }}
+    }}
+    DATA {{ DIR[0]/month$MONTH.bin MONTH = 1:{NUM_MONTHS}:1 }}
+  }}
+}}
+"""
+# The mistake above would decode garbage (HUM/PRES are NOT interleaved
+# records) — but a second mistake is easier to show: referencing an
+# attribute that is not in the schema gets caught at validation time.
+try:
+    Virtualizer(
+        SCHEMA_AND_STORAGE + BROKEN_LAYOUT.replace("HUM PRES", "HUM PRES WIND"),
+        local_mount(root),
+    )
+except MetadataValidationError as exc:
+    print("Validation caught the bad descriptor:")
+    print("  ", exc)
+
+# Note the file-name template month$MONTH.bin: it needs zero padding
+# (month01), which the template language spells as a literal prefix.
+CORRECT_LAYOUT = f"""
+DATASET "Climate" {{
+  DATATYPE {{ CLIMATE }}
+  DATAINDEX {{ MONTH }}
+  DATA {{ DATASET elev DATASET months }}
+  DATASET "elev" {{
+    DATASPACE {{ LOOP STATION 0:{NUM_STATIONS - 1}:1 {{ ELEV }} }}
+    DATA {{ DIR[0]/elevations.bin }}
+  }}
+  DATASET "months" {{
+    DATASPACE {{
+      LOOP SAMPLE 0:{SAMPLES - 1}:1 {{
+        LOOP STATION 0:{NUM_STATIONS - 1}:1 {{ HUM }}
+      }}
+      LOOP SAMPLE 0:{SAMPLES - 1}:1 {{
+        LOOP STATION 0:{NUM_STATIONS - 1}:1 {{ PRES }}
+      }}
+    }}
+    DATA {{ DIR[0]/month$MONTH.bin MONTH = 1:{NUM_MONTHS}:1 }}
+  }}
+}}
+"""
+
+# Wait — month$MONTH.bin expands to month1.bin, but the model wrote
+# month01.bin.  Validation cannot catch naming conventions, but the first
+# query fails loudly with the missing path, so we fix the data side by
+# also accepting the unpadded names:
+for month in range(1, NUM_MONTHS + 1):
+    padded = os.path.join(site, f"month{month:02d}.bin")
+    plain = os.path.join(site, f"month{month}.bin")
+    if not os.path.exists(plain):
+        os.link(padded, plain)
+
+# ---------------------------------------------------------------------------
+# 3. Query, and check against decoding the binary files by hand.
+# ---------------------------------------------------------------------------
+with Virtualizer(SCHEMA_AND_STORAGE + CORRECT_LAYOUT, local_mount(root)) as v:
+    sql = (
+        "SELECT MONTH, SAMPLE, ELEV, HUM, PRES FROM Climate "
+        "WHERE MONTH BETWEEN 6 AND 8 AND HUM > 0.9"
+    )
+    table = v.query(sql)
+    print(f"\n{sql}")
+    print(f"  -> {table.num_rows} rows; first three:")
+    for row in table.head(3):
+        print("    ", row)
+
+    # Hand-decoded oracle straight from the arrays we generated.
+    mask = humidity[5:8] > 0.9
+    assert table.num_rows == int(mask.sum()), "row count mismatch!"
+    got = np.sort(table["PRES"])
+    expected = np.sort(pressure[5:8][mask])
+    assert np.allclose(got, expected), "values mismatch!"
+    print("  hand-decoded oracle agrees:", table.num_rows, "rows, values equal")
+
+    print("\nGenerated index function size:",
+          len(v.generated_source.splitlines()), "lines for",
+          NUM_MONTHS, "month files — none of it written by hand")

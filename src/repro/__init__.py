@@ -1,0 +1,95 @@
+"""repro — automatic data virtualization for flat-file scientific datasets.
+
+A faithful, self-contained reproduction of "An Approach for Automatic Data
+Virtualization" (HPDC 2004): a meta-data description language for
+multi-dimensional datasets stored as flat files across cluster nodes, a
+compiler that generates index/extraction functions from descriptors, and a
+STORM-style service runtime that answers SQL (SELECT/WHERE) queries with
+virtual relational tables.
+
+Quickstart::
+
+    from repro import Virtualizer, local_mount
+
+    v = Virtualizer(descriptor_text, local_mount("/data"))
+    table = v.query("SELECT X, Y, SOIL FROM IparsData WHERE TIME > 100")
+
+See README.md for the architecture and DESIGN.md for the paper mapping.
+"""
+
+from .core import (
+    AlignedFileChunkSet,
+    ChunkRef,
+    CompiledDataset,
+    ExtractionPlan,
+    Extractor,
+    GeneratedDataset,
+    IOStats,
+    VirtualTable,
+    Virtualizer,
+    local_mount,
+    open_dataset,
+)
+from .errors import (
+    CodegenError,
+    ExtractionError,
+    MetadataError,
+    MetadataSyntaxError,
+    MetadataValidationError,
+    PlanningError,
+    QueryError,
+    QuerySyntaxError,
+    QueryValidationError,
+    ReproError,
+    RowStoreError,
+    SchemaError,
+    StormError,
+)
+from .metadata import Descriptor, Schema, parse_descriptor
+from .sql import FunctionRegistry, Query, filter_function, parse_query
+from .storm import (
+    CostModel,
+    QueryResult,
+    QueryService,
+    VirtualCluster,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignedFileChunkSet",
+    "ChunkRef",
+    "CodegenError",
+    "CompiledDataset",
+    "CostModel",
+    "Descriptor",
+    "ExtractionError",
+    "ExtractionPlan",
+    "Extractor",
+    "FunctionRegistry",
+    "GeneratedDataset",
+    "IOStats",
+    "MetadataError",
+    "MetadataSyntaxError",
+    "MetadataValidationError",
+    "PlanningError",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "QueryService",
+    "QuerySyntaxError",
+    "QueryValidationError",
+    "ReproError",
+    "RowStoreError",
+    "Schema",
+    "SchemaError",
+    "StormError",
+    "VirtualCluster",
+    "VirtualTable",
+    "Virtualizer",
+    "filter_function",
+    "local_mount",
+    "open_dataset",
+    "parse_descriptor",
+    "parse_query",
+]

@@ -1,0 +1,21 @@
+"""Baselines the paper compares against: a PostgreSQL-like row store and
+hand-written index/extractor functions for the two applications."""
+
+from .btree import BTreeIndex
+from .handwritten_ipars import HandwrittenIparsL0
+from .handwritten_titan import HandwrittenTitan
+from .pages import PAGE_SIZE, HeapLayout, encode_pages
+from .rowstore import INDEX_SCAN_THRESHOLD, MiniRowStore, ScanChoice, TableInfo
+
+__all__ = [
+    "BTreeIndex",
+    "HandwrittenIparsL0",
+    "HandwrittenTitan",
+    "HeapLayout",
+    "INDEX_SCAN_THRESHOLD",
+    "MiniRowStore",
+    "PAGE_SIZE",
+    "ScanChoice",
+    "TableInfo",
+    "encode_pages",
+]

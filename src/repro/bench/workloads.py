@@ -1,0 +1,163 @@
+"""Deterministic mixed-query workload generation.
+
+The paper evaluates five canonical queries per application; a production
+service sees a *mix*.  These generators produce reproducible streams of
+queries over the synthetic datasets — the archetypes of Figures 7/8 with
+randomised parameters — for throughput benchmarking and stress testing.
+All draws come from a seeded ``random.Random``, so a (config, seed, n)
+triple always yields the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..datasets.ipars import IparsConfig, STATE_VARS
+from ..datasets.mri import MODALITIES, MriConfig
+from ..datasets.titan import SENSORS, TitanConfig
+
+
+def _projection(rng: random.Random, candidates) -> str:
+    """A random projection list (or * occasionally)."""
+    if rng.random() < 0.2:
+        return "*"
+    k = rng.randint(1, min(4, len(candidates)))
+    return ", ".join(rng.sample(list(candidates), k))
+
+
+def ipars_workload(
+    config: IparsConfig, n: int, seed: int = 1
+) -> List[str]:
+    """A mixed IPARS workload: time windows, realization subsets, value
+    filters, Speed() filters, projections — weighted towards the cheap
+    subsetting queries a repository actually serves."""
+    rng = random.Random(seed)
+    queries: List[str] = []
+    for _ in range(n):
+        kind = rng.choices(
+            ["window", "rel", "filter", "udf", "scan"],
+            weights=[40, 20, 20, 15, 5],
+        )[0]
+        t_lo = rng.randint(1, max(1, config.num_times - 2))
+        t_hi = min(config.num_times, t_lo + rng.randint(1, max(2, config.num_times // 5)))
+        if kind == "scan":
+            queries.append("SELECT * FROM IparsData")
+        elif kind == "window":
+            cols = _projection(rng, ("X", "Y", "Z") + STATE_VARS[:4])
+            queries.append(
+                f"SELECT {cols} FROM IparsData "
+                f"WHERE TIME >= {t_lo} AND TIME <= {t_hi}"
+            )
+        elif kind == "rel":
+            rels = sorted(
+                rng.sample(range(config.num_rels),
+                           rng.randint(1, max(1, config.num_rels // 2)))
+            )
+            in_list = ", ".join(str(r) for r in rels)
+            queries.append(
+                f"SELECT REL, TIME, SOIL FROM IparsData "
+                f"WHERE REL IN ({in_list}) AND TIME <= {t_hi}"
+            )
+        elif kind == "filter":
+            attr = rng.choice(("SOIL", "SGAS", "SWAT"))
+            threshold = round(rng.uniform(0.5, 0.95), 2)
+            queries.append(
+                f"SELECT X, Y, Z, {attr} FROM IparsData "
+                f"WHERE TIME >= {t_lo} AND TIME <= {t_hi} "
+                f"AND {attr} > {threshold}"
+            )
+        else:  # udf
+            limit = round(rng.uniform(5.0, 25.0), 1)
+            queries.append(
+                f"SELECT TIME, SOIL FROM IparsData WHERE TIME >= {t_lo} "
+                f"AND TIME <= {t_hi} "
+                f"AND SPEED(OILVX, OILVY, OILVZ) < {limit}"
+            )
+    return queries
+
+
+def titan_workload(
+    config: TitanConfig, n: int, seed: int = 1
+) -> List[str]:
+    """A mixed Titan workload: spatial boxes, space-time boxes, sensor
+    thresholds, distance filters."""
+    rng = random.Random(seed)
+    ex, ey, ez = config.extent
+    queries: List[str] = []
+    for _ in range(n):
+        kind = rng.choices(
+            ["box", "spacetime", "sensor", "distance", "scan"],
+            weights=[35, 25, 20, 15, 5],
+        )[0]
+        x0 = rng.uniform(0, ex * 0.7)
+        x1 = x0 + rng.uniform(0.05, 0.3) * ex
+        y0 = rng.uniform(0, ey * 0.7)
+        y1 = y0 + rng.uniform(0.05, 0.3) * ey
+        if kind == "scan":
+            queries.append("SELECT * FROM TitanData")
+        elif kind == "box":
+            queries.append(
+                f"SELECT X, Y, S1 FROM TitanData WHERE X >= {x0:.0f} AND "
+                f"X <= {x1:.0f} AND Y >= {y0:.0f} AND Y <= {y1:.0f}"
+            )
+        elif kind == "spacetime":
+            t0 = rng.randint(0, config.time_extent // 2)
+            t1 = t0 + config.time_extent // rng.choice((3, 4, 5))
+            queries.append(
+                f"SELECT TIME, X, Y, S1, S2 FROM TitanData WHERE "
+                f"X >= {x0:.0f} AND X <= {x1:.0f} AND TIME >= {t0} "
+                f"AND TIME <= {t1}"
+            )
+        elif kind == "sensor":
+            sensor = rng.choice(SENSORS)
+            threshold = round(rng.uniform(0.05, 0.6), 3)
+            queries.append(
+                f"SELECT {sensor} FROM TitanData WHERE {sensor} < {threshold}"
+            )
+        else:  # distance
+            radius = rng.uniform(0.1, 0.4) * ex
+            queries.append(
+                "SELECT X, Y, Z FROM TitanData "
+                f"WHERE DISTANCE(X, Y, Z) < {radius:.0f}"
+            )
+    return queries
+
+
+def mri_workload(config: MriConfig, n: int, seed: int = 1) -> List[str]:
+    """A mixed MRI-archive workload: per-study slabs, intensity screens,
+    modality comparisons."""
+    rng = random.Random(seed)
+    queries: List[str] = []
+    for _ in range(n):
+        kind = rng.choices(
+            ["slab", "screen", "study", "roi"], weights=[35, 30, 20, 15]
+        )[0]
+        study = rng.randrange(config.num_studies)
+        s_lo = rng.randrange(config.slices)
+        s_hi = min(config.slices - 1, s_lo + rng.randint(0, 2))
+        if kind == "slab":
+            modality = rng.choice(MODALITIES)
+            queries.append(
+                f"SELECT SLICE, ROW, COL, {modality} FROM MriArchive "
+                f"WHERE STUDY = {study} AND SLICE BETWEEN {s_lo} AND {s_hi}"
+            )
+        elif kind == "screen":
+            threshold = rng.randint(900, 2600)
+            queries.append(
+                f"SELECT STUDY, SLICE, ROW, COL FROM MriArchive "
+                f"WHERE T2 > {threshold} AND FLAIR > {threshold}"
+            )
+        elif kind == "study":
+            queries.append(
+                f"SELECT * FROM MriArchive WHERE STUDY = {study}"
+            )
+        else:  # roi
+            r_lo = rng.randrange(config.rows // 2)
+            c_lo = rng.randrange(config.cols // 2)
+            queries.append(
+                f"SELECT T1, T2 FROM MriArchive WHERE STUDY = {study} "
+                f"AND ROW >= {r_lo} AND ROW < {r_lo + config.rows // 3} "
+                f"AND COL >= {c_lo} AND COL < {c_lo + config.cols // 3}"
+            )
+    return queries

@@ -1,0 +1,320 @@
+"""Command-line interface: the administrator's side of data virtualization.
+
+The paper's workflow has a data-repository administrator writing a
+descriptor and standing up data services from it.  This CLI covers that
+workflow end to end::
+
+    python -m repro validate  DESC.txt            # parse + semantic checks
+    python -m repro inventory DESC.txt --root D --check   # files vs disk
+    python -m repro codegen   DESC.txt -o gen.py  # inspect generated code
+    python -m repro index-build DESC.txt --root D # build chunk summaries
+    python -m repro query     DESC.txt "SELECT ..." --root D --format csv
+    python -m repro explain   DESC.txt "SELECT ..."
+    python -m repro to-xml    DESC.txt            # XML embedding
+    python -m repro from-xml  DESC.xml            # ...and back
+
+Every command reads the descriptor from a file (or ``-`` for stdin).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .core.codegen import GeneratedDataset, generate_index_source
+from .core.extractor import local_mount
+from .core.planner import CompiledDataset
+from .core.virtualizer import Virtualizer
+from .errors import ReproError
+from .index.summaries import MinMaxSummaries, build_summaries, summaries_path
+from .metadata import parse_descriptor
+from .metadata.xml_io import descriptor_to_xml, xml_to_descriptor
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_descriptor(path: str, dataset: Optional[str]):
+    text = _read_text(path)
+    if text.lstrip().startswith("<"):
+        return xml_to_descriptor(text, dataset)
+    return parse_descriptor(text, dataset)
+
+
+def cmd_validate(args) -> int:
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    dataset = CompiledDataset(descriptor)
+    print(f"descriptor OK: dataset {descriptor.name!r}")
+    print(f"  schema {descriptor.schema.name!r}: "
+          f"{len(descriptor.schema)} attributes "
+          f"({', '.join(descriptor.schema.names)})")
+    print(f"  storage: {len(descriptor.storage)} directories on nodes "
+          f"{', '.join(descriptor.storage.nodes)}")
+    print(f"  leaves: {', '.join(l.name for l in descriptor.leaves())}")
+    print(f"  physical files: {len(dataset.files)}; "
+          f"consistent groups: {len(dataset.groups)}")
+    print(f"  index attributes: {', '.join(dataset.index_attrs) or '(none)'}"
+          + (f" (stored: {', '.join(dataset.stored_index_attrs)})"
+             if dataset.stored_index_attrs else ""))
+    print(f"  expected data size: {dataset.total_data_bytes:,} bytes")
+    for warning in dataset.warnings:
+        print(f"  warning: {warning}")
+    return 0
+
+
+def cmd_inventory(args) -> int:
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    dataset = CompiledDataset(descriptor)
+    mount = local_mount(args.root) if args.root else None
+    problems = 0
+    for file in dataset.files:
+        implicit = ", ".join(
+            f"{k}={v}" for k, v in sorted(file.env.items())
+        )
+        line = (f"{file.node}:{file.relpath}  {file.expected_size:>12,} B"
+                f"  [{implicit}]")
+        if args.check:
+            if mount is None:
+                print("error: --check requires --root", file=sys.stderr)
+                return 2
+            path = mount(file.node, file.relpath)
+            if not os.path.exists(path):
+                line += "  MISSING"
+                problems += 1
+            else:
+                actual = os.path.getsize(path)
+                if actual != file.expected_size:
+                    line += f"  SIZE MISMATCH (actual {actual:,} B)"
+                    problems += 1
+                else:
+                    line += "  ok"
+        print(line)
+    if args.check:
+        total = len(dataset.files)
+        print(f"\n{total - problems}/{total} files match the descriptor")
+        return 1 if problems else 0
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    source = generate_index_source(CompiledDataset(descriptor))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"wrote {len(source.splitlines())} lines to {args.output}")
+    else:
+        sys.stdout.write(source)
+    return 0
+
+
+def cmd_index_build(args) -> int:
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    dataset = CompiledDataset(descriptor)
+    mount = local_mount(args.root)
+    summaries = build_summaries(dataset, mount)
+    output = args.output or summaries_path(args.root, descriptor.name)
+    summaries.save(output)
+    print(f"built {len(summaries)} chunk summaries over attributes "
+          f"{', '.join(summaries.attrs)} -> {output}")
+    return 0
+
+
+def _make_virtualizer(args) -> Virtualizer:
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    summaries = None
+    if getattr(args, "summaries", None):
+        summaries = MinMaxSummaries.load(args.summaries)
+    else:
+        default = summaries_path(args.root, descriptor.name)
+        if os.path.exists(default):
+            summaries = MinMaxSummaries.load(default)
+    return Virtualizer(
+        descriptor,
+        local_mount(args.root),
+        use_codegen=not getattr(args, "interpreted", False),
+        summaries=summaries,
+    )
+
+
+def cmd_verify_data(args) -> int:
+    """Recompute chunk summaries and diff them against the persisted file.
+
+    A mismatch means the data changed (or was corrupted) after the index
+    was built — the summaries would then prune incorrectly.
+    """
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    dataset = CompiledDataset(descriptor)
+    mount = local_mount(args.root)
+    path = args.summaries or summaries_path(args.root, descriptor.name)
+    if not os.path.exists(path):
+        print(f"error: no summary file at {path}; run index-build first",
+              file=sys.stderr)
+        return 2
+    persisted = MinMaxSummaries.load(path)
+    fresh = build_summaries(dataset, mount)
+    mismatches = 0
+    checked = 0
+    for key, bounds in fresh._bounds.items():
+        checked += 1
+        old = persisted.bounds(key)
+        if old is None:
+            print(f"MISSING summary for chunk {key}")
+            mismatches += 1
+            continue
+        for attr, (lo, hi) in bounds.items():
+            if attr not in old or abs(old[attr][0] - lo) > 1e-9 or abs(
+                old[attr][1] - hi
+            ) > 1e-9:
+                print(f"STALE  {key} {attr}: stored {old.get(attr)} "
+                      f"!= actual ({lo}, {hi})")
+                mismatches += 1
+    extra = len(persisted) - sum(1 for k in fresh._bounds if k in persisted)
+    print(f"checked {checked} chunks: {mismatches} mismatch(es)"
+          + (f", {len(persisted) - checked} orphaned summaries"
+             if len(persisted) > checked else ""))
+    return 1 if mismatches or len(persisted) != checked else 0
+
+
+def cmd_query(args) -> int:
+    with _make_virtualizer(args) as v:
+        table = v.query(args.sql)
+        if args.format == "csv":
+            table.to_csv(sys.stdout, limit=args.limit)
+        elif args.format == "npz":
+            if not args.output:
+                print("error: --format npz requires -o", file=sys.stderr)
+                return 2
+            table.save_npz(args.output)
+            print(f"wrote {table.num_rows} rows to {args.output}")
+        else:
+            widths = [max(len(n), 12) for n in table.column_names]
+            print("  ".join(n.rjust(w) for n, w in
+                            zip(table.column_names, widths)))
+            shown = 0
+            for row in table.rows():
+                if args.limit is not None and shown >= args.limit:
+                    print(f"... {table.num_rows - shown} more rows")
+                    break
+                print("  ".join(str(v)[:w].rjust(w)
+                                for v, w in zip(row, widths)))
+                shown += 1
+            print(f"({table.num_rows} rows)")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    dataset = GeneratedDataset(descriptor)
+    print(dataset.explain(args.sql))
+    return 0
+
+
+def cmd_to_xml(args) -> int:
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    sys.stdout.write(descriptor_to_xml(descriptor))
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_from_xml(args) -> int:
+    descriptor = xml_to_descriptor(_read_text(args.descriptor), args.dataset)
+    print(descriptor.schema.to_text())
+    print(descriptor.storage.to_text())
+    print(f"// layout: {len(descriptor.leaves())} leaf dataset(s); "
+          "re-serialise with to-xml")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic data virtualization for flat-file datasets",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, root=False):
+        p.add_argument("descriptor", help="descriptor file (text or XML, - for stdin)")
+        p.add_argument("--dataset", help="dataset name when several are declared")
+        if root:
+            p.add_argument("--root", required=True,
+                           help="virtual cluster root directory")
+
+    p = sub.add_parser("validate", help="parse and validate a descriptor")
+    common(p)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("inventory", help="list the descriptor's physical files")
+    common(p)
+    p.add_argument("--root", help="cluster root (for --check)")
+    p.add_argument("--check", action="store_true",
+                   help="verify files exist with the expected sizes")
+    p.set_defaults(func=cmd_inventory)
+
+    p = sub.add_parser("codegen", help="emit the generated index module")
+    common(p)
+    p.add_argument("-o", "--output", help="write to file instead of stdout")
+    p.set_defaults(func=cmd_codegen)
+
+    p = sub.add_parser("index-build", help="build and persist chunk summaries")
+    common(p, root=True)
+    p.add_argument("-o", "--output", help="summary file path")
+    p.set_defaults(func=cmd_index_build)
+
+    p = sub.add_parser(
+        "verify-data",
+        help="recompute chunk summaries and diff against the stored index",
+    )
+    common(p, root=True)
+    p.add_argument("--summaries", help="summary file (default: sidecar)")
+    p.set_defaults(func=cmd_verify_data)
+
+    p = sub.add_parser("query", help="run a SQL query")
+    common(p, root=True)
+    p.add_argument("sql", help="SELECT ... FROM ... [WHERE ...]")
+    p.add_argument("--limit", type=int, help="print at most N rows")
+    p.add_argument("--format", choices=["table", "csv", "npz"],
+                   default="table")
+    p.add_argument("-o", "--output", help="output file for --format npz")
+    p.add_argument("--summaries", help="chunk summary file to prune with")
+    p.add_argument("--interpreted", action="store_true",
+                   help="use the interpreted planner instead of codegen")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("explain", help="show the plan for a query")
+    common(p)
+    p.add_argument("sql")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("to-xml", help="serialise a descriptor to XML")
+    common(p)
+    p.set_defaults(func=cmd_to_xml)
+
+    p = sub.add_parser("from-xml", help="summarise an XML descriptor")
+    common(p)
+    p.set_defaults(func=cmd_from_xml)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Virtualization core: the paper's primary contribution.
+
+Strips and physical files (compile-time geometry), the two-step
+Find_File_Groups / Process_File_Groups analysis, aligned file chunks,
+query planning, code generation of specialised index functions, and the
+chunk extractor.
+"""
+
+from .afc import AlignedFileChunkSet, ChunkRef, ExtractionPlan, InnerVar
+from .analysis import (
+    Alignment,
+    ChunkSummaries,
+    compute_alignment,
+    consistent_group,
+    enumerate_afcs,
+    find_file_groups,
+    match_file,
+)
+from .codegen import GeneratedDataset, generate_index_source
+from .extractor import Extractor, Mount, local_mount
+from .planner import CompiledDataset, StaticGroup
+from .stats import IOStats
+from .strips import (
+    LoopDim,
+    PhysicalFile,
+    Strip,
+    build_strips,
+    enumerate_files,
+    row_variable_order,
+)
+from .table import VirtualTable, concat_tables
+from .virtualizer import Virtualizer, open_dataset
+
+__all__ = [
+    "AlignedFileChunkSet",
+    "Alignment",
+    "ChunkRef",
+    "ChunkSummaries",
+    "CompiledDataset",
+    "ExtractionPlan",
+    "Extractor",
+    "GeneratedDataset",
+    "IOStats",
+    "InnerVar",
+    "LoopDim",
+    "Mount",
+    "PhysicalFile",
+    "StaticGroup",
+    "Strip",
+    "VirtualTable",
+    "Virtualizer",
+    "build_strips",
+    "compute_alignment",
+    "concat_tables",
+    "consistent_group",
+    "enumerate_afcs",
+    "enumerate_files",
+    "find_file_groups",
+    "generate_index_source",
+    "local_mount",
+    "match_file",
+    "open_dataset",
+    "row_variable_order",
+]

@@ -1,0 +1,222 @@
+"""Aligned file chunks — the paper's central runtime data structure.
+
+Section 4 of the paper defines an aligned file chunk set as::
+
+    {num_rows, {File_1, Offset_1, Num_Bytes_1}, ...,
+               {File_m, Offset_m, Num_Bytes_m}}
+
+``num_rows`` rows of the virtual table are produced by reading, for each
+member chunk ``i``, ``num_rows * Num_Bytes_i`` bytes starting at
+``Offset_i`` and zipping the resulting record streams.  We generalise
+"file" to "strip" (see DESIGN.md decision 1) so that layouts storing each
+variable as an array contribute one chunk per variable from the *same*
+file; for the paper's example layouts the two notions coincide.
+
+In addition to the byte geometry, our AFCs carry the information needed to
+materialise *implicit attributes* as row values: constants (from binding
+variables and chunk variables) and inner loop variables that vary within
+the chunk in a known repeat/tile pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .strips import Strip
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """One member chunk of an AFC: a contiguous slice of one strip."""
+
+    node: str
+    path: str  # dataset-relative path (resolved against a mount at read time)
+    offset: int
+    bytes_per_row: int  # the paper's Num_Bytes_i
+    strip: Strip
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """Stable identity used by persistent chunk summaries."""
+        return (self.node, self.path, self.offset)
+
+    def total_bytes(self, num_rows: int) -> int:
+        return num_rows * self.bytes_per_row
+
+    def __str__(self) -> str:
+        return f"{{{self.path}, {self.offset}, {self.bytes_per_row}}}"
+
+
+@dataclass(frozen=True)
+class InnerVar:
+    """A loop variable that varies *within* a chunk.
+
+    Row ``r`` (0-based) of the chunk has value::
+
+        start + step * ((r // repeat) % count)
+
+    i.e. values repeat in blocks of ``repeat`` rows and cycle every
+    ``repeat * count`` rows — the standard row-major tile/repeat pattern.
+    """
+
+    name: str
+    start: int
+    step: int
+    count: int
+    repeat: int
+
+    def materialise(self, num_rows: int) -> np.ndarray:
+        ordinals = (np.arange(num_rows) // self.repeat) % self.count
+        return self.start + self.step * ordinals
+
+    @property
+    def interval(self) -> Tuple[int, int]:
+        return (self.start, self.start + self.step * (self.count - 1))
+
+
+@dataclass(frozen=True)
+class AlignedFileChunkSet:
+    """One aligned file chunk set (an "AFC" in the paper's terminology)."""
+
+    num_rows: int
+    chunks: Tuple[ChunkRef, ...]
+    constants: Tuple[Tuple[str, int], ...] = ()
+    inner_vars: Tuple[InnerVar, ...] = ()
+
+    @property
+    def constant_map(self) -> Dict[str, int]:
+        return dict(self.constants)
+
+    def implicit_columns(self, needed: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Materialise requested implicit attributes as full columns."""
+        out: Dict[str, np.ndarray] = {}
+        constants = self.constant_map
+        inner = {iv.name: iv for iv in self.inner_vars}
+        for name in needed:
+            if name in constants:
+                out[name] = np.full(self.num_rows, constants[name])
+            elif name in inner:
+                out[name] = inner[name].materialise(self.num_rows)
+        return out
+
+    def implicit_bounds(self) -> Dict[str, Tuple[int, int]]:
+        """(min, max) of every implicit attribute of this AFC."""
+        out = {name: (v, v) for name, v in self.constants}
+        for iv in self.inner_vars:
+            out[iv.name] = iv.interval
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(c.total_bytes(self.num_rows) for c in self.chunks)
+
+    def __str__(self) -> str:
+        members = ", ".join(str(c) for c in self.chunks)
+        return f"{{num_rows={self.num_rows}, {members}}}"
+
+
+def split_afc(
+    afc: AlignedFileChunkSet, max_rows: int
+) -> List[AlignedFileChunkSet]:
+    """Split an AFC into sub-chunks of at most ``max_rows`` rows.
+
+    Splitting happens along the outermost inner variable: each of its
+    value segments maps to a contiguous run of records in every member
+    chunk, so sub-chunk offsets advance by ``rows * bytes_per_row`` and
+    correctness is unaffected.  When a single outer value still exceeds
+    the cap, that value is pinned as a constant and the next inner
+    variable is split recursively.
+
+    Use cases: bounding extraction buffer sizes, finer-grained chunk
+    summaries, and overlapping I/O with filtering in streaming clients.
+    """
+    if max_rows < 1:
+        raise ValueError("max_rows must be positive")
+    if afc.num_rows <= max_rows or not afc.inner_vars:
+        return [afc]
+
+    outer = afc.inner_vars[0]
+    rest = afc.inner_vars[1:]
+
+    if outer.repeat > max_rows:
+        # Even one outer value is too big: pin each value, recurse inward.
+        out: List[AlignedFileChunkSet] = []
+        for ordinal in range(outer.count):
+            value = outer.start + outer.step * ordinal
+            sub = AlignedFileChunkSet(
+                num_rows=outer.repeat,
+                chunks=tuple(
+                    ChunkRef(
+                        c.node,
+                        c.path,
+                        c.offset + ordinal * outer.repeat * c.bytes_per_row,
+                        c.bytes_per_row,
+                        c.strip,
+                    )
+                    for c in afc.chunks
+                ),
+                constants=afc.constants + ((outer.name, value),),
+                inner_vars=rest,
+            )
+            out.extend(split_afc(sub, max_rows))
+        return out
+
+    values_per_piece = max(1, max_rows // outer.repeat)
+    out = []
+    for first in range(0, outer.count, values_per_piece):
+        count = min(values_per_piece, outer.count - first)
+        rows = count * outer.repeat
+        piece_outer = InnerVar(
+            outer.name,
+            outer.start + outer.step * first,
+            outer.step,
+            count,
+            outer.repeat,
+        )
+        out.append(
+            AlignedFileChunkSet(
+                num_rows=rows,
+                chunks=tuple(
+                    ChunkRef(
+                        c.node,
+                        c.path,
+                        c.offset + first * outer.repeat * c.bytes_per_row,
+                        c.bytes_per_row,
+                        c.strip,
+                    )
+                    for c in afc.chunks
+                ),
+                constants=afc.constants,
+                inner_vars=(piece_outer,) + rest,
+            )
+        )
+    return out
+
+
+@dataclass
+class ExtractionPlan:
+    """Everything the extractor needs to answer one query."""
+
+    afcs: List[AlignedFileChunkSet]
+    needed: List[str]  # columns to materialise (projection + WHERE refs)
+    output: List[str]  # final projection, in SELECT order
+    where: Optional[object] = None  # residual predicate AST (applied to all rows)
+    dtypes: Dict[str, np.dtype] = field(default_factory=dict)
+
+    @property
+    def planned_rows(self) -> int:
+        return sum(a.num_rows for a in self.afcs)
+
+    @property
+    def planned_bytes(self) -> int:
+        """Bytes the extractor will actually read: chunks storing no
+        needed attribute are skipped (projection pushdown)."""
+        needed = set(self.needed)
+        total = 0
+        for afc in self.afcs:
+            for chunk in afc.chunks:
+                if needed.intersection(chunk.strip.attrs):
+                    total += chunk.total_bytes(afc.num_rows)
+        return total

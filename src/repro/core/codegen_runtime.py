@@ -1,0 +1,66 @@
+"""Small runtime support library for generated index functions.
+
+Generated modules (see :mod:`repro.core.codegen`) inline all layout
+arithmetic but call these helpers for query-range checks, exactly like a
+compiler emitting calls into a runtime library.  Keeping the helpers here
+(instead of duplicating their bodies in every generated module) also means
+bug fixes apply to already-generated code on re-import.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..sql.ranges import Interval, IntervalSet, RangeMap
+from .afc import AlignedFileChunkSet
+
+
+def allowed_values(
+    allowed: Optional[IntervalSet],
+    start: int,
+    stop: int,
+    step: int,
+    pin: Optional[int] = None,
+) -> List[int]:
+    """Loop values of ``start..stop..step`` permitted by the query ranges.
+
+    ``pin`` (a binding constant shared with the loop variable) restricts
+    the loop to a single value.
+    """
+    if pin is not None:
+        if not (start <= pin <= stop and (pin - start) % step == 0):
+            return []
+        values: Iterable[int] = (pin,)
+    else:
+        values = range(start, stop + 1, step)
+    if allowed is None:
+        return list(values)
+    return [v for v in values if allowed.contains(v)]
+
+
+def ranges_match(ranges: RangeMap, implicit: Sequence[Tuple[str, int, int]]) -> bool:
+    """Group-level match: every constrained implicit attribute must overlap.
+
+    ``implicit`` is a tuple of (name, lo, hi) hulls baked in at generation
+    time from the group's binding constants and loop ranges.
+    """
+    for name, lo, hi in implicit:
+        allowed = ranges.get(name)
+        if allowed is not None and not allowed.overlaps_interval(Interval(lo, hi)):
+            return False
+    return True
+
+
+def summary_pruned(
+    afc: AlignedFileChunkSet,
+    ranges: RangeMap,
+    summaries,
+    summary_attrs: Sequence[str],
+) -> bool:
+    """Chunk-summary index check (shared with the interpreted planner)."""
+    from .analysis import _pruned_by_summaries
+
+    relevant = [a for a in summary_attrs if a in ranges]
+    if not relevant or summaries is None:
+        return False
+    return _pruned_by_summaries(afc, ranges, summaries, relevant)

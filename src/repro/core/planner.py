@@ -1,0 +1,324 @@
+"""Query planning: descriptor + SQL -> extraction plan.
+
+:class:`CompiledDataset` is the interpreted realisation of the paper's
+two-phase design.  At construction ("compile time") it enumerates every
+physical file with its strip geometry, forms all consistent file groups,
+and computes each group's static alignment.  At query time it only
+evaluates integer range checks and emits aligned file chunks — no
+meta-data parsing or expression evaluation happens per query.
+
+The code generator (:mod:`repro.core.codegen`) emits a specialised module
+with the same query-time interface but all tables constant-folded; this
+class doubles as the semantics reference the generated code is tested
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..errors import PlanningError, QueryValidationError
+from ..metadata.descriptor import Descriptor, parse_descriptor
+from ..sql.ast import Query
+from ..sql.parser import parse_query
+from ..sql.ranges import RangeMap, extract_ranges, query_is_unsatisfiable
+from .afc import AlignedFileChunkSet, ExtractionPlan
+from .analysis import (
+    Alignment,
+    ChunkSummaries,
+    compute_alignment,
+    enumerate_afcs,
+    match_file,
+)
+from .strips import PhysicalFile, enumerate_files, row_variable_order
+
+
+@dataclass
+class StaticGroup:
+    """One precomputed consistent file group with its chunk geometry."""
+
+    files: Tuple[PhysicalFile, ...]
+    env: Dict[str, int]
+    alignment: Alignment
+
+
+class CompiledDataset:
+    """A descriptor compiled into query-ready planning tables."""
+
+    def __init__(
+        self,
+        descriptor: Union[Descriptor, str],
+        summaries: Optional[ChunkSummaries] = None,
+        chunk_row_cap: Optional[int] = None,
+        lazy_groups: bool = False,
+    ):
+        if isinstance(descriptor, str):
+            descriptor = parse_descriptor(descriptor)
+        self.descriptor = descriptor
+        #: Optional cap on rows per aligned chunk; plans split larger AFCs
+        #: (see repro.core.afc.split_afc).  None keeps natural granularity.
+        self.chunk_row_cap = chunk_row_cap
+        self.schema = descriptor.schema
+        self.files = enumerate_files(descriptor)
+        self.row_var_order = row_variable_order(descriptor)
+        self.leaf_order = [leaf.name for leaf in descriptor.leaves()]
+        self.index_attrs = descriptor.index_attrs
+        self.summaries = summaries
+
+        stored_attrs = self._stored_attrs()
+        #: DATAINDEX attributes that are physically stored (Titan's X/Y/Z):
+        #: these need the chunk-summary index; implicit ones prune for free.
+        self.stored_index_attrs = tuple(
+            a for a in self.index_attrs if a in stored_attrs
+        )
+        self.stored_index_leaves = self._stored_index_leaves()
+        self._groups: Optional[List[StaticGroup]] = None
+        self._warnings: Optional[List[str]] = None
+        if not lazy_groups:
+            _ = self.groups  # surface group/alignment errors at load time
+
+    @property
+    def groups(self) -> List["StaticGroup"]:
+        """Consistent file groups with their alignments (built lazily when
+        a cached generated module makes the analysis unnecessary)."""
+        if self._groups is None:
+            self._groups = self._build_groups()
+        return self._groups
+
+    @property
+    def warnings(self) -> List[str]:
+        """Performance diagnostics discovered at compile time (never
+        errors — the plans are correct, just slow)."""
+        if self._warnings is None:
+            self._warnings = self._collect_warnings()
+        return self._warnings
+
+    # -- compile-time -----------------------------------------------------------
+
+    def _stored_attrs(self) -> Set[str]:
+        out: Set[str] = set()
+        for file in self.files:
+            for strip in file.strips:
+                out.update(strip.attrs)
+        return out
+
+    def _stored_index_leaves(self) -> Tuple[str, ...]:
+        """Leaves that store at least one DATAINDEX attribute."""
+        index_set = set(self.stored_index_attrs)
+        names: List[str] = []
+        for file in self.files:
+            if file.leaf_name in names:
+                continue
+            for strip in file.strips:
+                if index_set & set(strip.attrs):
+                    names.append(file.leaf_name)
+                    break
+        return tuple(names)
+
+    def _build_groups(self) -> List[StaticGroup]:
+        """All consistent file groups, via an incremental consistency join.
+
+        A naive cartesian product across leaves is exponential (the paper's
+        L0 layout has 18 leaves); joining one leaf at a time and rejecting
+        inconsistent partial groups early keeps the work proportional to
+        the number of *surviving* groups.
+        """
+        classes: List[List[PhysicalFile]] = [
+            [f for f in self.files if f.leaf_name == name]
+            for name in self.leaf_order
+        ]
+        for name, cls in zip(self.leaf_order, classes):
+            if not cls:
+                raise PlanningError(f"leaf {name!r} enumerates no files")
+
+        # partial: (files tuple, merged env, merged geometry)
+        partials: List[Tuple[Tuple[PhysicalFile, ...], Dict[str, int], Dict]] = [
+            ((), {}, {})
+        ]
+        for cls in classes:
+            extended = []
+            for files, env, geometry in partials:
+                for file in cls:
+                    merged_env = _merge_env(env, file.env)
+                    if merged_env is None:
+                        continue
+                    merged_geo = _merge_geometry(geometry, file.loop_geometry())
+                    if merged_geo is None:
+                        continue
+                    if not _env_within_geometry(merged_env, merged_geo):
+                        continue
+                    extended.append((files + (file,), merged_env, merged_geo))
+            partials = extended
+            if not partials:
+                break
+
+        groups: List[StaticGroup] = []
+        for files, env, _ in partials:
+            strips = [s for f in files for s in f.strips]
+            alignment = compute_alignment(
+                strips, self.index_attrs, self.stored_index_leaves
+            )
+            groups.append(StaticGroup(files, env, alignment))
+        if not groups:
+            raise PlanningError(
+                "no consistent file groups exist; check that shared loop "
+                "variables iterate identical ranges across leaves"
+            )
+        return groups
+
+    def _collect_warnings(self) -> List[str]:
+        out: List[str] = []
+        degenerate = [
+            g for g in self.groups if g.alignment.num_rows == 1
+            and any(s.dims for f in g.files for s in f.strips)
+        ]
+        if degenerate:
+            sample = degenerate[0]
+            names = ", ".join(f.relpath for f in sample.files)
+            out.append(
+                f"{len(degenerate)} file group(s) have no common dense loop "
+                f"suffix (e.g. {{{names}}}); every row becomes its own "
+                "aligned chunk set, which is correct but slow — consider "
+                "matching the innermost loop order across leaves"
+            )
+        if not self.index_attrs:
+            big = sum(f.expected_size for f in self.files)
+            if big > 64 * 1024 * 1024:
+                out.append(
+                    f"no DATAINDEX declared on a {big / 1e6:.0f} MB dataset: "
+                    "every query will scan all chunks"
+                )
+        chunky = [
+            g for g in self.groups
+            if g.alignment.num_rows * max(
+                (s.record_size for f in g.files for s in f.strips),
+                default=0,
+            ) > 256 * 1024 * 1024
+        ]
+        if chunky:
+            out.append(
+                f"{len(chunky)} group(s) have aligned chunks over 256 MB; "
+                "consider chunk_row_cap to bound extraction buffers"
+            )
+        return out
+
+    # -- query-time ---------------------------------------------------------------
+
+    def resolve_query(self, query: Union[Query, str]) -> Query:
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.table != self.descriptor.name:
+            raise QueryValidationError(
+                f"query targets table {query.table!r}, but this dataset is "
+                f"{self.descriptor.name!r}"
+            )
+        return query
+
+    def needed_columns(self, query: Query) -> Tuple[List[str], List[str]]:
+        """(needed, output) column lists, validated against the schema."""
+        output = query.projected_names(self.schema.names)
+        needed = list(output)
+        for name in query.referenced_columns():
+            if name not in self.schema:
+                raise QueryValidationError(
+                    f"WHERE references unknown attribute {name!r} "
+                    f"(schema {self.schema.name!r} has {self.schema.names})"
+                )
+            if name not in needed:
+                needed.append(name)
+        return needed, output
+
+    def index(self, ranges: RangeMap) -> List[AlignedFileChunkSet]:
+        """The paper's *index function*: query ranges -> matching AFCs."""
+        afcs: List[AlignedFileChunkSet] = []
+        for group in self.groups:
+            if not all(match_file(f, ranges) for f in group.files):
+                continue
+            afcs.extend(
+                enumerate_afcs(
+                    group.files,
+                    group.env,
+                    group.alignment,
+                    self.row_var_order,
+                    ranges,
+                    summaries=self.summaries,
+                    summary_attrs=self.stored_index_attrs,
+                )
+            )
+        return afcs
+
+    def plan(self, query: Union[Query, str]) -> ExtractionPlan:
+        """Full planning: parse/validate, derive ranges, emit the plan."""
+        query = self.resolve_query(query)
+        needed, output = self.needed_columns(query)
+        ranges = extract_ranges(query.where)
+        dtypes = {a.name: a.dtype for a in self.schema}
+        if query_is_unsatisfiable(ranges):
+            return ExtractionPlan([], needed, output, query.where, dtypes)
+        afcs = self.index(ranges)
+        if self.chunk_row_cap is not None:
+            from .afc import split_afc
+
+            afcs = [
+                piece
+                for afc in afcs
+                for piece in split_afc(afc, self.chunk_row_cap)
+            ]
+        return ExtractionPlan(afcs, needed, output, query.where, dtypes)
+
+    # -- introspection ------------------------------------------------------------
+
+    def explain(self, query: Union[Query, str]) -> str:
+        """Human-readable plan summary (for the examples and debugging)."""
+        plan = self.plan(query)
+        lines = [
+            f"dataset: {self.descriptor.name}",
+            f"groups: {len(self.groups)} static, AFCs planned: {len(plan.afcs)}",
+            f"rows planned: {plan.planned_rows}, bytes planned: {plan.planned_bytes}",
+            f"needed columns: {plan.needed}",
+            f"output columns: {plan.output}",
+        ]
+        for afc in plan.afcs[:5]:
+            lines.append(f"  {afc}")
+        if len(plan.afcs) > 5:
+            lines.append(f"  ... {len(plan.afcs) - 5} more")
+        return "\n".join(lines)
+
+    @property
+    def total_data_bytes(self) -> int:
+        return sum(f.expected_size for f in self.files)
+
+
+def _merge_env(a: Dict[str, int], b: Dict[str, int]) -> Optional[Dict[str, int]]:
+    """Merge binding environments; None when a shared variable differs."""
+    for name, value in b.items():
+        if name in a and a[name] != value:
+            return None
+    out = dict(a)
+    out.update(b)
+    return out
+
+
+def _merge_geometry(a: Dict, b: Dict) -> Optional[Dict]:
+    """Merge loop geometries; None when a shared loop iterates differently."""
+    for name, geo in b.items():
+        if name in a and a[name] != geo:
+            return None
+    out = dict(a)
+    out.update(b)
+    return out
+
+
+def _env_within_geometry(env: Dict[str, int], geometry: Dict) -> bool:
+    """A binding constant shared with a loop must lie on the loop's lattice."""
+    for name, value in env.items():
+        geo = geometry.get(name)
+        if geo is None:
+            continue
+        start, stop, step = geo
+        if not (start <= value <= stop and (value - start) % step == 0):
+            return False
+    return True

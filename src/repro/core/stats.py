@@ -1,0 +1,50 @@
+"""I/O and processing statistics.
+
+Every extraction path — interpreted, generated, hand-written, and the
+row-store baseline — counts its work through an :class:`IOStats` object.
+The STORM cost model converts these counts into deterministic simulated
+time, which is what lets a single-machine reproduction exhibit the paper's
+cluster-scale performance shapes (DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IOStats:
+    """Mutable operation counters for one query execution on one node."""
+
+    files_opened: int = 0
+    seeks: int = 0
+    read_calls: int = 0
+    bytes_read: int = 0
+    cache_hits: int = 0
+    chunks_read: int = 0
+    #: Bytes of chunks that live on a different node than the one
+    #: processing them (cross-node groups); the cost model charges these
+    #: to the network instead of the local disk.
+    remote_bytes_read: int = 0
+    afcs_processed: int = 0
+    afcs_pruned: int = 0
+    rows_extracted: int = 0
+    rows_output: int = 0
+    bytes_sent: int = 0
+
+    def merge(self, other: "IOStats") -> None:
+        """Accumulate another stats object into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return "IOStats(" + ", ".join(parts) + ")"

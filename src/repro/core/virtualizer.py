@@ -1,0 +1,122 @@
+"""High-level automatic data virtualization API.
+
+:class:`Virtualizer` is the user-facing entry point of the library: give
+it a meta-data descriptor and a mount (where the dataset's nodes live on
+disk), and it answers SQL queries with relational tables::
+
+    from repro import Virtualizer, local_mount
+
+    v = Virtualizer(descriptor_text, local_mount("/data/cluster"))
+    table = v.query("SELECT X, Y, SOIL FROM IparsData WHERE TIME > 100")
+
+By default the index function is *generated* (compiled Python specialised
+to the descriptor, as in the paper); pass ``use_codegen=False`` to run the
+interpreted reference planner instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ..metadata.descriptor import Descriptor, parse_descriptor
+from ..sql.ast import Query
+from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
+from .afc import ExtractionPlan
+from .analysis import ChunkSummaries
+from .codegen import GeneratedDataset
+from .extractor import Extractor, Mount, local_mount
+from .planner import CompiledDataset
+from .stats import IOStats
+from .table import VirtualTable
+
+
+class Virtualizer:
+    """SQL over flat-file scientific datasets, from a meta-data descriptor."""
+
+    def __init__(
+        self,
+        descriptor: Union[Descriptor, str],
+        mount: Mount,
+        functions: Optional[FunctionRegistry] = None,
+        use_codegen: bool = True,
+        summaries: Optional[ChunkSummaries] = None,
+        codegen_path: Optional[str] = None,
+        segment_cache_bytes: int = 32 * 1024 * 1024,
+        chunk_row_cap: Optional[int] = None,
+    ):
+        if isinstance(descriptor, str):
+            descriptor = parse_descriptor(descriptor)
+        if use_codegen:
+            self.dataset: CompiledDataset = GeneratedDataset(
+                descriptor,
+                summaries,
+                source_path=codegen_path,
+                chunk_row_cap=chunk_row_cap,
+            )
+        else:
+            self.dataset = CompiledDataset(descriptor, summaries, chunk_row_cap)
+        self.functions = functions or DEFAULT_REGISTRY
+        self.extractor = Extractor(
+            mount, self.functions, segment_cache_bytes=segment_cache_bytes
+        )
+        self.stats = IOStats()
+
+    # -- querying -------------------------------------------------------------
+
+    def plan(self, sql: Union[Query, str]) -> ExtractionPlan:
+        """Plan a query without executing it."""
+        return self.dataset.plan(sql)
+
+    def query(
+        self, sql: Union[Query, str], stats: Optional[IOStats] = None
+    ) -> VirtualTable:
+        """Execute a query and return the virtual table."""
+        plan = self.dataset.plan(sql)
+        return self.extractor.execute(plan, stats if stats is not None else self.stats)
+
+    def query_iter(
+        self,
+        sql: Union[Query, str],
+        batch_rows: int = 65536,
+        stats: Optional[IOStats] = None,
+    ):
+        """Stream query results as VirtualTable batches (bounded memory)."""
+        plan = self.dataset.plan(sql)
+        return self.extractor.execute_iter(
+            plan, batch_rows, stats if stats is not None else self.stats
+        )
+
+    def explain(self, sql: Union[Query, str]) -> str:
+        return self.dataset.explain(sql)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.dataset.schema
+
+    @property
+    def generated_source(self) -> Optional[str]:
+        """Source of the generated index module (None when interpreted)."""
+        return getattr(self.dataset, "source", None)
+
+    def close(self) -> None:
+        self.extractor.close()
+
+    def __enter__(self) -> "Virtualizer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_dataset(
+    descriptor: Union[Descriptor, str],
+    root: str,
+    **kwargs,
+) -> Virtualizer:
+    """Convenience constructor: mount a virtual cluster rooted at ``root``.
+
+    Node ``osu0``'s directories are expected under ``root/osu0/...``.
+    """
+    return Virtualizer(descriptor, local_mount(root), **kwargs)

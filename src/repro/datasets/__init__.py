@@ -1,0 +1,27 @@
+"""Synthetic workload generators for the paper's motivating applications:
+IPARS (oil reservoir), Titan (satellite), and MRI (cancer studies)."""
+
+from . import ipars, mri, titan
+from .ipars import ALL_LAYOUTS, IparsConfig, STATE_VARS, figure8_queries
+from .mri import MODALITIES, MriConfig
+from .titan import SENSORS, TitanConfig, figure7_queries
+from .writers import ValueFn, hash01, render_file, write_dataset
+
+__all__ = [
+    "ALL_LAYOUTS",
+    "IparsConfig",
+    "MODALITIES",
+    "MriConfig",
+    "SENSORS",
+    "STATE_VARS",
+    "TitanConfig",
+    "ValueFn",
+    "figure7_queries",
+    "figure8_queries",
+    "hash01",
+    "ipars",
+    "mri",
+    "render_file",
+    "titan",
+    "write_dataset",
+]

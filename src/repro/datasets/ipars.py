@@ -1,0 +1,419 @@
+"""Synthetic IPARS oil-reservoir simulation dataset (paper Section 2.2).
+
+IPARS output is a collection of *realizations* (REL), each a time series
+over a 3-D grid partitioned across cluster nodes.  Every (REL, TIME, cell)
+carries 17 state variables; the grid's X/Y/Z coordinates are constant over
+time and realizations.  The generator is deterministic: each value is a
+pure function of (attribute, REL, TIME, GRID), so every layout of the
+Figure 9 experiment materialises the *same* virtual table.
+
+The module provides descriptor builders for the paper's seven layouts:
+
+* ``L0`` — the application's original layout: coordinates in one file,
+  every state variable in its own file per realization (18 files per
+  aligned chunk set);
+* ``I``  — one file per node, full tuples sorted by time;
+* ``II`` — one file per node, time-step chunks, variable-as-array inside;
+* ``III``— one file per time step, tuples;
+* ``IV`` — one file per time step, variable-as-array;
+* ``V``  — 7 files: coordinates + state variables split 3/3/3/3/3/2, tuples;
+* ``VI`` — the 7-file split with variable-as-array inside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.extractor import Mount
+from ..core.planner import CompiledDataset
+from ..errors import ReproError
+from .writers import ValueFn, hash01, write_dataset
+
+#: The 17 per-cell state variables (paper: "the value of seventeen separate
+#: variables ... for each cell in the grid").
+STATE_VARS: Tuple[str, ...] = (
+    "SOIL", "SGAS", "SWAT",
+    "POIL", "PGAS", "PWAT",
+    "OILVX", "OILVY", "OILVZ",
+    "GASVX", "GASVY", "GASVZ",
+    "WATVX", "WATVY", "WATVZ",
+    "COIL", "CGAS",
+)
+
+#: Value scaling per variable family: (offset, span).
+_SCALES: Dict[str, Tuple[float, float]] = {}
+for _name in ("SOIL", "SGAS", "SWAT", "COIL", "CGAS"):
+    _SCALES[_name] = (0.0, 1.0)  # saturations / concentrations in [0, 1)
+for _name in ("POIL", "PGAS", "PWAT"):
+    _SCALES[_name] = (500.0, 4500.0)  # pressures in [500, 5000)
+for _name in STATE_VARS:
+    if _name.endswith(("VX", "VY", "VZ")):
+        _SCALES[_name] = (-20.0, 40.0)  # velocities in [-20, 20)
+
+ALL_LAYOUTS: Tuple[str, ...] = ("L0", "I", "II", "III", "IV", "V", "VI")
+
+#: Layout V/VI grouping of the 17 state variables into 6 files.
+V_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    STATE_VARS[0:3],
+    STATE_VARS[3:6],
+    STATE_VARS[6:9],
+    STATE_VARS[9:12],
+    STATE_VARS[12:15],
+    STATE_VARS[15:17],
+)
+
+
+@dataclass(frozen=True)
+class IparsConfig:
+    """Shape of a synthetic IPARS study."""
+
+    num_rels: int = 4
+    num_times: int = 100
+    cells_per_node: int = 1000
+    num_nodes: int = 4
+    seed: int = 7
+    dirname: str = "ipars"
+
+    @property
+    def total_cells(self) -> int:
+        return self.cells_per_node * self.num_nodes
+
+    @property
+    def total_rows(self) -> int:
+        return self.num_rels * self.num_times * self.total_cells
+
+    @property
+    def row_bytes(self) -> int:
+        # REL(2) + TIME(4) + 20 floats
+        return 2 + 4 + 4 * (3 + len(STATE_VARS))
+
+    @property
+    def grid_side(self) -> int:
+        """Cells sit on a cubic lattice of this side length."""
+        return max(1, math.ceil(self.total_cells ** (1.0 / 3.0)))
+
+
+# ---------------------------------------------------------------------------
+# Descriptor builders
+# ---------------------------------------------------------------------------
+
+
+def schema_text() -> str:
+    lines = ["[IPARS]", "REL = short int", "TIME = int",
+             "X = float", "Y = float", "Z = float"]
+    lines.extend(f"{name} = float" for name in STATE_VARS)
+    return "\n".join(lines) + "\n"
+
+
+def storage_text(config: IparsConfig) -> str:
+    lines = ["[IparsData]", "DatasetDescription = IPARS"]
+    for i in range(config.num_nodes):
+        lines.append(f"DIR[{i}] = osu{i}/{config.dirname}")
+    return "\n".join(lines) + "\n"
+
+
+def _grid_bounds(config: IparsConfig) -> str:
+    g = config.cells_per_node
+    return f"($DIRID*{g}+1):(($DIRID+1)*{g}):1"
+
+
+def _dir_binding(config: IparsConfig) -> str:
+    return f"DIRID = 0:{config.num_nodes - 1}:1"
+
+
+def _rel_binding(config: IparsConfig) -> str:
+    return f"REL = 0:{config.num_rels - 1}:1"
+
+
+def layout_text(config: IparsConfig, layout: str) -> str:
+    """The DATASET blocks for one of the seven layouts."""
+    builder = _LAYOUT_BUILDERS.get(layout)
+    if builder is None:
+        raise ReproError(
+            f"unknown IPARS layout {layout!r}; have {ALL_LAYOUTS}"
+        )
+    return builder(config)
+
+
+def descriptor_text(config: IparsConfig, layout: str = "L0") -> str:
+    """Full three-component descriptor for the chosen layout."""
+    return "\n".join(
+        [schema_text(), storage_text(config), layout_text(config, layout)]
+    )
+
+
+def _layout_l0(config: IparsConfig) -> str:
+    grid = _grid_bounds(config)
+    parts = [
+        'DATASET "IparsData" {',
+        "  DATATYPE { IPARS }",
+        "  DATAINDEX { REL TIME }",
+        "  DATA { DATASET coords "
+        + " ".join(f"DATASET var_{name}" for name in STATE_VARS)
+        + " }",
+        '  DATASET "coords" {',
+        f"    DATASPACE {{ LOOP GRID {grid} {{ X Y Z }} }}",
+        f"    DATA {{ DIR[$DIRID]/COORDS {_dir_binding(config)} }}",
+        "  }",
+    ]
+    for name in STATE_VARS:
+        parts.extend([
+            f'  DATASET "var_{name}" {{',
+            "    DATASPACE {",
+            f"      LOOP TIME 1:{config.num_times}:1 {{",
+            f"        LOOP GRID {grid} {{ {name} }}",
+            "      }",
+            "    }",
+            f"    DATA {{ DIR[$DIRID]/{name}$REL {_rel_binding(config)} "
+            f"{_dir_binding(config)} }}",
+            "  }",
+        ])
+    parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+def _tuple_body(attrs) -> str:
+    return " ".join(attrs)
+
+
+def _layout_i(config: IparsConfig) -> str:
+    grid = _grid_bounds(config)
+    attrs = _tuple_body(("X", "Y", "Z") + STATE_VARS)
+    return f"""
+DATASET "IparsData" {{
+  DATATYPE {{ IPARS }}
+  DATAINDEX {{ REL TIME }}
+  DATASPACE {{
+    LOOP REL 0:{config.num_rels - 1}:1 {{
+      LOOP TIME 1:{config.num_times}:1 {{
+        LOOP GRID {grid} {{ {attrs} }}
+      }}
+    }}
+  }}
+  DATA {{ DIR[$DIRID]/all.bin {_dir_binding(config)} }}
+}}
+"""
+
+
+def _layout_ii(config: IparsConfig) -> str:
+    grid = _grid_bounds(config)
+    arrays = "\n        ".join(
+        f"LOOP GRID {grid} {{ {name} }}"
+        for name in ("X", "Y", "Z") + STATE_VARS
+    )
+    return f"""
+DATASET "IparsData" {{
+  DATATYPE {{ IPARS }}
+  DATAINDEX {{ REL TIME }}
+  DATASPACE {{
+    LOOP REL 0:{config.num_rels - 1}:1 {{
+      LOOP TIME 1:{config.num_times}:1 {{
+        {arrays}
+      }}
+    }}
+  }}
+  DATA {{ DIR[$DIRID]/all.bin {_dir_binding(config)} }}
+}}
+"""
+
+
+def _layout_iii(config: IparsConfig) -> str:
+    grid = _grid_bounds(config)
+    attrs = _tuple_body(("X", "Y", "Z") + STATE_VARS)
+    return f"""
+DATASET "IparsData" {{
+  DATATYPE {{ IPARS }}
+  DATAINDEX {{ REL TIME }}
+  DATASPACE {{
+    LOOP GRID {grid} {{ {attrs} }}
+  }}
+  DATA {{ DIR[$DIRID]/rel$REL-time$TIME.bin TIME = 1:{config.num_times}:1
+         {_rel_binding(config)} {_dir_binding(config)} }}
+}}
+"""
+
+
+def _layout_iv(config: IparsConfig) -> str:
+    grid = _grid_bounds(config)
+    arrays = "\n    ".join(
+        f"LOOP GRID {grid} {{ {name} }}"
+        for name in ("X", "Y", "Z") + STATE_VARS
+    )
+    return f"""
+DATASET "IparsData" {{
+  DATATYPE {{ IPARS }}
+  DATAINDEX {{ REL TIME }}
+  DATASPACE {{
+    {arrays}
+  }}
+  DATA {{ DIR[$DIRID]/rel$REL-time$TIME.bin TIME = 1:{config.num_times}:1
+         {_rel_binding(config)} {_dir_binding(config)} }}
+}}
+"""
+
+
+def _layout_v(config: IparsConfig) -> str:
+    grid = _grid_bounds(config)
+    parts = [
+        'DATASET "IparsData" {',
+        "  DATATYPE { IPARS }",
+        "  DATAINDEX { REL TIME }",
+        "  DATA { DATASET coords "
+        + " ".join(f"DATASET grp{i}" for i in range(len(V_GROUPS)))
+        + " }",
+        '  DATASET "coords" {',
+        f"    DATASPACE {{ LOOP GRID {grid} {{ X Y Z }} }}",
+        f"    DATA {{ DIR[$DIRID]/COORDS {_dir_binding(config)} }}",
+        "  }",
+    ]
+    for i, group in enumerate(V_GROUPS):
+        parts.extend([
+            f'  DATASET "grp{i}" {{',
+            "    DATASPACE {",
+            f"      LOOP REL 0:{config.num_rels - 1}:1 {{",
+            f"        LOOP TIME 1:{config.num_times}:1 {{",
+            f"          LOOP GRID {grid} {{ {_tuple_body(group)} }}",
+            "        }",
+            "      }",
+            "    }",
+            f"    DATA {{ DIR[$DIRID]/group{i}.bin {_dir_binding(config)} }}",
+            "  }",
+        ])
+    parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+def _layout_vi(config: IparsConfig) -> str:
+    grid = _grid_bounds(config)
+    parts = [
+        'DATASET "IparsData" {',
+        "  DATATYPE { IPARS }",
+        "  DATAINDEX { REL TIME }",
+        "  DATA { DATASET coords "
+        + " ".join(f"DATASET grp{i}" for i in range(len(V_GROUPS)))
+        + " }",
+        '  DATASET "coords" {',
+        f"    DATASPACE {{ LOOP GRID {grid} {{ X Y Z }} }}",
+        f"    DATA {{ DIR[$DIRID]/COORDS {_dir_binding(config)} }}",
+        "  }",
+    ]
+    for i, group in enumerate(V_GROUPS):
+        arrays = "\n          ".join(
+            f"LOOP GRID {grid} {{ {name} }}" for name in group
+        )
+        parts.extend([
+            f'  DATASET "grp{i}" {{',
+            "    DATASPACE {",
+            f"      LOOP REL 0:{config.num_rels - 1}:1 {{",
+            f"        LOOP TIME 1:{config.num_times}:1 {{",
+            f"          {arrays}",
+            "        }",
+            "      }",
+            "    }",
+            f"    DATA {{ DIR[$DIRID]/group{i}.bin {_dir_binding(config)} }}",
+            "  }",
+        ])
+    parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+_LAYOUT_BUILDERS = {
+    "L0": _layout_l0,
+    "I": _layout_i,
+    "II": _layout_ii,
+    "III": _layout_iii,
+    "IV": _layout_iv,
+    "V": _layout_v,
+    "VI": _layout_vi,
+}
+
+
+# ---------------------------------------------------------------------------
+# Value function
+# ---------------------------------------------------------------------------
+
+
+def _var(name: str, env: Dict[str, int], coords: Dict[str, np.ndarray]):
+    """A variable's value(s): loop meshgrid array or binding constant."""
+    if name in coords:
+        return coords[name]
+    if name in env:
+        return np.int64(env[name])
+    raise ReproError(
+        f"value function needs variable {name!r}, but the layout supplies "
+        f"only {sorted(coords)} (loops) and {sorted(env)} (bindings)"
+    )
+
+
+def make_value_fn(config: IparsConfig) -> ValueFn:
+    """The deterministic IPARS field generator.
+
+    Coordinates depend only on GRID (a cubic lattice with 10.0 spacing);
+    state variables mix (REL, TIME, GRID) through :func:`hash01` with a
+    per-attribute salt, scaled to the variable family's physical range.
+    """
+    side = config.grid_side
+    salts = {name: config.seed * 1000 + i for i, name in enumerate(STATE_VARS)}
+
+    def value_fn(attr: str, env: Dict[str, int], coords: Dict[str, np.ndarray]):
+        grid = _var("GRID", env, coords)
+        cell = np.asarray(grid, dtype=np.int64) - 1
+        if attr == "X":
+            return (cell % side) * 10.0
+        if attr == "Y":
+            return ((cell // side) % side) * 10.0
+        if attr == "Z":
+            return (cell // (side * side)) * 10.0
+        if attr in salts:
+            rel = _var("REL", env, coords)
+            time = _var("TIME", env, coords)
+            key = (
+                (np.asarray(rel, dtype=np.int64) * (config.num_times + 1) + time)
+                * (config.total_cells + 1)
+                + grid
+            )
+            lo, span = _SCALES[attr]
+            return lo + span * hash01(key, salts[attr])
+        raise ReproError(f"unknown IPARS attribute {attr!r}")
+
+    return value_fn
+
+
+def generate(
+    config: IparsConfig, layout: str, mount: Mount, only_missing: bool = False
+) -> Tuple[str, int]:
+    """Write the dataset for a layout; returns (descriptor text, bytes)."""
+    text = descriptor_text(config, layout)
+    dataset = CompiledDataset(text)
+    written = write_dataset(dataset, mount, make_value_fn(config), only_missing)
+    return text, written
+
+
+# ---------------------------------------------------------------------------
+# The paper's evaluation queries (Figure 8)
+# ---------------------------------------------------------------------------
+
+
+def figure8_queries(config: IparsConfig, lo_frac: float = 0.5, width_frac: float = 0.1) -> List[str]:
+    """The five IPARS queries, scaled to a config's TIME extent.
+
+    The paper uses TIME in (1000, 1100) of a long run; we place a window
+    of ``width_frac`` of the run starting at ``lo_frac``.
+    """
+    t_lo = max(1, int(config.num_times * lo_frac))
+    t_hi = min(config.num_times, t_lo + max(2, int(config.num_times * width_frac)))
+    t_lo = min(t_lo, t_hi - 2)  # keep the open window (t_lo, t_hi) non-empty
+    t_mid = t_lo + max(1, (t_hi - t_lo) // 2)
+    return [
+        "SELECT * FROM IparsData",
+        f"SELECT * FROM IparsData WHERE TIME>{t_lo} AND TIME<{t_hi}",
+        f"SELECT * FROM IparsData WHERE TIME>{t_lo} AND TIME<{t_hi} "
+        "AND SOIL>0.7",
+        f"SELECT * FROM IparsData WHERE TIME>{t_lo} AND TIME<{t_hi} "
+        "AND SPEED(OILVX, OILVY, OILVZ)<30",
+        f"SELECT * FROM IparsData WHERE TIME>{t_lo} AND TIME<{t_mid}",
+    ]

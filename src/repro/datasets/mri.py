@@ -1,0 +1,190 @@
+"""Synthetic MRI study dataset (paper §2.2's "cancer studies using MRI").
+
+A study archive holds many patient studies; each study is a 3-D volume
+(slices × rows × columns) acquired in several modalities (T1, T2, FLAIR),
+stored the way scanners write them: one raw 16-bit volume file per
+modality per study, studies distributed round-robin across archive nodes
+(``DIR[$STUDY % N]/study$STUDY/T1.vol``).
+
+The virtual table view is one row per (STUDY, SLICE, ROW, COL) voxel with
+all modality intensities — which makes "find lesion candidates across the
+archive" a SQL query instead of a per-format script.
+
+The generator plants a synthetic hyper-intense ellipsoidal *lesion* in a
+deterministic subset of studies; intensities elsewhere are smooth noise.
+That gives threshold queries real spatial structure to find (and the
+example script something to show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.extractor import Mount
+from ..core.planner import CompiledDataset
+from ..errors import ReproError
+from .writers import ValueFn, hash01, write_dataset
+
+MODALITIES: Tuple[str, ...] = ("T1", "T2", "FLAIR")
+
+#: Background tissue intensity scale (12-bit-ish values in a 16-bit range).
+_BASE = 800.0
+_NOISE = 300.0
+_LESION_BOOST = 1800.0
+
+
+@dataclass(frozen=True)
+class MriConfig:
+    """Shape of a synthetic MRI study archive."""
+
+    num_studies: int = 6
+    slices: int = 8
+    rows: int = 32
+    cols: int = 32
+    num_nodes: int = 2
+    #: Every ``lesion_every``-th study carries a lesion (study 0, k, 2k...).
+    lesion_every: int = 3
+    seed: int = 23
+    dirname: str = "mri"
+
+    @property
+    def voxels_per_study(self) -> int:
+        return self.slices * self.rows * self.cols
+
+    @property
+    def total_rows(self) -> int:
+        return self.num_studies * self.voxels_per_study
+
+    @property
+    def row_bytes(self) -> int:
+        # STUDY i2 + SLICE/ROW/COL i2 each + 3 modalities u2
+        return 4 * 2 + len(MODALITIES) * 2
+
+    def has_lesion(self, study: int) -> bool:
+        return study % self.lesion_every == 0
+
+    def lesion_center(self, study: int) -> Tuple[float, float, float]:
+        """Deterministic lesion position within a study's volume."""
+        u = hash01(np.array([study], dtype=np.int64), self.seed + 100)[0]
+        v = hash01(np.array([study], dtype=np.int64), self.seed + 200)[0]
+        w = hash01(np.array([study], dtype=np.int64), self.seed + 300)[0]
+        return (
+            (0.25 + 0.5 * u) * self.slices,
+            (0.25 + 0.5 * v) * self.rows,
+            (0.25 + 0.5 * w) * self.cols,
+        )
+
+    @property
+    def lesion_radii(self) -> Tuple[float, float, float]:
+        return (
+            max(1.0, self.slices / 5.0),
+            max(2.0, self.rows / 6.0),
+            max(2.0, self.cols / 6.0),
+        )
+
+
+def schema_text() -> str:
+    lines = ["[MRI]", "STUDY = short int", "SLICE = short int",
+             "ROW = short int", "COL = short int"]
+    lines.extend(f"{m} = unsigned short" for m in MODALITIES)
+    return "\n".join(lines) + "\n"
+
+
+def storage_text(config: MriConfig) -> str:
+    lines = ["[MriArchive]", "DatasetDescription = MRI"]
+    for i in range(config.num_nodes):
+        lines.append(f"DIR[{i}] = node{i}/{config.dirname}")
+    return "\n".join(lines) + "\n"
+
+
+def layout_text(config: MriConfig) -> str:
+    """One volume file per modality per study, round-robin over nodes."""
+    parts = [
+        'DATASET "MriArchive" {',
+        "  DATATYPE { MRI }",
+        "  DATAINDEX { STUDY SLICE }",
+        "  DATA { " + " ".join(f"DATASET vol_{m}" for m in MODALITIES) + " }",
+    ]
+    space = (
+        f"      LOOP SLICE 0:{config.slices - 1}:1 {{\n"
+        f"        LOOP ROW 0:{config.rows - 1}:1 {{\n"
+        f"          LOOP COL 0:{config.cols - 1}:1 {{ %s }}\n"
+        "        }\n"
+        "      }"
+    )
+    for modality in MODALITIES:
+        parts.extend([
+            f'  DATASET "vol_{modality}" {{',
+            "    DATASPACE {",
+            space % modality,
+            "    }",
+            f"    DATA {{ DIR[$STUDY%{config.num_nodes}]/study$STUDY/"
+            f"{modality}.vol STUDY = 0:{config.num_studies - 1}:1 }}",
+            "  }",
+        ])
+    parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+def descriptor_text(config: MriConfig) -> str:
+    return "\n".join([schema_text(), storage_text(config), layout_text(config)])
+
+
+def make_value_fn(config: MriConfig) -> ValueFn:
+    """Voxel intensities: smooth noise + the planted lesion."""
+    salts = {m: config.seed + i for i, m in enumerate(MODALITIES)}
+
+    def value_fn(attr: str, env: Dict[str, int], coords: Dict[str, np.ndarray]):
+        if attr not in salts:
+            raise ReproError(f"unknown MRI attribute {attr!r}")
+        study = int(env["STUDY"])
+        s = coords["SLICE"].astype(np.float64)
+        r = coords["ROW"].astype(np.float64)
+        c = coords["COL"].astype(np.float64)
+        key = (
+            (np.int64(study) * (config.slices + 1) + coords["SLICE"])
+            * (config.rows + 1)
+            + coords["ROW"]
+        ) * (config.cols + 1) + coords["COL"]
+        intensity = _BASE + _NOISE * hash01(key, salts[attr])
+        if config.has_lesion(study):
+            cs, cr, cc = config.lesion_center(study)
+            rs, rr, rc = config.lesion_radii
+            dist2 = (
+                ((s - cs) / rs) ** 2
+                + ((r - cr) / rr) ** 2
+                + ((c - cc) / rc) ** 2
+            )
+            # T1 hypo-intense, T2/FLAIR hyper-intense — the classic
+            # appearance of edema; broadcasting fills the volume.
+            inside = dist2 <= 1.0
+            if attr == "T1":
+                intensity = np.where(inside, intensity * 0.5, intensity)
+            else:
+                intensity = intensity + np.where(inside, _LESION_BOOST, 0.0)
+        return intensity
+
+    return value_fn
+
+
+def generate(
+    config: MriConfig, mount: Mount, only_missing: bool = False
+) -> Tuple[str, int]:
+    """Write the archive; returns (descriptor text, bytes written)."""
+    text = descriptor_text(config)
+    dataset = CompiledDataset(text)
+    written = write_dataset(dataset, mount, make_value_fn(config), only_missing)
+    return text, written
+
+
+def lesion_query(config: MriConfig, study: int) -> str:
+    """The archive's bread-and-butter question: lesion candidate voxels."""
+    threshold = _BASE + _NOISE + _LESION_BOOST / 2
+    return (
+        f"SELECT SLICE, ROW, COL, T2, FLAIR FROM MriArchive "
+        f"WHERE STUDY = {study} AND T2 > {threshold:.0f} "
+        f"AND FLAIR > {threshold:.0f}"
+    )

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Parsing errors carry source positions so
+diagnostics can point at the offending token in a descriptor or query.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class MetadataError(ReproError):
+    """Base class for errors in meta-data descriptors."""
+
+
+class MetadataSyntaxError(MetadataError):
+    """A descriptor failed to lex or parse.
+
+    Parameters
+    ----------
+    message:
+        Human readable description of the problem.
+    line, column:
+        1-based source position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class MetadataValidationError(MetadataError):
+    """A descriptor parsed but is semantically inconsistent.
+
+    Examples: a layout references an undefined schema, a loop bound uses an
+    unbound variable, a DATA clause enumerates zero files.
+    """
+
+
+class SchemaError(MetadataError):
+    """A schema is malformed (duplicate attribute, unknown type name...)."""
+
+
+class QueryError(ReproError):
+    """Base class for errors in SQL queries."""
+
+
+class QuerySyntaxError(QueryError):
+    """A query failed to lex or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class QueryValidationError(QueryError):
+    """A query parsed but does not match the schema it targets.
+
+    Examples: unknown attribute in SELECT list, filter function not
+    registered, type mismatch in a comparison.
+    """
+
+
+class PlanningError(ReproError):
+    """The planner could not derive aligned file chunks for a query."""
+
+
+class ExtractionError(ReproError):
+    """Reading bytes for an aligned file chunk failed."""
+
+
+class CodegenError(ReproError):
+    """Generating or loading compiled index/extractor code failed."""
+
+
+class StormError(ReproError):
+    """Base class for errors in the STORM runtime services."""
+
+
+class ClusterError(StormError):
+    """A virtual cluster operation failed (unknown node, missing dir...)."""
+
+
+class PartitionError(StormError):
+    """Partition generation was asked for an unknown or invalid scheme."""
+
+
+class RowStoreError(ReproError):
+    """Base class for errors in the baseline relational row store."""

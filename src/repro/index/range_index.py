@@ -1,0 +1,120 @@
+"""One-dimensional interval index for implicit attribute pruning.
+
+Files and chunks carry implicit attribute *hulls* — ``(lo, hi)`` value
+ranges derived from binding constants and loop bounds.  When a dataset
+enumerates many files (hundreds of realizations x nodes), the STORM
+indexing service selects candidate files with this index instead of
+scanning the full file list per query.
+
+The structure is a flat, sorted endpoint array queried with binary search:
+for read-only scientific datasets the index is built once and never
+updated, so a balanced tree buys nothing over bisect on numpy arrays.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Generic, Iterable, List, Sequence, Set, Tuple, TypeVar
+
+from ..sql.ranges import Interval, IntervalSet
+
+T = TypeVar("T")
+
+
+class RangeIndex(Generic[T]):
+    """Interval -> payload index answering stabbing and overlap queries."""
+
+    def __init__(self, entries: Iterable[Tuple[float, float, T]]):
+        items = [(float(lo), float(hi), payload) for lo, hi, payload in entries]
+        items.sort(key=lambda e: (e[0], e[1]))
+        self._los = [e[0] for e in items]
+        self._his = [e[1] for e in items]
+        self._payloads = [e[2] for e in items]
+        #: Max interval end among entries[0..i] — classic augmented trick
+        #: that lets overlap queries stop early.
+        self._max_hi_prefix: List[float] = []
+        running = float("-inf")
+        for hi in self._his:
+            running = max(running, hi)
+            self._max_hi_prefix.append(running)
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def stab(self, value: float) -> List[T]:
+        """All payloads whose interval contains ``value``."""
+        return self.overlapping(value, value)
+
+    def _overlapping_positions(self, lo: float, hi: float) -> List[int]:
+        # Candidates start at or before hi.
+        end = bisect_right(self._los, hi)
+        out: List[int] = []
+        for i in range(end - 1, -1, -1):
+            if self._max_hi_prefix[i] < lo:
+                break  # nothing earlier can reach lo
+            if self._his[i] >= lo:
+                out.append(i)
+        out.reverse()
+        return out
+
+    def overlapping(self, lo: float, hi: float) -> List[T]:
+        """All payloads whose interval intersects the closed [lo, hi]."""
+        return [self._payloads[i] for i in self._overlapping_positions(lo, hi)]
+
+    def overlapping_set(self, allowed: IntervalSet) -> List[T]:
+        """Payloads whose interval intersects any interval of the set.
+
+        Results are deduplicated and returned in index order.
+        """
+        seen: Set[int] = set()
+        for interval in allowed.intervals:
+            seen.update(self._overlapping_positions(interval.lo, interval.hi))
+        return [self._payloads[i] for i in sorted(seen)]
+
+
+class MultiAttrRangeIndex(Generic[T]):
+    """Per-attribute range indexes over a common payload collection.
+
+    ``select(ranges)`` returns the payloads that survive every constrained
+    attribute — the indexed version of file-level implicit matching.
+    Payloads lacking an interval for an attribute are unconstrained by it.
+    """
+
+    def __init__(self, payloads: Sequence[T], hulls: Sequence[Dict[str, Tuple[float, float]]]):
+        if len(payloads) != len(hulls):
+            raise ValueError("payloads and hulls must align")
+        self._payloads = list(payloads)
+        self._indexes: Dict[str, RangeIndex[int]] = {}
+        self._covered: Dict[str, Set[int]] = {}
+        attrs: Set[str] = set()
+        for hull in hulls:
+            attrs.update(hull)
+        for attr in attrs:
+            entries = [
+                (hull[attr][0], hull[attr][1], i)
+                for i, hull in enumerate(hulls)
+                if attr in hull
+            ]
+            self._indexes[attr] = RangeIndex(entries)
+            self._covered[attr] = {i for _, _, i in entries}
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    @property
+    def attrs(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._indexes))
+
+    def select(self, ranges: Dict[str, IntervalSet]) -> List[T]:
+        """Payloads consistent with every constrained, indexed attribute."""
+        alive: Set[int] = set(range(len(self._payloads)))
+        for attr, allowed in ranges.items():
+            index = self._indexes.get(attr)
+            if index is None:
+                continue
+            hits = set(index.overlapping_set(allowed))
+            uncovered = alive - self._covered[attr]
+            alive &= hits | uncovered
+            if not alive:
+                break
+        return [self._payloads[i] for i in sorted(alive)]

@@ -1,0 +1,185 @@
+"""A bulk-loaded R-tree over axis-aligned bounding boxes.
+
+The paper's Titan dataset keeps "a spatial index ... so that chunks that
+intersect the query are searched for quickly" (Section 2.2).  This module
+provides that index: boxes are bulk-loaded with the Sort-Tile-Recursive
+(STR) algorithm, which packs leaves by sorting on successive dimensions,
+and queries return every stored item whose box intersects the query box.
+
+The implementation is d-dimensional and pure Python (numpy for the sort
+phases); it is intentionally read-only after construction, matching the
+paper's read-only dataset assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from ..errors import ReproError
+
+T = TypeVar("T")
+
+Box = Tuple[Tuple[float, float], ...]  # ((lo, hi), ...) per dimension
+
+
+def boxes_intersect(a: Box, b: Box) -> bool:
+    """Closed-interval intersection test in every dimension."""
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        if alo > bhi or blo > ahi:
+            return False
+    return True
+
+
+def box_union(a: Box, b: Box) -> Box:
+    return tuple(
+        (min(alo, blo), max(ahi, bhi))
+        for (alo, ahi), (blo, bhi) in zip(a, b)
+    )
+
+
+@dataclass
+class _Node(Generic[T]):
+    box: Box
+    children: Optional[List["_Node"]] = None  # internal node
+    items: Optional[List[Tuple[Box, T]]] = None  # leaf node
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.items is not None
+
+
+class RTree(Generic[T]):
+    """Static R-tree; construct with :meth:`bulk_load`."""
+
+    def __init__(self, root: Optional[_Node], ndim: int, fanout: int):
+        self._root = root
+        self.ndim = ndim
+        self.fanout = fanout
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, entries: Sequence[Tuple[Box, T]], fanout: int = 16
+    ) -> "RTree[T]":
+        """Build from (box, payload) pairs using Sort-Tile-Recursive packing."""
+        if fanout < 2:
+            raise ReproError("R-tree fanout must be at least 2")
+        if not entries:
+            return cls(None, 0, fanout)
+        ndim = len(entries[0][0])
+        for box, _ in entries:
+            if len(box) != ndim:
+                raise ReproError(
+                    f"inconsistent box dimensionality: {len(box)} vs {ndim}"
+                )
+            for lo, hi in box:
+                if lo > hi:
+                    raise ReproError(f"inverted box bounds ({lo}, {hi})")
+        leaves = _str_pack_leaves(list(entries), ndim, fanout)
+        nodes: List[_Node] = leaves
+        while len(nodes) > 1:
+            nodes = _pack_internal(nodes, ndim, fanout)
+        return cls(nodes[0], ndim, fanout)
+
+    # -- queries ---------------------------------------------------------------
+
+    def search(self, box: Box) -> Iterator[T]:
+        """Yield payloads of all stored boxes intersecting ``box``."""
+        if self._root is None:
+            return
+        if len(box) != self.ndim:
+            raise ReproError(
+                f"query box has {len(box)} dims, index has {self.ndim}"
+            )
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not boxes_intersect(node.box, box):
+                continue
+            if node.is_leaf:
+                for item_box, payload in node.items:  # type: ignore[union-attr]
+                    if boxes_intersect(item_box, box):
+                        yield payload
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+
+    def search_point(self, point: Sequence[float]) -> Iterator[T]:
+        return self.search(tuple((p, p) for p in point))
+
+    def __len__(self) -> int:
+        if self._root is None:
+            return 0
+
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return len(node.items)  # type: ignore[arg-type]
+            return sum(count(c) for c in node.children)  # type: ignore[union-attr]
+
+        return count(self._root)
+
+    @property
+    def height(self) -> int:
+        node, h = self._root, 0
+        while node is not None:
+            h += 1
+            node = None if node.is_leaf else node.children[0]
+        return h
+
+
+def _centers(entries: Sequence[Tuple[Box, T]], dim: int) -> np.ndarray:
+    return np.array([(box[dim][0] + box[dim][1]) / 2.0 for box, _ in entries])
+
+
+def _str_pack_leaves(
+    entries: List[Tuple[Box, T]], ndim: int, fanout: int
+) -> List[_Node]:
+    """Recursively tile entries into leaf nodes of <= fanout entries."""
+
+    def recurse(chunk: List[Tuple[Box, T]], dim: int) -> List[List[Tuple[Box, T]]]:
+        if len(chunk) <= fanout:
+            return [chunk]
+        if dim >= ndim:
+            # Out of dimensions: slice sequentially.
+            return [
+                chunk[i : i + fanout] for i in range(0, len(chunk), fanout)
+            ]
+        order = np.argsort(_centers(chunk, dim), kind="stable")
+        chunk = [chunk[i] for i in order]
+        n_slabs = max(
+            1, math.ceil(len(chunk) / fanout ** max(ndim - dim, 1))
+        )
+        slab_size = math.ceil(len(chunk) / n_slabs)
+        out: List[List[Tuple[Box, T]]] = []
+        for i in range(0, len(chunk), slab_size):
+            out.extend(recurse(chunk[i : i + slab_size], dim + 1))
+        return out
+
+    groups = recurse(entries, 0)
+    leaves = []
+    for group in groups:
+        box = group[0][0]
+        for b, _ in group[1:]:
+            box = box_union(box, b)
+        leaves.append(_Node(box=box, items=list(group)))
+    return leaves
+
+
+def _pack_internal(nodes: List[_Node], ndim: int, fanout: int) -> List[_Node]:
+    order = np.argsort(
+        np.array([(n.box[0][0] + n.box[0][1]) / 2.0 for n in nodes]),
+        kind="stable",
+    )
+    nodes = [nodes[i] for i in order]
+    out: List[_Node] = []
+    for i in range(0, len(nodes), fanout):
+        group = nodes[i : i + fanout]
+        box = group[0].box
+        for node in group[1:]:
+            box = box_union(box, node.box)
+        out.append(_Node(box=box, children=group))
+    return out

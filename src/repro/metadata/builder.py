@@ -1,0 +1,326 @@
+"""Programmatic descriptor construction.
+
+Writing descriptor text is right for repository administrators; Python
+tooling (generators, tests, migration scripts) prefers a builder::
+
+    from repro.metadata.builder import DescriptorBuilder
+
+    b = DescriptorBuilder("IparsData", schema_name="IPARS")
+    b.attribute("REL", "short int").attribute("TIME", "int")
+    b.attribute("X", "float").attribute("SOIL", "float")
+    b.directories("osu{i}/ipars", count=4)
+    b.index_on("REL", "TIME")
+
+    coords = b.leaf("coords")
+    with coords.loop("GRID", "$DIRID*100+1", "($DIRID+1)*100"):
+        coords.record("X")
+    coords.files("DIR[$DIRID]/COORDS", DIRID=(0, 3))
+
+    data = b.leaf("data")
+    with data.loop("TIME", 1, 500):
+        with data.loop("GRID", "$DIRID*100+1", "($DIRID+1)*100"):
+            data.record("SOIL")
+    data.files("DIR[$DIRID]/DATA$REL", REL=(0, 3), DIRID=(0, 3))
+
+    descriptor = b.build()          # validated Descriptor
+    text = b.to_text()              # equivalent descriptor source
+
+The builder produces the same validated :class:`Descriptor` the text
+parser does, and can render back to descriptor text, so programmatic and
+hand-written descriptors stay interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import MetadataValidationError
+from .descriptor import Descriptor, build_descriptor
+from .expressions import RangeExpr, parse_expr
+from .layout import (
+    AttrGroup,
+    Binding,
+    DataClause,
+    DatasetNode,
+    FilePattern,
+    LoopNode,
+    parse_file_pattern,
+)
+from .schema import Attribute, Schema
+from .storage import DirEntry, StorageDescriptor
+from .types import parse_type
+
+BoundLike = Union[int, str]
+RangeLike = Union[Tuple[BoundLike, BoundLike], Tuple[BoundLike, BoundLike, BoundLike]]
+
+
+def _expr(value: BoundLike):
+    return parse_expr(str(value))
+
+
+def _range(value: RangeLike) -> RangeExpr:
+    if len(value) == 2:
+        lo, hi = value
+        step: BoundLike = 1
+    else:
+        lo, hi, step = value
+    return RangeExpr(_expr(lo), _expr(hi), _expr(step))
+
+
+class _LoopContext:
+    """Context manager pushing one loop level on a leaf builder."""
+
+    def __init__(self, leaf: "LeafBuilder", node: LoopNode):
+        self.leaf = leaf
+        self.node = node
+
+    def __enter__(self) -> "LeafBuilder":
+        self.leaf._stack.append(self.node)
+        return self.leaf
+
+    def __exit__(self, *exc) -> None:
+        finished = self.leaf._stack.pop()
+        self.leaf._attach(finished)
+
+
+class LeafBuilder:
+    """Builds one leaf DATASET: a dataspace plus its file enumeration."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._items: List = []  # finished top-level items
+        self._stack: List[LoopNode] = []
+        self._patterns: List[FilePattern] = []
+        self._bindings: List[Binding] = []
+        self.index_attrs: Tuple[str, ...] = ()
+
+    # -- dataspace ---------------------------------------------------------------
+
+    def loop(
+        self, var: str, lo: BoundLike, hi: BoundLike, step: BoundLike = 1
+    ) -> _LoopContext:
+        """Open a LOOP level (use as a context manager)."""
+        node = LoopNode(var, RangeExpr(_expr(lo), _expr(hi), _expr(step)), ())
+        return _LoopContext(self, node)
+
+    def record(self, *attrs: str) -> "LeafBuilder":
+        """Attributes stored consecutively per innermost iteration."""
+        if not attrs:
+            raise MetadataValidationError("record() needs attribute names")
+        self._attach(AttrGroup(tuple(attrs)))
+        return self
+
+    def arrays(self, *attrs: str, var: str, lo: BoundLike, hi: BoundLike,
+               step: BoundLike = 1) -> "LeafBuilder":
+        """Variable-as-array: one single-attribute loop per attribute."""
+        for attr in attrs:
+            with self.loop(var, lo, hi, step):
+                self.record(attr)
+        return self
+
+    def _attach(self, item) -> None:
+        if self._stack:
+            parent = self._stack[-1]
+            self._stack[-1] = LoopNode(
+                parent.var, parent.range, parent.body + (item,)
+            )
+        else:
+            self._items.append(item)
+
+    # -- files ---------------------------------------------------------------------
+
+    def files(self, pattern: str, **bindings: RangeLike) -> "LeafBuilder":
+        """Add a file pattern; keyword arguments are binding ranges."""
+        self._patterns.append(parse_file_pattern(pattern))
+        for var, value in bindings.items():
+            if any(b.var == var for b in self._bindings):
+                continue
+            self._bindings.append(Binding(var, _range(value)))
+        return self
+
+    def index_on(self, *attrs: str) -> "LeafBuilder":
+        self.index_attrs = tuple(attrs)
+        return self
+
+    # -- assembly -------------------------------------------------------------------
+
+    def node(self) -> DatasetNode:
+        if self._stack:
+            raise MetadataValidationError(
+                f"leaf {self.name!r}: {len(self._stack)} loop(s) still open"
+            )
+        if not self._items:
+            raise MetadataValidationError(
+                f"leaf {self.name!r} has an empty dataspace"
+            )
+        if not self._patterns:
+            raise MetadataValidationError(
+                f"leaf {self.name!r} has no files; call .files(...)"
+            )
+        return DatasetNode(
+            name=self.name,
+            index_attrs=self.index_attrs,
+            dataspace=tuple(self._items),
+            data=DataClause(
+                patterns=tuple(self._patterns), bindings=tuple(self._bindings)
+            ),
+        )
+
+
+class DescriptorBuilder:
+    """Builds a full three-component descriptor."""
+
+    def __init__(self, dataset_name: str, schema_name: Optional[str] = None):
+        self.dataset_name = dataset_name
+        self.schema_name = schema_name or dataset_name.upper()
+        self._attributes: List[Attribute] = []
+        self._dirs: List[DirEntry] = []
+        self._index: Tuple[str, ...] = ()
+        self._leaves: List[LeafBuilder] = []
+
+    # -- schema ---------------------------------------------------------------
+
+    def attribute(self, name: str, type_name: str) -> "DescriptorBuilder":
+        self._attributes.append(Attribute(name, parse_type(type_name)))
+        return self
+
+    def attributes(self, **types: str) -> "DescriptorBuilder":
+        """Bulk declaration — note: Python kwargs preserve order."""
+        for name, type_name in types.items():
+            self.attribute(name, type_name)
+        return self
+
+    # -- storage ------------------------------------------------------------------
+
+    def directory(self, index: int, node: str, path: str = "") -> "DescriptorBuilder":
+        self._dirs.append(DirEntry(index, node, path))
+        return self
+
+    def directories(self, spec: str, count: int) -> "DescriptorBuilder":
+        """``spec`` is a format string over ``i``: ``"osu{i}/ipars"``."""
+        for i in range(count):
+            node, _, path = spec.format(i=i).partition("/")
+            self.directory(i, node, path)
+        return self
+
+    # -- layout ----------------------------------------------------------------------
+
+    def index_on(self, *attrs: str) -> "DescriptorBuilder":
+        self._index = tuple(attrs)
+        return self
+
+    def leaf(self, name: str) -> LeafBuilder:
+        builder = LeafBuilder(name)
+        self._leaves.append(builder)
+        return builder
+
+    # -- assembly ---------------------------------------------------------------------
+
+    def build(self) -> Descriptor:
+        schema = Schema(self.schema_name, list(self._attributes))
+        storage = StorageDescriptor(
+            self.dataset_name, self.schema_name, list(self._dirs)
+        )
+        leaves = [leaf.node() for leaf in self._leaves]
+        if len(leaves) == 1 and leaves[0].name == self.dataset_name:
+            root = leaves[0]
+            root.schema_name = self.schema_name
+            root.index_attrs = root.index_attrs or self._index
+        else:
+            root = DatasetNode(
+                name=self.dataset_name,
+                schema_name=self.schema_name,
+                index_attrs=self._index,
+            )
+            for leaf in leaves:
+                leaf.parent = root
+                root.children.append(leaf)
+            root.data = DataClause(child_refs=tuple(l.name for l in leaves))
+        return build_descriptor(
+            {schema.name: schema},
+            {storage.dataset_name: storage},
+            {root.name: root},
+            self.dataset_name,
+        )
+
+    def to_text(self) -> str:
+        """Render as descriptor source text (parseable round-trip)."""
+        descriptor = self.build()
+        lines = [descriptor.schema.to_text(), descriptor.storage.to_text()]
+        lines.append(_render_dataset(descriptor.layout, 0))
+        return "\n".join(lines)
+
+
+def _render_dataset(node: DatasetNode, depth: int) -> str:
+    pad = "  " * depth
+    out = [f'{pad}DATASET "{node.name}" {{']
+    if node.schema_name:
+        out.append(f"{pad}  DATATYPE {{ {node.schema_name} }}")
+    for attr in node.extra_attrs:
+        out.append(f"{pad}  DATATYPE {{ {attr.name} = {attr.type.name} }}")
+    if node.index_attrs:
+        out.append(f"{pad}  DATAINDEX {{ {' '.join(node.index_attrs)} }}")
+    if node.dataspace:
+        out.append(f"{pad}  DATASPACE {{")
+        for item in node.dataspace:
+            out.append(_render_space(item, depth + 2))
+        out.append(f"{pad}  }}")
+    if node.data.child_refs:
+        refs = " ".join(f"DATASET {r}" for r in node.data.child_refs)
+        out.append(f"{pad}  DATA {{ {refs} }}")
+    elif node.data.patterns:
+        parts = [str(p) for p in node.data.patterns]
+        parts += [f"{b.var} = {b.range}" for b in node.data.bindings]
+        out.append(f"{pad}  DATA {{ {' '.join(parts)} }}")
+    for child in node.children:
+        out.append(_render_dataset(child, depth + 1))
+    out.append(f"{pad}}}")
+    return "\n".join(out)
+
+
+def _render_space(item, depth: int) -> str:
+    pad = "  " * depth
+    if isinstance(item, AttrGroup):
+        return f"{pad}{' '.join(item.names)}"
+    assert isinstance(item, LoopNode)
+    out = [f"{pad}LOOP {item.var} {item.range} {{"]
+    for child in item.body:
+        out.append(_render_space(child, depth + 1))
+    out.append(f"{pad}}}")
+    return "\n".join(out)
+
+
+def descriptor_for_array(
+    dataset_name: str,
+    array,
+    node: str = "node0",
+    path: str = "data",
+    filename: str = "table.bin",
+    index_attrs: Tuple[str, ...] = (),
+) -> Descriptor:
+    """A one-file record descriptor for a numpy structured array.
+
+    The quickest onboarding path: write ``array.tofile(...)`` under
+    ``root/node0/data/table.bin`` and query it.  Row identity is the
+    implicit ``ROW`` loop variable.
+    """
+    import numpy as np
+
+    from .types import type_from_dtype
+
+    array = np.asarray(array)
+    if array.dtype.names is None:
+        raise MetadataValidationError(
+            "descriptor_for_array needs a structured array"
+        )
+    builder = DescriptorBuilder(dataset_name)
+    for name in array.dtype.names:
+        builder.attribute(name, type_from_dtype(array.dtype[name]).name)
+    builder.directory(0, node, path)
+    if index_attrs:
+        builder.index_on(*index_attrs)
+    leaf = builder.leaf(dataset_name)
+    with leaf.loop("ROW", 0, max(len(array) - 1, 0)):
+        leaf.record(*array.dtype.names)
+    leaf.files(f"DIR[0]/{filename}")
+    return builder.build()

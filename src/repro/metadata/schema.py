@@ -1,0 +1,202 @@
+"""Component I of the meta-data descriptor: the dataset schema.
+
+A schema declares the *virtual relational table* view of a dataset — an
+ordered list of named, typed attributes.  The concrete syntax follows the
+paper's Figure 4::
+
+    [IPARS]               // {* Dataset schema name *}
+    REL = short int       // {* Data type definition *}
+    TIME = int
+    X = float
+    ...
+
+A descriptor file may declare several schemas; each starts with a bracketed
+section header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SchemaError
+from .types import ScalarType, parse_type
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column of the virtual table."""
+
+    name: str
+    type: ScalarType
+
+    @property
+    def size(self) -> int:
+        """Width in bytes of one stored value."""
+        return self.type.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.type.dtype
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.type.name}"
+
+
+@dataclass
+class Schema:
+    """An ordered collection of attributes defining the virtual table.
+
+    Attribute order is significant: it is the column order of result
+    tables and the default order of ``SELECT *``.
+    """
+
+    name: str
+    attributes: List[Attribute] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attr.name!r} in schema {self.name!r}"
+                )
+            seen.add(attr.name)
+
+    # -- lookup --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"schema {self.name!r} has no attribute {name!r}")
+
+    def index_of(self, name: str) -> int:
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise SchemaError(f"schema {self.name!r} has no attribute {name!r}")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def row_size(self) -> int:
+        """Bytes of one full row when stored as a packed record."""
+        return sum(a.size for a in self.attributes)
+
+    def numpy_dtype(self, names: Optional[List[str]] = None) -> np.dtype:
+        """Packed structured dtype for (a projection of) this schema."""
+        if names is None:
+            names = list(self.names)
+        return np.dtype([(n, self.attribute(n).dtype) for n in names])
+
+    def extend(self, extra: List[Attribute]) -> "Schema":
+        """A new schema with ``extra`` attributes appended (layout DATATYPE
+        clauses may define attributes beyond the base schema)."""
+        return Schema(self.name, list(self.attributes) + list(extra))
+
+    def project(self, names: List[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema(self.name, [self.attribute(n) for n in names])
+
+    def to_text(self) -> str:
+        """Render back to descriptor syntax (round-trip support)."""
+        lines = [f"[{self.name}]"]
+        lines.extend(str(a) for a in self.attributes)
+        return "\n".join(lines) + "\n"
+
+
+def parse_schemas(text: str) -> Dict[str, Schema]:
+    """Parse all schema sections from descriptor text.
+
+    Sections whose body contains storage keys (``DatasetDescription``,
+    ``DIR[...]``) are skipped — those belong to Component II and are parsed
+    by :mod:`repro.metadata.storage`.
+    """
+    schemas: Dict[str, Schema] = {}
+    for name, entries in iter_sections(text):
+        if _looks_like_storage(entries):
+            continue
+        attributes = []
+        for key, value in entries:
+            attributes.append(Attribute(key, parse_type(value)))
+        if name in schemas:
+            raise SchemaError(f"schema {name!r} declared twice")
+        schemas[name] = Schema(name, attributes)
+    return schemas
+
+
+def _looks_like_storage(entries: List[Tuple[str, str]]) -> bool:
+    return any(
+        key == "DatasetDescription" or key.startswith("DIR[") for key, _ in entries
+    )
+
+
+def iter_sections(text: str) -> Iterator[Tuple[str, List[Tuple[str, str]]]]:
+    """Iterate ``[Name]`` sections with their ``key = value`` entries.
+
+    Shared between the schema and storage parsers.  Lines outside any
+    section (e.g. the layout component in a combined descriptor file) end
+    the current section; layout ``DATASET`` blocks are detected by their
+    opening keyword and skipped wholesale using brace counting.
+    """
+    current_name = None
+    current_entries: List[Tuple[str, str]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip_comment(lines[i])
+        i += 1
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            if current_name is not None:
+                yield current_name, current_entries
+            current_name = line[1:-1].strip()
+            current_entries = []
+            if not current_name:
+                raise SchemaError("empty section name '[]' in descriptor")
+            continue
+        head = line.split("{")[0].split()
+        first_word = head[0].upper() if head else ""
+        if first_word == "DATASET":
+            # Layout component begins; skip its brace-balanced body.
+            if current_name is not None:
+                yield current_name, current_entries
+                current_name, current_entries = None, []
+            depth = line.count("{") - line.count("}")
+            while depth > 0 and i < len(lines):
+                body_line = _strip_comment(lines[i])
+                depth += body_line.count("{") - body_line.count("}")
+                i += 1
+            continue
+        if current_name is None:
+            raise SchemaError(f"entry outside any section: {line!r}")
+        if "=" not in line:
+            raise SchemaError(
+                f"expected 'name = value' in section [{current_name}], got {line!r}"
+            )
+        key, _, value = line.partition("=")
+        current_entries.append((key.strip(), value.strip()))
+    if current_name is not None:
+        yield current_name, current_entries
+
+
+def _strip_comment(line: str) -> str:
+    pos = line.find("//")
+    if pos >= 0:
+        line = line[:pos]
+    return line.strip()

@@ -1,0 +1,144 @@
+"""Component II of the meta-data descriptor: dataset storage.
+
+The storage component names the dataset, binds it to a schema, and lists
+the cluster nodes / directories holding its files (paper Figure 4)::
+
+    [IparsData]
+    DatasetDescription = IPARS
+    DIR[0] = osu0/ipars
+    DIR[1] = osu1/ipars
+    ...
+
+``osu0/ipars`` means directory ``ipars`` on node ``osu0``.  Layout file
+patterns refer to these entries positionally as ``DIR[$DIRID]/...``; the
+directory index is therefore the join point between the storage component
+and the layout component.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import MetadataValidationError
+from .schema import _looks_like_storage, iter_sections
+
+_DIR_KEY = re.compile(r"^DIR\[(\d+)\]$")
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One storage directory: ``DIR[index] = node/path``."""
+
+    index: int
+    node: str
+    path: str
+
+    @property
+    def spec(self) -> str:
+        return f"{self.node}/{self.path}" if self.path else self.node
+
+    def __str__(self) -> str:
+        return f"DIR[{self.index}] = {self.spec}"
+
+
+@dataclass
+class StorageDescriptor:
+    """Placement of one dataset on the (virtual) cluster."""
+
+    dataset_name: str
+    schema_name: str
+    dirs: List[DirEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for entry in self.dirs:
+            if entry.index in seen:
+                raise MetadataValidationError(
+                    f"DIR[{entry.index}] declared twice for dataset "
+                    f"{self.dataset_name!r}"
+                )
+            seen.add(entry.index)
+        # Keep entries sorted by index for deterministic enumeration.
+        self.dirs.sort(key=lambda e: e.index)
+
+    def __len__(self) -> int:
+        return len(self.dirs)
+
+    def __iter__(self) -> Iterator[DirEntry]:
+        return iter(self.dirs)
+
+    def dir(self, index: int) -> DirEntry:
+        for entry in self.dirs:
+            if entry.index == index:
+                return entry
+        raise MetadataValidationError(
+            f"dataset {self.dataset_name!r} has no DIR[{index}] "
+            f"(have indices {[e.index for e in self.dirs]})"
+        )
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Distinct node names, in first-appearance order."""
+        out = []
+        for entry in self.dirs:
+            if entry.node not in out:
+                out.append(entry.node)
+        return tuple(out)
+
+    def dirs_on_node(self, node: str) -> List[DirEntry]:
+        return [e for e in self.dirs if e.node == node]
+
+    def to_text(self) -> str:
+        lines = [f"[{self.dataset_name}]", f"DatasetDescription = {self.schema_name}"]
+        lines.extend(str(e) for e in self.dirs)
+        return "\n".join(lines) + "\n"
+
+
+def parse_storage(text: str) -> Dict[str, StorageDescriptor]:
+    """Parse all storage sections from descriptor text.
+
+    Sections without storage keys are assumed to be schemas and skipped.
+    """
+    out: Dict[str, StorageDescriptor] = {}
+    for name, entries in iter_sections(text):
+        if not _looks_like_storage(entries):
+            continue
+        schema_name = None
+        dirs: List[DirEntry] = []
+        for key, value in entries:
+            if key == "DatasetDescription":
+                if schema_name is not None:
+                    raise MetadataValidationError(
+                        f"dataset {name!r} declares DatasetDescription twice"
+                    )
+                schema_name = value
+                continue
+            match = _DIR_KEY.match(key)
+            if match:
+                dirs.append(_parse_dir_entry(int(match.group(1)), value))
+                continue
+            raise MetadataValidationError(
+                f"unknown storage key {key!r} in dataset {name!r}"
+            )
+        if schema_name is None:
+            raise MetadataValidationError(
+                f"storage section [{name}] is missing DatasetDescription"
+            )
+        if not dirs:
+            raise MetadataValidationError(
+                f"storage section [{name}] lists no DIR[...] entries"
+            )
+        if name in out:
+            raise MetadataValidationError(f"dataset {name!r} declared twice")
+        out[name] = StorageDescriptor(name, schema_name, dirs)
+    return out
+
+
+def _parse_dir_entry(index: int, value: str) -> DirEntry:
+    value = value.strip()
+    if not value:
+        raise MetadataValidationError(f"DIR[{index}] entry is empty")
+    node, _, path = value.partition("/")
+    return DirEntry(index, node, path)

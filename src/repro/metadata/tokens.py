@@ -1,0 +1,189 @@
+"""Character-level scanner shared by the descriptor parsers.
+
+The meta-data description language mixes INI-like sections (schema and
+storage components) with a brace-structured layout component containing
+embedded arithmetic expressions, so the parsers are hand-rolled recursive
+descent over this scanner rather than a table-driven lexer.  The scanner
+tracks line/column positions for diagnostics and knows how to skip ``//``
+line comments and ``{* ... *}`` block comments (both appear in the paper's
+Figure 4).
+"""
+
+from __future__ import annotations
+
+from ..errors import MetadataSyntaxError
+
+#: Characters permitted inside identifiers.
+_IDENT_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+class Scanner:
+    """A peekable cursor over descriptor source text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- position / diagnostics -------------------------------------------
+
+    def location(self, pos: int = -1) -> tuple:
+        """(line, column), both 1-based, of ``pos`` (default: current)."""
+        if pos < 0:
+            pos = self.pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        column = pos - last_nl
+        return line, column
+
+    def error(self, message: str) -> MetadataSyntaxError:
+        line, column = self.location()
+        return MetadataSyntaxError(message, line, column)
+
+    # -- basic cursor ops ---------------------------------------------------
+
+    def at_end(self) -> bool:
+        self.skip_trivia()
+        return self.pos >= self.length
+
+    def peek_char(self) -> str:
+        """Next significant character without consuming (empty at EOF)."""
+        self.skip_trivia()
+        if self.pos >= self.length:
+            return ""
+        return self.text[self.pos]
+
+    def skip_trivia(self) -> None:
+        """Skip whitespace, ``//`` comments, and ``{* ... *}`` comments."""
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                nl = self.text.find("\n", self.pos)
+                self.pos = self.length if nl < 0 else nl + 1
+            elif self.text.startswith("{*", self.pos):
+                end = self.text.find("*}", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated {* comment")
+                self.pos = end + 2
+            else:
+                return
+
+    def expect(self, ch: str) -> None:
+        """Consume exactly ``ch`` (after trivia) or raise."""
+        self.skip_trivia()
+        if self.pos >= self.length or self.text[self.pos] != ch:
+            got = self.text[self.pos] if self.pos < self.length else "<eof>"
+            raise self.error(f"expected {ch!r}, got {got!r}")
+        self.pos += 1
+
+    def try_consume(self, ch: str) -> bool:
+        """Consume ``ch`` if it is next; return whether it was."""
+        if self.peek_char() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    # -- token readers -------------------------------------------------------
+
+    def read_ident(self, what: str = "identifier") -> str:
+        """Read an identifier (letters, digits, underscore)."""
+        self.skip_trivia()
+        start = self.pos
+        while self.pos < self.length and self.text[self.pos] in _IDENT_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            got = self.text[start] if start < self.length else "<eof>"
+            raise self.error(f"expected {what}, got {got!r}")
+        return self.text[start : self.pos]
+
+    def peek_ident(self) -> str:
+        """Look ahead at the next identifier without consuming (or '')."""
+        saved = self.pos
+        try:
+            self.skip_trivia()
+            start = self.pos
+            while self.pos < self.length and self.text[self.pos] in _IDENT_CHARS:
+                self.pos += 1
+            return self.text[start : self.pos]
+        finally:
+            self.pos = saved
+
+    def read_name(self) -> str:
+        """Read a dataset name: quoted string or bare identifier."""
+        self.skip_trivia()
+        if self.pos < self.length and self.text[self.pos] == '"':
+            return self.read_quoted()
+        return self.read_ident("name")
+
+    def read_quoted(self) -> str:
+        """Read a double-quoted string (no escapes needed in descriptors)."""
+        self.skip_trivia()
+        if self.pos >= self.length or self.text[self.pos] != '"':
+            raise self.error("expected quoted string")
+        end = self.text.find('"', self.pos + 1)
+        if end < 0:
+            raise self.error("unterminated string")
+        value = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return value
+
+    def read_balanced_until(self, stops: str) -> str:
+        """Read raw text until one of ``stops`` at paren/bracket depth zero.
+
+        Comments inside are skipped.  The stop character is *not* consumed.
+        Used to slice out expression substrings (loop bounds, ranges) that
+        are then handed to :mod:`repro.metadata.expressions`.
+        """
+        self.skip_trivia()
+        out = []
+        depth = 0
+        while self.pos < self.length:
+            if self.text.startswith("//", self.pos) or self.text.startswith(
+                "{*", self.pos
+            ):
+                self.skip_trivia()
+                out.append(" ")
+                continue
+            ch = self.text[self.pos]
+            if ch in "([":
+                depth += 1
+            elif ch in ")]":
+                if depth == 0 and ch in stops:
+                    break
+                depth -= 1
+                if depth < 0:
+                    raise self.error(f"unbalanced {ch!r}")
+            elif depth == 0 and ch in stops:
+                break
+            out.append(ch)
+            self.pos += 1
+        if self.pos >= self.length:
+            raise self.error(f"expected one of {stops!r} before end of input")
+        return "".join(out).strip()
+
+    def read_until_whitespace(self) -> str:
+        """Read a run of non-whitespace text (used for file path patterns)."""
+        self.skip_trivia()
+        start = self.pos
+        while self.pos < self.length and not self.text[self.pos].isspace():
+            # A '}' closing the enclosing clause also terminates the run.
+            if self.text[self.pos] in "}{":
+                break
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a path pattern")
+        return self.text[start : self.pos]
+
+    def read_rest_of_line(self) -> str:
+        """Read to end of line, stripping comments and whitespace."""
+        nl = self.text.find("\n", self.pos)
+        if nl < 0:
+            nl = self.length
+        raw = self.text[self.pos : nl]
+        self.pos = nl
+        comment = raw.find("//")
+        if comment >= 0:
+            raw = raw[:comment]
+        return raw.strip()

@@ -1,0 +1,172 @@
+"""Scalar type system for dataset schemas.
+
+The meta-data description language declares virtual-table attributes with
+C-like type names (``short int``, ``int``, ``float``, ``double`` ...), as in
+Figure 4 of the paper.  This module maps those names onto fixed byte widths
+and numpy dtypes so that generated extractors can decode raw file bytes with
+zero-copy ``numpy.frombuffer`` views.
+
+Byte order is part of the type: scientific flat files are frequently written
+on big-endian hardware and read on little-endian clusters, so every
+:class:`ScalarType` carries an explicit endianness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchemaError
+
+#: Endianness markers accepted by :func:`parse_type`.
+LITTLE_ENDIAN = "<"
+BIG_ENDIAN = ">"
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A fixed-width scalar attribute type.
+
+    Attributes
+    ----------
+    name:
+        Canonical language-level name (``"short int"``, ``"float"``, ...).
+    kind:
+        numpy kind character: ``"i"`` signed int, ``"u"`` unsigned int,
+        ``"f"`` float, ``"S"`` fixed bytes.
+    size:
+        Width in bytes of one value.
+    byteorder:
+        ``"<"`` or ``">"``; ignored for 1-byte types.
+    """
+
+    name: str
+    kind: str
+    size: int
+    byteorder: str = LITTLE_ENDIAN
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype that decodes one raw value of this type."""
+        if self.kind == "S":
+            return np.dtype(f"S{self.size}")
+        if self.size == 1:
+            return np.dtype(f"{self.kind}1")
+        return np.dtype(f"{self.byteorder}{self.kind}{self.size}")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in ("i", "u", "f")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("i", "u")
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "f"
+
+    def with_byteorder(self, byteorder: str) -> "ScalarType":
+        """Return a copy of this type with a different byte order."""
+        if byteorder not in (LITTLE_ENDIAN, BIG_ENDIAN):
+            raise SchemaError(f"invalid byte order {byteorder!r}")
+        return ScalarType(self.name, self.kind, self.size, byteorder)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+# Canonical type table: language name -> (kind, size).
+_TYPE_TABLE = {
+    "char": ("i", 1),
+    "unsigned char": ("u", 1),
+    "byte": ("u", 1),
+    "short": ("i", 2),
+    "short int": ("i", 2),
+    "unsigned short": ("u", 2),
+    "int": ("i", 4),
+    "unsigned int": ("u", 4),
+    "long": ("i", 8),
+    "long int": ("i", 8),
+    "long long": ("i", 8),
+    "float": ("f", 4),
+    "double": ("f", 8),
+}
+
+#: Aliases tolerated in descriptors (HDF5-flavoured names, as the paper
+#: borrows keywords from HDF5).
+_ALIASES = {
+    "int8": "char",
+    "uint8": "unsigned char",
+    "int16": "short int",
+    "uint16": "unsigned short",
+    "int32": "int",
+    "uint32": "unsigned int",
+    "int64": "long int",
+    "float32": "float",
+    "float64": "double",
+    "real": "float",
+}
+
+
+def canonical_type_names() -> tuple:
+    """All canonical type names, longest first (for greedy lexing)."""
+    return tuple(sorted(_TYPE_TABLE, key=len, reverse=True))
+
+
+#: Byte-order prefixes accepted in type declarations: flat files written
+#: on big-endian hardware (the common case for 2004-era scientific data)
+#: declare e.g. ``X = be float``.
+_ORDER_PREFIXES = {
+    "be": BIG_ENDIAN,
+    "big endian": BIG_ENDIAN,
+    "le": LITTLE_ENDIAN,
+    "little endian": LITTLE_ENDIAN,
+}
+
+
+def parse_type(text: str, byteorder: str = LITTLE_ENDIAN) -> ScalarType:
+    """Parse a type name from a schema declaration.
+
+    Accepts canonical C-like names (``"short int"``), HDF5-flavoured
+    aliases (``"int16"``), and an optional byte-order prefix
+    (``"be float"``, ``"little endian int"``).  Whitespace runs are
+    collapsed; matching is case-insensitive.
+
+    Raises
+    ------
+    SchemaError
+        If the name does not denote a known scalar type.
+    """
+    norm = " ".join(text.strip().lower().split())
+    for prefix, order in _ORDER_PREFIXES.items():
+        if norm.startswith(prefix + " "):
+            candidate = norm[len(prefix) + 1 :]
+            if _ALIASES.get(candidate, candidate) in _TYPE_TABLE:
+                byteorder = order
+                norm = candidate
+                break
+    norm = _ALIASES.get(norm, norm)
+    if norm not in _TYPE_TABLE:
+        raise SchemaError(f"unknown attribute type {text!r}")
+    kind, size = _TYPE_TABLE[norm]
+    return ScalarType(norm, kind, size, byteorder)
+
+
+def type_from_dtype(dtype: np.dtype) -> ScalarType:
+    """Map a numpy dtype back to the closest language-level type.
+
+    Used when building descriptors programmatically from numpy arrays.
+    """
+    dtype = np.dtype(dtype)
+    # Prefer the conventional C names over their short synonyms.
+    preferred = ("char", "unsigned char", "short int", "unsigned short",
+                 "int", "unsigned int", "long int", "float", "double")
+    candidates = [(n, _TYPE_TABLE[n]) for n in preferred]
+    candidates += [item for item in _TYPE_TABLE.items() if item[0] not in preferred]
+    for name, (kind, size) in candidates:
+        if dtype.kind == kind and dtype.itemsize == size:
+            byteorder = BIG_ENDIAN if dtype.byteorder == ">" else LITTLE_ENDIAN
+            return ScalarType(name, kind, size, byteorder)
+    raise SchemaError(f"no language type matches dtype {dtype}")

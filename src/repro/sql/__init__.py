@@ -1,0 +1,56 @@
+"""SQL frontend: the SELECT/WHERE subset of Figure 1 of the paper."""
+
+from .ast import (
+    And,
+    Between,
+    BoolLiteral,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    Literal,
+    Node,
+    Not,
+    Or,
+    Query,
+)
+from .functions import DEFAULT_REGISTRY, FunctionRegistry, filter_function
+from .lexer import Token, tokenize
+from .parser import parse_query, parse_where
+from .views import View, ViewRegistry
+from .ranges import (
+    Interval,
+    IntervalSet,
+    RangeMap,
+    extract_ranges,
+    query_is_unsatisfiable,
+)
+
+__all__ = [
+    "And",
+    "Between",
+    "BoolLiteral",
+    "Column",
+    "Comparison",
+    "DEFAULT_REGISTRY",
+    "FunctionCall",
+    "FunctionRegistry",
+    "InList",
+    "Interval",
+    "IntervalSet",
+    "Literal",
+    "Node",
+    "Not",
+    "Or",
+    "Query",
+    "RangeMap",
+    "Token",
+    "View",
+    "ViewRegistry",
+    "extract_ranges",
+    "filter_function",
+    "parse_query",
+    "parse_where",
+    "query_is_unsatisfiable",
+    "tokenize",
+]

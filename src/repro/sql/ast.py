@@ -1,0 +1,329 @@
+"""Abstract syntax tree for the SQL subset.
+
+Expression nodes know how to evaluate themselves vectorised over a mapping
+of column name -> numpy array (plus a function registry for user-defined
+filters), which is how the STORM filtering service applies the residual
+predicate to extracted rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import QueryValidationError
+
+Number = Union[int, float]
+Value = Union[int, float, str]
+
+
+class Node:
+    """Base class for query AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Column(Node):
+    """A reference to a virtual-table attribute."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def evaluate(self, columns: Mapping[str, np.ndarray], functions) -> np.ndarray:
+        try:
+            return columns[self.name]
+        except KeyError:
+            raise QueryValidationError(f"unknown attribute {self.name!r}") from None
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A numeric or string constant."""
+
+    value: Value
+
+    __slots__ = ("value",)
+
+    def evaluate(self, columns: Mapping[str, np.ndarray], functions):
+        return self.value
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FunctionCall(Node):
+    """A user-defined filter function applied to operands.
+
+    The paper's Figure 1 example: ``SPEED(OILVX, OILVY, OILVZ) <= 30.0``.
+    """
+
+    name: str
+    args: Tuple[Node, ...]
+
+    __slots__ = ("name", "args")
+
+    def evaluate(self, columns: Mapping[str, np.ndarray], functions) -> np.ndarray:
+        func = functions.get(self.name)
+        values = [arg.evaluate(columns, functions) for arg in self.args]
+        return func(*values)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for arg in self.args:
+            out.extend(arg.referenced_columns())
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+Operand = Union[Column, Literal, FunctionCall]
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: Mirror of each comparison operator when operands are swapped.
+MIRROR_OP = {"=": "=", "==": "==", "!=": "!=", "<>": "<>",
+             "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+#: Negation of each comparison operator.
+NEGATE_OP = {"=": "!=", "==": "!=", "!=": "=", "<>": "=",
+             "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+@dataclass(frozen=True)
+class Comparison(Node):
+    """``left op right`` where op is a comparison operator."""
+
+    op: str
+    left: Node
+    right: Node
+
+    __slots__ = ("op", "left", "right")
+
+    def __post_init__(self):
+        if self.op not in _CMP:
+            raise QueryValidationError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, columns, functions) -> np.ndarray:
+        left = self.left.evaluate(columns, functions)
+        right = self.right.evaluate(columns, functions)
+        return _CMP[self.op](left, right)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class InList(Node):
+    """``column IN (v1, v2, ...)`` — e.g. ``RID in (0,6,26,27)``."""
+
+    operand: Node
+    values: Tuple[Value, ...]
+
+    __slots__ = ("operand", "values")
+
+    def evaluate(self, columns, functions) -> np.ndarray:
+        data = self.operand.evaluate(columns, functions)
+        data = np.asarray(data)
+        mask = np.zeros(data.shape, dtype=bool)
+        for value in self.values:
+            mask |= data == value
+        return mask
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        return f"{self.operand} IN ({vals})"
+
+
+@dataclass(frozen=True)
+class Between(Node):
+    """``column BETWEEN lo AND hi`` (inclusive both ends, SQL semantics)."""
+
+    operand: Node
+    lo: Value
+    hi: Value
+
+    __slots__ = ("operand", "lo", "hi")
+
+    def evaluate(self, columns, functions) -> np.ndarray:
+        data = self.operand.evaluate(columns, functions)
+        return (data >= self.lo) & (data <= self.hi)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"{self.operand} BETWEEN {self.lo} AND {self.hi}"
+
+
+@dataclass(frozen=True)
+class And(Node):
+    terms: Tuple[Node, ...]
+
+    __slots__ = ("terms",)
+
+    def evaluate(self, columns, functions) -> np.ndarray:
+        mask = None
+        for term in self.terms:
+            value = np.asarray(term.evaluate(columns, functions))
+            mask = value if mask is None else (mask & value)
+        return mask
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for term in self.terms:
+            out.extend(term.referenced_columns())
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return " AND ".join(
+            f"({t})" if isinstance(t, Or) else str(t) for t in self.terms
+        )
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    terms: Tuple[Node, ...]
+
+    __slots__ = ("terms",)
+
+    def evaluate(self, columns, functions) -> np.ndarray:
+        mask = None
+        for term in self.terms:
+            value = np.asarray(term.evaluate(columns, functions))
+            mask = value if mask is None else (mask | value)
+        return mask
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for term in self.terms:
+            out.extend(term.referenced_columns())
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return " OR ".join(str(t) for t in self.terms)
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    term: Node
+
+    __slots__ = ("term",)
+
+    def evaluate(self, columns, functions) -> np.ndarray:
+        return ~np.asarray(self.term.evaluate(columns, functions))
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return self.term.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.term})"
+
+
+@dataclass(frozen=True)
+class BoolLiteral(Node):
+    """``TRUE`` / ``FALSE`` — useful in tests and generated queries."""
+
+    value: bool
+
+    __slots__ = ("value",)
+
+    def evaluate(self, columns, functions):
+        return self.value
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+# ---------------------------------------------------------------------------
+# The query
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Query:
+    """A parsed ``SELECT ... FROM ... [WHERE ...]`` query.
+
+    ``select`` is ``None`` for ``SELECT *`` (all schema attributes, schema
+    order); otherwise the projected attribute names in SELECT order.
+    """
+
+    table: str
+    select: Optional[List[str]] = None
+    where: Optional[Node] = None
+
+    @property
+    def is_select_star(self) -> bool:
+        return self.select is None
+
+    def projected_names(self, schema_names: Sequence[str]) -> List[str]:
+        """Resolve the output column list against a schema."""
+        if self.select is None:
+            return list(schema_names)
+        for name in self.select:
+            if name not in schema_names:
+                raise QueryValidationError(
+                    f"SELECT references unknown attribute {name!r}"
+                )
+        return list(self.select)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        """All attributes the WHERE clause reads (deduplicated, ordered)."""
+        if self.where is None:
+            return ()
+        seen: List[str] = []
+        for name in self.where.referenced_columns():
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        cols = "*" if self.select is None else ", ".join(self.select)
+        text = f"SELECT {cols} FROM {self.table}"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        return text

@@ -1,0 +1,109 @@
+"""Registry of user-defined filter functions.
+
+The query language admits application-specific filters such as
+``SPEED(OILVX, OILVY, OILVZ) <= 30.0`` (paper Figure 1) and
+``DISTANCE(X, Y, Z) < 1000`` (paper Figure 7).  Functions are vectorised:
+they receive numpy arrays (one per argument, aligned element-wise) and must
+return an array of the same length.
+
+The default registry ships the two functions used in the paper's
+evaluation; applications register their own with
+:meth:`FunctionRegistry.register` or the :func:`filter_function` decorator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from ..errors import QueryValidationError
+
+FilterFunction = Callable[..., np.ndarray]
+
+
+class FunctionRegistry:
+    """Case-insensitive name -> vectorised function mapping."""
+
+    def __init__(self, parent: Optional["FunctionRegistry"] = None):
+        self._functions: Dict[str, FilterFunction] = {}
+        self._parent = parent
+
+    def register(self, name: str, func: FilterFunction) -> None:
+        key = name.upper()
+        if not key.isidentifier():
+            raise QueryValidationError(f"invalid function name {name!r}")
+        self._functions[key] = func
+
+    def get(self, name: str) -> FilterFunction:
+        key = name.upper()
+        registry: Optional[FunctionRegistry] = self
+        while registry is not None:
+            if key in registry._functions:
+                return registry._functions[key]
+            registry = registry._parent
+        raise QueryValidationError(
+            f"filter function {name!r} is not registered; "
+            f"known functions: {sorted(self.names())}"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.get(name)
+            return True
+        except QueryValidationError:
+            return False
+
+    def names(self) -> Iterator[str]:
+        registry: Optional[FunctionRegistry] = self
+        seen = set()
+        while registry is not None:
+            for name in registry._functions:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+            registry = registry._parent
+
+    def child(self) -> "FunctionRegistry":
+        """A registry layered on this one (per-query overrides)."""
+        return FunctionRegistry(parent=self)
+
+
+#: Global default registry with the paper's two evaluation functions.
+DEFAULT_REGISTRY = FunctionRegistry()
+
+
+def filter_function(name: str, registry: Optional[FunctionRegistry] = None):
+    """Decorator: register a vectorised filter function.
+
+    >>> @filter_function("HALF")
+    ... def half(x):
+    ...     return x / 2
+    """
+
+    def wrap(func: FilterFunction) -> FilterFunction:
+        (registry or DEFAULT_REGISTRY).register(name, func)
+        return func
+
+    return wrap
+
+
+@filter_function("SPEED")
+def speed(vx, vy, vz):
+    """Magnitude of a velocity vector — the paper's IPARS Speed() filter."""
+    vx = np.asarray(vx, dtype=np.float64)
+    vy = np.asarray(vy, dtype=np.float64)
+    vz = np.asarray(vz, dtype=np.float64)
+    return np.sqrt(vx * vx + vy * vy + vz * vz)
+
+
+@filter_function("DISTANCE")
+def distance(*coords):
+    """Euclidean distance from the origin — the paper's Titan filter."""
+    if not coords:
+        raise QueryValidationError("DISTANCE requires at least one argument")
+    acc = np.zeros_like(np.asarray(coords[0], dtype=np.float64))
+    for coord in coords:
+        c = np.asarray(coord, dtype=np.float64)
+        acc = acc + c * c
+    return np.sqrt(acc)

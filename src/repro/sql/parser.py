@@ -1,0 +1,224 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (Figure 1 of the paper, with the usual SQL extras needed by the
+evaluation queries)::
+
+    query     := SELECT select FROM ident [WHERE or_expr] [';']
+    select    := '*' | ident (',' ident)*
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | primary
+    primary   := '(' or_expr ')' | TRUE | FALSE | predicate
+    predicate := operand cmp operand
+               | operand [NOT] IN '(' literal (',' literal)* ')'
+               | operand [NOT] BETWEEN literal AND literal
+    operand   := ident ['(' operand (',' operand)* ')'] | literal
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import QuerySyntaxError
+from .ast import (
+    And,
+    Between,
+    BoolLiteral,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    Literal,
+    Node,
+    Not,
+    Or,
+    Query,
+)
+from .lexer import Token, tokenize
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`repro.sql.ast.Query`."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+def parse_where(text: str) -> Node:
+    """Parse a bare boolean expression (handy for tests and filters)."""
+    return _Parser(tokenize(text)).parse_bare_expr()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "end":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> QuerySyntaxError:
+        token = self.peek()
+        shown = token.value if token.kind != "end" else "<end of query>"
+        return QuerySyntaxError(f"{message} (got {shown!r})", token.line, token.column)
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().matches("keyword", word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def accept_punct(self, ch: str) -> bool:
+        if self.peek().matches("punct", ch):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, ch: str) -> None:
+        if not self.accept_punct(ch):
+            raise self.error(f"expected {ch!r}")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error("expected an identifier")
+        self.advance()
+        return str(token.value)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect_keyword("SELECT")
+        select = self.parse_select_list()
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_or_expr()
+        self.accept_punct(";")
+        if not self.peek().matches("end"):
+            raise self.error("unexpected input after end of query")
+        return Query(table=table, select=select, where=where)
+
+    def parse_bare_expr(self) -> Node:
+        expr = self.parse_or_expr()
+        self.accept_punct(";")
+        if not self.peek().matches("end"):
+            raise self.error("unexpected input after expression")
+        return expr
+
+    def parse_select_list(self):
+        if self.accept_punct("*"):
+            return None
+        names = [self.expect_ident()]
+        while self.accept_punct(","):
+            names.append(self.expect_ident())
+        return names
+
+    def parse_or_expr(self) -> Node:
+        terms = [self.parse_and_expr()]
+        while self.accept_keyword("OR"):
+            terms.append(self.parse_and_expr())
+        if len(terms) == 1:
+            return terms[0]
+        return Or(tuple(terms))
+
+    def parse_and_expr(self) -> Node:
+        terms = [self.parse_not_expr()]
+        while self.accept_keyword("AND"):
+            terms.append(self.parse_not_expr())
+        if len(terms) == 1:
+            return terms[0]
+        return And(tuple(terms))
+
+    def parse_not_expr(self) -> Node:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_not_expr())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Node:
+        token = self.peek()
+        if token.matches("keyword", "TRUE"):
+            self.advance()
+            return BoolLiteral(True)
+        if token.matches("keyword", "FALSE"):
+            self.advance()
+            return BoolLiteral(False)
+        if token.matches("punct", "("):
+            # Could be a parenthesised boolean expression; a predicate whose
+            # left operand is parenthesised is not part of the subset.
+            self.advance()
+            expr = self.parse_or_expr()
+            self.expect_punct(")")
+            return expr
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Node:
+        left = self.parse_operand()
+        token = self.peek()
+        negated = False
+        if token.matches("keyword", "NOT"):
+            self.advance()
+            negated = True
+            token = self.peek()
+        if token.matches("keyword", "IN"):
+            self.advance()
+            node: Node = InList(left, tuple(self.parse_literal_list()))
+            return Not(node) if negated else node
+        if token.matches("keyword", "BETWEEN"):
+            self.advance()
+            lo = self.parse_literal_value()
+            self.expect_keyword("AND")
+            hi = self.parse_literal_value()
+            node = Between(left, lo, hi)
+            return Not(node) if negated else node
+        if negated:
+            raise self.error("expected IN or BETWEEN after NOT")
+        if token.kind != "op":
+            raise self.error("expected a comparison operator")
+        self.advance()
+        right = self.parse_operand()
+        return Comparison(str(token.value), left, right)
+
+    def parse_operand(self) -> Node:
+        token = self.peek()
+        if token.kind == "number" or token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "ident":
+            name = self.expect_ident()
+            if self.accept_punct("("):
+                args: List[Node] = []
+                if not self.accept_punct(")"):
+                    args.append(self.parse_operand())
+                    while self.accept_punct(","):
+                        args.append(self.parse_operand())
+                    self.expect_punct(")")
+                return FunctionCall(name, tuple(args))
+            return Column(name)
+        raise self.error("expected an attribute, literal, or function call")
+
+    def parse_literal_list(self) -> List:
+        self.expect_punct("(")
+        values = [self.parse_literal_value()]
+        while self.accept_punct(","):
+            values.append(self.parse_literal_value())
+        self.expect_punct(")")
+        return values
+
+    def parse_literal_value(self):
+        token = self.peek()
+        if token.kind in ("number", "string"):
+            self.advance()
+            return token.value
+        raise self.error("expected a literal value")

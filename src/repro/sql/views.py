@@ -1,0 +1,163 @@
+"""Virtual views: named, stored subsetting queries.
+
+The paper's data virtualization exposes one "abstract view" per
+descriptor — the full relational table.  Sites usually want more than
+one: a public subset, a per-study slice, a filtered quality-controlled
+view.  A :class:`View` is a stored SELECT/WHERE query over a base table
+(or another view); querying a view *composes* the stored query with the
+incoming one and runs the result against the base table — no data is
+materialised, in keeping with the paper's no-copies philosophy.
+
+Composition rules (standard read-only SQL view semantics):
+
+* the view's WHERE is ANDed with the incoming WHERE;
+* the view exposes exactly its projected columns: ``SELECT *`` over a
+  view returns them, and referencing any other column (in SELECT or
+  WHERE) is an error;
+* views stack — a view over a view composes transitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import QueryValidationError
+from .ast import And, Node, Query
+from .parser import parse_query
+
+
+@dataclass(frozen=True)
+class View:
+    """A named stored query."""
+
+    name: str
+    definition: Query
+
+    @property
+    def base_table(self) -> str:
+        return self.definition.table
+
+    def exposed_columns(
+        self, base_columns: Sequence[str]
+    ) -> List[str]:
+        """The columns this view presents to its users."""
+        return self.definition.projected_names(base_columns)
+
+
+class ViewRegistry:
+    """Named views over base tables (and over other views)."""
+
+    def __init__(self):
+        self._views: Dict[str, View] = {}
+
+    def define(self, name: str, definition: Union[Query, str]) -> View:
+        """Define (or refuse to redefine) a view.
+
+        ``definition`` is a SELECT/WHERE query whose FROM names a base
+        table or an existing view.
+        """
+        if isinstance(definition, str):
+            definition = parse_query(definition)
+        if name in self._views:
+            raise QueryValidationError(f"view {name!r} already exists")
+        if name == definition.table:
+            raise QueryValidationError(
+                f"view {name!r} cannot be defined over itself"
+            )
+        # Reject definition cycles through existing views: follow the
+        # chain to its base; if it reaches the name being defined, the
+        # new view would close a loop.
+        table = definition.table
+        seen = set()
+        while table in self._views:
+            if table in seen:  # pragma: no cover - pre-existing cycle
+                break
+            seen.add(table)
+            table = self._views[table].base_table
+        if table == name:
+            raise QueryValidationError(
+                f"view {name!r} would create a definition cycle"
+            )
+        view = View(name, definition)
+        self._views[name] = view
+        return view
+
+    def drop(self, name: str) -> None:
+        self._views.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def get(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise QueryValidationError(f"no view named {name!r}") from None
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._views)
+
+    def base_table_of(self, name: str) -> str:
+        """Follow a view chain down to the underlying base table name."""
+        while name in self._views:
+            name = self._views[name].base_table
+        return name
+
+    # -- composition -----------------------------------------------------------
+
+    def resolve(
+        self, query: Union[Query, str], base_columns: Sequence[str]
+    ) -> Query:
+        """Rewrite a query over views into a query over the base table.
+
+        ``base_columns`` is the base table's schema column order, used to
+        expand ``SELECT *`` at each level and to validate column
+        visibility.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        depth = 0
+        while query.table in self._views:
+            view = self.get(query.table)
+            query = _compose(view, query, base_columns, self)
+            depth += 1
+            if depth > 32:  # pragma: no cover - cycles rejected at define
+                raise QueryValidationError("view nesting too deep")
+        return query
+
+
+def _compose(
+    view: View,
+    query: Query,
+    base_columns: Sequence[str],
+    registry: ViewRegistry,
+) -> Query:
+    # What the view exposes, with SELECT * expanded against what the
+    # *inner* level exposes.
+    inner_table = view.definition.table
+    if inner_table in registry._views:
+        inner_exposed = registry.get(inner_table).exposed_columns(base_columns)
+    else:
+        inner_exposed = list(base_columns)
+    exposed = view.definition.projected_names(inner_exposed)
+
+    # Column visibility: the incoming query may only touch exposed columns.
+    requested = query.projected_names(exposed)  # raises on hidden columns
+    for name in query.referenced_columns():
+        if name not in exposed:
+            raise QueryValidationError(
+                f"column {name!r} is not exposed by view {view.name!r} "
+                f"(exposes {exposed})"
+            )
+
+    terms = [t for t in (view.definition.where, query.where) if t is not None]
+    where: Optional[Node]
+    if not terms:
+        where = None
+    elif len(terms) == 1:
+        where = terms[0]
+    else:
+        where = And(tuple(terms))
+    return Query(table=inner_table, select=requested, where=where)

@@ -1,0 +1,118 @@
+"""The virtual cluster: nodes, directories, and mounts.
+
+The paper's experiments run on a Linux cluster where every node hosts part
+of each dataset on its local disks.  We reproduce the topology on one
+machine: a :class:`VirtualCluster` maps node names to directory trees
+(``root/osu0/...``, ``root/osu1/...``), and a *mount* function resolves
+``(node, dataset-relative path)`` to an absolute path.  All data placement
+decisions flow from the descriptor's storage component, so moving a
+dataset between cluster shapes only changes ``DIR[...]`` lines.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ClusterError
+from ..metadata.storage import StorageDescriptor
+
+
+class VirtualNode:
+    """One cluster node: a name and its filesystem root."""
+
+    def __init__(self, name: str, root: str):
+        self.name = name
+        self.root = root
+
+    def path(self, relative: str) -> str:
+        """Absolute path of a node-relative file or directory."""
+        return os.path.join(self.root, relative)
+
+    def ensure_dir(self, relative: str = "") -> str:
+        path = self.path(relative)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def disk_usage(self) -> int:
+        """Total bytes stored on this node."""
+        total = 0
+        for base, _, files in os.walk(self.root):
+            for name in files:
+                total += os.path.getsize(os.path.join(base, name))
+        return total
+
+    def __repr__(self) -> str:
+        return f"VirtualNode({self.name!r}, {self.root!r})"
+
+
+class VirtualCluster:
+    """A named set of virtual nodes rooted under one directory."""
+
+    def __init__(self, root: str, node_names: Iterable[str]):
+        self.root = root
+        self.nodes: Dict[str, VirtualNode] = {}
+        for name in node_names:
+            if name in self.nodes:
+                raise ClusterError(f"duplicate node name {name!r}")
+            self.nodes[name] = VirtualNode(name, os.path.join(root, name))
+
+    @classmethod
+    def create(cls, root: str, num_nodes: int, prefix: str = "osu") -> "VirtualCluster":
+        """Create a cluster of ``num_nodes`` nodes with directories on disk."""
+        cluster = cls(root, [f"{prefix}{i}" for i in range(num_nodes)])
+        for node in cluster.nodes.values():
+            node.ensure_dir()
+        return cluster
+
+    @classmethod
+    def for_storage(cls, root: str, storage: StorageDescriptor) -> "VirtualCluster":
+        """A cluster with exactly the nodes a storage descriptor names."""
+        cluster = cls(root, storage.nodes)
+        for node in cluster.nodes.values():
+            node.ensure_dir()
+        return cluster
+
+    # -- access -----------------------------------------------------------------
+
+    def node(self, name: str) -> VirtualNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ClusterError(
+                f"unknown node {name!r}; cluster has {sorted(self.nodes)}"
+            ) from None
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    def mount(self):
+        """The mount function extractors use to resolve chunk paths."""
+
+        def resolve(node: str, path: str) -> str:
+            return self.node(node).path(path)
+
+        return resolve
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def wipe(self) -> None:
+        """Delete all node data (used between benchmark configurations)."""
+        for node in self.nodes.values():
+            if os.path.isdir(node.root):
+                shutil.rmtree(node.root)
+            node.ensure_dir()
+
+    def disk_usage(self) -> Dict[str, int]:
+        return {name: node.disk_usage() for name, node in self.nodes.items()}
+
+    def __repr__(self) -> str:
+        return f"<VirtualCluster {len(self)} nodes at {self.root!r}>"

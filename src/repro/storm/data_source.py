@@ -1,0 +1,101 @@
+"""Data source service: per-node chunk extraction.
+
+STORM's data source service "provides a view of a dataset to other
+services ... an extraction function returns an ordered list of attribute
+values for a tuple in the dataset, thus effectively creating a virtual
+table" (paper Section 2.3).  One service instance runs per node, owns that
+node's file handles and caches, and materialises the rows of the AFCs
+assigned to it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.afc import AlignedFileChunkSet, ExtractionPlan
+from ..core.extractor import Extractor, Mount
+from ..core.stats import IOStats
+from ..core.table import VirtualTable
+from ..sql.functions import FunctionRegistry
+from .filtering import FilteringService
+
+
+class DataSourceService:
+    """Extraction executor for one node of the virtual cluster."""
+
+    def __init__(
+        self,
+        node: str,
+        mount: Mount,
+        filtering: FilteringService,
+        segment_cache_bytes: int = 32 * 1024 * 1024,
+        handle_cache: int = 64,
+    ):
+        self.node = node
+        self.extractor = Extractor(
+            mount,
+            filtering.functions,
+            segment_cache_bytes=segment_cache_bytes,
+            handle_cache=handle_cache,
+        )
+        self.filtering = filtering
+        self.stats = IOStats()
+        #: The extractor's handle/segment caches are not thread-safe;
+        #: concurrent queries serialise per node (different nodes still
+        #: run in parallel, which is the parallelism that matters).
+        self._lock = threading.Lock()
+
+    def drop_caches(self) -> None:
+        """Cold-cache mode for benchmarks: forget handles and segments."""
+        self.extractor.drop_caches()
+
+    def execute(
+        self,
+        plan: ExtractionPlan,
+        afcs: List[AlignedFileChunkSet],
+        stats: Optional[IOStats] = None,
+    ) -> VirtualTable:
+        """Extract + filter the given AFCs; returns this node's partial table."""
+        with self._lock:
+            return self._execute_locked(plan, afcs, stats)
+
+    def _execute_locked(
+        self,
+        plan: ExtractionPlan,
+        afcs: List[AlignedFileChunkSet],
+        stats: Optional[IOStats] = None,
+    ) -> VirtualTable:
+        stats = stats if stats is not None else self.stats
+        pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
+        needed_set = set(plan.needed)
+        for afc in afcs:
+            stats.afcs_processed += 1
+            for chunk in afc.chunks:
+                if chunk.node != self.node and needed_set.intersection(
+                    chunk.strip.attrs
+                ):
+                    stats.remote_bytes_read += chunk.total_bytes(afc.num_rows)
+            columns = self.extractor.extract_afc(
+                afc, plan.needed, stats, plan.dtypes
+            )
+            stats.rows_extracted += afc.num_rows
+            selected = self.filtering.apply(
+                plan.where, columns, plan.output, afc.num_rows, stats
+            )
+            if selected is None:
+                continue
+            for name in plan.output:
+                pieces[name].append(np.ascontiguousarray(selected[name]))
+        final: Dict[str, np.ndarray] = {}
+        for name in plan.output:
+            if pieces[name]:
+                final[name] = np.concatenate(pieces[name])
+            else:
+                final[name] = np.empty(0, dtype=plan.dtypes.get(name, np.float64))
+        return VirtualTable(final, order=plan.output)
+
+    def close(self) -> None:
+        self.extractor.close()

@@ -1,0 +1,60 @@
+"""Filtering service: vectorised residual predicate evaluation.
+
+STORM's filtering service "is responsible for execution of user-defined
+filters" (paper Section 2.3).  Chunk- and file-level pruning uses only the
+*necessary* range conditions; every extracted row still passes through the
+full WHERE expression here, including user-defined filter functions, so
+pruning can never change results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.stats import IOStats
+from ..sql.ast import Node
+from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
+
+
+class FilteringService:
+    """Applies a query's residual predicate to extracted column blocks."""
+
+    def __init__(self, functions: Optional[FunctionRegistry] = None):
+        self.functions = functions or DEFAULT_REGISTRY
+
+    def apply(
+        self,
+        where: Optional[Node],
+        columns: Dict[str, np.ndarray],
+        output: List[str],
+        num_rows: int,
+        stats: Optional[IOStats] = None,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Filter one block; returns projected columns or None if empty.
+
+        ``columns`` may contain WHERE-only attributes beyond ``output``;
+        the result contains exactly ``output``.
+        """
+        if where is None:
+            selected = {name: columns[name] for name in output}
+            count = num_rows
+        else:
+            mask = np.asarray(where.evaluate(columns, self.functions))
+            if mask.ndim == 0:
+                if not bool(mask):
+                    return None
+                selected = {name: columns[name] for name in output}
+                count = num_rows
+            else:
+                count = int(mask.sum())
+                if count == 0:
+                    return None
+                selected = {
+                    name: np.ascontiguousarray(columns[name][mask])
+                    for name in output
+                }
+        if stats is not None:
+            stats.rows_output += count
+        return selected

@@ -1,0 +1,142 @@
+"""Partition generation service: distributing result tuples to clients.
+
+"The purpose of the partition generation service is to make it possible
+for an application developer to implement the data distribution scheme
+employed in the client program at the server" (paper Section 2.3).  A
+partitioner maps a result table to ``num_clients`` row-index arrays; the
+data mover then ships each slice to its destination processor.
+
+Four schemes cover the client programs of the motivating applications:
+
+* round-robin — default load balancing;
+* block — contiguous row blocks (time-series clients);
+* hash — co-location by key attributes (per-cell analysis);
+* range — split on a partitioning attribute's value ranges (spatial
+  decomposition of the composite-image client).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.table import VirtualTable
+from ..errors import PartitionError
+
+
+class Partitioner:
+    """Base class: subclasses implement :meth:`assign`."""
+
+    def assign(self, table: VirtualTable, num_clients: int) -> np.ndarray:
+        """Destination client id (0..num_clients-1) for every row."""
+        raise NotImplementedError
+
+    def partition(
+        self, table: VirtualTable, num_clients: int
+    ) -> List[np.ndarray]:
+        """Row indices per client, in table order."""
+        if num_clients < 1:
+            raise PartitionError("num_clients must be positive")
+        if num_clients == 1:
+            return [np.arange(table.num_rows)]
+        dest = np.asarray(self.assign(table, num_clients))
+        if dest.shape != (table.num_rows,):
+            raise PartitionError(
+                f"partitioner produced {dest.shape}, expected "
+                f"({table.num_rows},)"
+            )
+        if table.num_rows and (dest.min() < 0 or dest.max() >= num_clients):
+            raise PartitionError("destination ids out of range")
+        return [np.nonzero(dest == c)[0] for c in range(num_clients)]
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Row ``i`` goes to client ``i mod num_clients``."""
+
+    def assign(self, table: VirtualTable, num_clients: int) -> np.ndarray:
+        return np.arange(table.num_rows) % num_clients
+
+
+class BlockPartitioner(Partitioner):
+    """Contiguous equal-size blocks of rows, one per client."""
+
+    def assign(self, table: VirtualTable, num_clients: int) -> np.ndarray:
+        if table.num_rows == 0:
+            return np.empty(0, dtype=np.int64)
+        block = -(-table.num_rows // num_clients)  # ceil division
+        return np.minimum(np.arange(table.num_rows) // block, num_clients - 1)
+
+
+class HashPartitioner(Partitioner):
+    """Co-locates rows with equal key attribute values."""
+
+    def __init__(self, attrs: Sequence[str]):
+        if not attrs:
+            raise PartitionError("hash partitioner needs at least one attribute")
+        self.attrs = list(attrs)
+
+    def assign(self, table: VirtualTable, num_clients: int) -> np.ndarray:
+        acc = np.zeros(table.num_rows, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for attr in self.attrs:
+                col = table.column(attr)
+                # Hash the float64 bit pattern so keys are stable across
+                # layouts storing the same value at the same precision.
+                as_int = col.astype(np.float64).view(np.uint64)
+                acc = acc * np.uint64(1000003) + as_int
+            # Finalize (splitmix64): without this, keys whose low mantissa
+            # bits are zero (round coordinates) all land on client 0.
+            acc = (acc ^ (acc >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            acc = (acc ^ (acc >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            acc = acc ^ (acc >> np.uint64(31))
+        return (acc % np.uint64(num_clients)).astype(np.int64)
+
+
+class RangePartitioner(Partitioner):
+    """Splits on a partitioning attribute at given boundaries.
+
+    ``boundaries`` of length k-1 produce k destinations:
+    rows with value < boundaries[0] go to client 0, and so on.
+    """
+
+    def __init__(self, attr: str, boundaries: Sequence[float]):
+        self.attr = attr
+        self.boundaries = list(boundaries)
+        if sorted(self.boundaries) != self.boundaries:
+            raise PartitionError("range boundaries must be sorted")
+
+    def assign(self, table: VirtualTable, num_clients: int) -> np.ndarray:
+        if len(self.boundaries) != num_clients - 1:
+            raise PartitionError(
+                f"{len(self.boundaries)} boundaries cannot split into "
+                f"{num_clients} clients (need num_clients - 1)"
+            )
+        col = table.column(self.attr)
+        return np.searchsorted(
+            np.asarray(self.boundaries), col, side="right"
+        ).astype(np.int64)
+
+
+_SCHEMES = {
+    "round_robin": RoundRobinPartitioner,
+    "block": BlockPartitioner,
+}
+
+
+def make_partitioner(scheme: str, **kwargs) -> Partitioner:
+    """Construct a partitioner by scheme name.
+
+    ``hash`` needs ``attrs=[...]``; ``range`` needs ``attr=`` and
+    ``boundaries=[...]``.
+    """
+    if scheme in _SCHEMES:
+        return _SCHEMES[scheme]()
+    if scheme == "hash":
+        return HashPartitioner(**kwargs)
+    if scheme == "range":
+        return RangePartitioner(**kwargs)
+    raise PartitionError(
+        f"unknown partition scheme {scheme!r}; "
+        "have round_robin, block, hash, range"
+    )

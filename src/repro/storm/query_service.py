@@ -1,0 +1,203 @@
+"""Query service: the client entry point of the STORM runtime.
+
+"The query service is the entry point for clients to submit queries to the
+database middleware" (paper Section 2.3).  ``submit`` runs the full
+pipeline: plan (generated or interpreted index function) -> per-node
+parallel extraction (data source + filtering services) -> partition
+generation -> data mover -> merged result, with per-node operation counts
+and a deterministic simulated execution time from the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..core.afc import AlignedFileChunkSet, ExtractionPlan
+from ..core.planner import CompiledDataset
+from ..core.stats import IOStats
+from ..core.table import VirtualTable, concat_tables
+from ..sql.ast import Query
+from ..sql.functions import FunctionRegistry
+from .cluster import VirtualCluster
+from .cost import CostModel, STORM_COST
+from .data_source import DataSourceService
+from .filtering import FilteringService
+from .indexing_service import IndexingService
+from .mover import DataMoverService, Delivery
+from .partition import Partitioner, RoundRobinPartitioner
+
+
+@dataclass
+class QueryResult:
+    """Everything a submitted query produced."""
+
+    table: VirtualTable
+    deliveries: List[Delivery]
+    per_node_stats: Dict[str, IOStats]
+    simulated_seconds: float
+    wall_seconds: float
+    afc_count: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def total_stats(self) -> IOStats:
+        total = IOStats()
+        for stats in self.per_node_stats.values():
+            total.merge(stats)
+        return total
+
+    def summary(self) -> str:
+        stats = self.total_stats
+        return (
+            f"{self.num_rows} rows, {self.afc_count} AFCs, "
+            f"{stats.bytes_read / 1e6:.1f} MB read, "
+            f"{stats.bytes_sent / 1e6:.2f} MB sent, "
+            f"sim {self.simulated_seconds:.2f}s, wall {self.wall_seconds:.3f}s"
+        )
+
+
+class QueryService:
+    """Front door of the STORM middleware for one dataset on one cluster."""
+
+    def __init__(
+        self,
+        dataset: CompiledDataset,
+        cluster: VirtualCluster,
+        functions: Optional[FunctionRegistry] = None,
+        cost_model: CostModel = STORM_COST,
+        max_workers: Optional[int] = None,
+        segment_cache_bytes: int = 32 * 1024 * 1024,
+        handle_cache: int = 64,
+    ):
+        self.dataset = dataset
+        self.cluster = cluster
+        self.cost_model = cost_model
+        #: Built lazily: hand-written planners (duck-typed datasets with
+        #: only a .plan()) can run through the same service pipeline.
+        self._indexing: Optional[IndexingService] = None
+        self.filtering = FilteringService(functions)
+        self.mover = DataMoverService()
+        self.sources: Dict[str, DataSourceService] = {}
+        self.max_workers = max_workers
+        self.segment_cache_bytes = segment_cache_bytes
+        self.handle_cache = handle_cache
+
+    @property
+    def indexing(self) -> IndexingService:
+        if self._indexing is None:
+            self._indexing = IndexingService(self.dataset)
+        return self._indexing
+
+    def _source(self, node: str) -> DataSourceService:
+        if node not in self.sources:
+            self.sources[node] = DataSourceService(
+                node,
+                self.cluster.mount(),
+                self.filtering,
+                segment_cache_bytes=self.segment_cache_bytes,
+                handle_cache=self.handle_cache,
+            )
+        return self.sources[node]
+
+    def drop_caches(self) -> None:
+        """Cold-cache mode: benchmarks call this between measured queries."""
+        for source in self.sources.values():
+            source.drop_caches()
+
+    # -- execution ------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: Union[Query, str],
+        num_clients: int = 1,
+        partitioner: Optional[Partitioner] = None,
+        remote: bool = True,
+        parallel: bool = True,
+    ) -> QueryResult:
+        """Run a query end-to-end.
+
+        ``remote=False`` models a client co-located with the server (no
+        network transfer is charged); the paper's Query 5 uses
+        ``remote=True``.
+        """
+        start = time.perf_counter()
+        plan = self.dataset.plan(sql)
+
+        by_node: Dict[str, List[AlignedFileChunkSet]] = {}
+        for afc in plan.afcs:
+            node = afc.chunks[0].node if afc.chunks else "local"
+            by_node.setdefault(node, []).append(afc)
+
+        per_node_stats: Dict[str, IOStats] = {
+            node: IOStats() for node in by_node
+        }
+
+        def run_node(node: str) -> VirtualTable:
+            return self._source(node).execute(
+                plan, by_node[node], per_node_stats[node]
+            )
+
+        nodes = list(by_node)
+        if parallel and len(nodes) > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.max_workers or len(nodes)
+            ) as pool:
+                partials = list(pool.map(run_node, nodes))
+        else:
+            partials = [run_node(node) for node in nodes]
+
+        if partials:
+            table = concat_tables(partials)
+        else:
+            import numpy as np
+
+            table = VirtualTable(
+                {
+                    n: np.empty(0, dtype=plan.dtypes.get(n, np.float64))
+                    for n in plan.output
+                },
+                order=plan.output,
+            )
+
+        transfer_stats = IOStats()
+        if remote:
+            deliveries = self.mover.move(
+                table,
+                partitioner or RoundRobinPartitioner(),
+                num_clients,
+                transfer_stats,
+            )
+            messages = sum(d.messages for d in deliveries)
+        else:
+            deliveries = []
+            messages = 0
+
+        simulated = self.cost_model.makespan(
+            per_node_stats, transfer_stats.bytes_sent, messages
+        )
+        wall = time.perf_counter() - start
+        per_node_stats.setdefault("_transfer", IOStats()).merge(transfer_stats)
+        return QueryResult(
+            table=table,
+            deliveries=deliveries,
+            per_node_stats=per_node_stats,
+            simulated_seconds=simulated,
+            wall_seconds=wall,
+            afc_count=len(plan.afcs),
+        )
+
+    def close(self) -> None:
+        for source in self.sources.values():
+            source.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,84 @@
+"""Shared fixtures: small on-disk datasets and comparison helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, GeneratedDataset, Virtualizer, local_mount
+from repro.datasets import IparsConfig, TitanConfig, ipars, titan
+from repro.index import build_summaries
+
+# ---------------------------------------------------------------------------
+# The paper's running example (Figure 4), scaled down
+# ---------------------------------------------------------------------------
+
+from repro.datasets.paper_example import (
+    PAPER_CELLS,
+    PAPER_DESCRIPTOR,
+    PAPER_DIRS,
+    PAPER_RELS,
+    PAPER_TIMES,
+    paper_rows,
+    paper_value_fn,
+)
+
+@pytest.fixture(scope="session")
+def paper_dataset(tmp_path_factory):
+    """(descriptor text, mount) with the Figure 4 dataset materialised."""
+    from repro.datasets.writers import write_dataset
+
+    root = tmp_path_factory.mktemp("paper")
+    mount = local_mount(str(root))
+    dataset = CompiledDataset(PAPER_DESCRIPTOR)
+    write_dataset(dataset, mount, paper_value_fn)
+    return PAPER_DESCRIPTOR, mount
+
+
+# ---------------------------------------------------------------------------
+# Small IPARS / Titan datasets
+# ---------------------------------------------------------------------------
+
+SMALL_IPARS = IparsConfig(num_rels=2, num_times=12, cells_per_node=40, num_nodes=2)
+SMALL_TITAN = TitanConfig(
+    chunks_x=4, chunks_y=4, chunks_z=2, chunks_t=2,
+    elems_per_chunk=100, num_nodes=2,
+)
+
+
+@pytest.fixture(scope="session")
+def ipars_l0(tmp_path_factory):
+    root = tmp_path_factory.mktemp("ipars_l0")
+    mount = local_mount(str(root))
+    text, _ = ipars.generate(SMALL_IPARS, "L0", mount)
+    return SMALL_IPARS, text, mount
+
+
+@pytest.fixture(scope="session")
+def titan_small(tmp_path_factory):
+    root = tmp_path_factory.mktemp("titan")
+    mount = local_mount(str(root))
+    text, _ = titan.generate(SMALL_TITAN, mount)
+    dataset = CompiledDataset(text)
+    summaries = build_summaries(dataset, mount)
+    return SMALL_TITAN, text, mount, summaries
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def assert_tables_equal(a, b, approx=False):
+    """Compare two VirtualTables as canonical (sorted) row multisets."""
+    assert a.column_names == b.column_names, (a.column_names, b.column_names)
+    assert a.num_rows == b.num_rows, (a.num_rows, b.num_rows)
+    ca, cb = a.canonical(), b.canonical()
+    for name in a.column_names:
+        va, vb = ca[name], cb[name]
+        if approx:
+            np.testing.assert_allclose(
+                va.astype(np.float64), vb.astype(np.float64), rtol=1e-6
+            )
+        else:
+            np.testing.assert_array_equal(va, vb)

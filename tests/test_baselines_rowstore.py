@@ -1,0 +1,204 @@
+"""Tests for the PostgreSQL-substitute row store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.btree import BTreeIndex
+from repro.baselines.pages import (
+    DATUM,
+    HeapLayout,
+    PAGE_SIZE,
+    TUPLE_HEADER,
+    encode_pages,
+    tid,
+    tid_page,
+    tid_slot,
+)
+from repro.baselines.rowstore import MiniRowStore
+from repro.core.stats import IOStats
+from repro.core.table import VirtualTable
+from repro.errors import RowStoreError
+from repro.sql.ranges import IntervalSet
+
+
+def make_table(n, seed=3):
+    rng = np.random.default_rng(seed)
+    return VirtualTable(
+        {
+            "T": np.arange(n, dtype=np.float64),
+            "A": rng.random(n),
+            "B": rng.random(n) * 100,
+        },
+        order=["T", "A", "B"],
+    )
+
+
+class TestHeapLayout:
+    def test_geometry(self):
+        layout = HeapLayout(9)
+        assert layout.tuple_bytes == TUPLE_HEADER + 9 * DATUM
+        assert layout.tuples_per_page >= 1
+        assert layout.data_start > 24
+
+    def test_storage_blowup_factor(self):
+        """A 9-column float32-ish record (36 raw bytes) blows up ~3x,
+        matching the paper's 6 GB -> 18 GB measurement."""
+        layout = HeapLayout(9)
+        rows = 100_000
+        heap = layout.heap_bytes(rows)
+        raw = rows * 36
+        assert 2.3 < heap / raw < 3.5
+
+    def test_too_many_columns(self):
+        with pytest.raises(RowStoreError):
+            HeapLayout(2000).tuples_per_page
+
+
+class TestEncodeDecode:
+    @given(st.integers(0, 700))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, n):
+        table = make_table(n)
+        payload = encode_pages(
+            {c: table.column(c) for c in table.column_names},
+            list(table.column_names),
+        )
+        layout = HeapLayout(3)
+        assert len(payload) == layout.heap_bytes(n)
+        from repro.baselines.rowstore import _decode_batch
+
+        decoded = _decode_batch(
+            payload, layout, list(table.column_names), ["A", "T"], n
+        )
+        np.testing.assert_array_equal(decoded["T"], table["T"])
+        np.testing.assert_array_equal(decoded["A"], table["A"])
+
+
+class TestTids:
+    def test_pack_unpack(self):
+        pages = np.array([0, 1, 65535])
+        slots = np.array([0, 7, 12])
+        packed = tid(pages, slots)
+        np.testing.assert_array_equal(tid_page(packed), pages)
+        np.testing.assert_array_equal(tid_slot(packed), slots)
+
+
+class TestBTree:
+    def test_range_search(self):
+        values = np.array([5.0, 1.0, 3.0, 9.0, 3.0])
+        tids = np.arange(5, dtype=np.uint64)
+        index = BTreeIndex.build("V", values, tids)
+        hits = index.search(IntervalSet.of(3, 5))
+        assert sorted(hits.tolist()) == [0, 2, 4]
+
+    def test_open_bounds(self):
+        values = np.arange(10, dtype=np.float64)
+        index = BTreeIndex.build("V", values, np.arange(10, dtype=np.uint64))
+        from repro.sql.ranges import Interval
+
+        hits = index.search(IntervalSet([Interval(3, 6, lo_open=True,
+                                                  hi_open=True)]))
+        assert sorted(hits.tolist()) == [4, 5]
+
+    def test_selectivity_estimate(self):
+        values = np.arange(1000, dtype=np.float64)
+        index = BTreeIndex.build("V", values, np.arange(1000, dtype=np.uint64))
+        assert index.estimate_selectivity(IntervalSet.of(0, 99)) == pytest.approx(0.1)
+        assert index.estimate_selectivity(IntervalSet.full()) == 1.0
+
+    def test_search_counts_index_io(self):
+        values = np.arange(10000, dtype=np.float64)
+        index = BTreeIndex.build("V", values, np.arange(10000, dtype=np.uint64))
+        stats = IOStats()
+        index.search(IntervalSet.of(0, 5000), stats)
+        assert stats.bytes_read > 0
+        assert stats.seeks >= index.height
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(RowStoreError):
+            BTreeIndex.build("V", np.arange(3.0), np.arange(2, dtype=np.uint64))
+
+
+class TestMiniRowStore:
+    @pytest.fixture
+    def store(self, tmp_path):
+        store = MiniRowStore(str(tmp_path))
+        store.create_table("t", make_table(5000), indexes=["A"])
+        return store
+
+    def test_seq_scan_correctness(self, store):
+        out = store.query("SELECT T, B FROM t WHERE B < 50")
+        reference = make_table(5000)
+        mask = reference["B"] < 50
+        assert out.num_rows == int(mask.sum())
+        np.testing.assert_allclose(
+            np.sort(out["T"]), np.sort(reference["T"][mask])
+        )
+
+    def test_index_scan_correctness(self, store):
+        sql = "SELECT T, A FROM t WHERE A < 0.01"
+        assert "Index Scan" in store.explain(sql)
+        out = store.query(sql)
+        reference = make_table(5000)
+        mask = reference["A"] < 0.01
+        assert out.num_rows == int(mask.sum())
+        np.testing.assert_allclose(
+            np.sort(out["A"]), np.sort(reference["A"][mask])
+        )
+
+    def test_planner_prefers_seq_scan_for_wide_ranges(self, store):
+        assert store.explain("SELECT * FROM t WHERE A < 0.9") == "Seq Scan"
+
+    def test_planner_ignores_unindexed_columns(self, store):
+        assert store.explain("SELECT * FROM t WHERE B < 0.001") == "Seq Scan"
+
+    def test_unsatisfiable(self, store):
+        out = store.query("SELECT T FROM t WHERE A < 0 AND A > 1")
+        assert out.num_rows == 0
+
+    def test_index_scan_reads_fewer_bytes(self, store):
+        seq_stats, idx_stats = IOStats(), IOStats()
+        store.query("SELECT * FROM t WHERE A < 0.9", seq_stats)
+        store.query("SELECT * FROM t WHERE A < 0.005", idx_stats)
+        assert idx_stats.bytes_read < seq_stats.bytes_read
+
+    def test_projection(self, store):
+        out = store.query("SELECT B FROM t WHERE T < 3")
+        assert out.column_names == ("B",)
+        assert out.num_rows == 3
+
+    def test_unknown_table(self, store):
+        with pytest.raises(RowStoreError, match="no table"):
+            store.query("SELECT * FROM ghost")
+
+    def test_unknown_column(self, store):
+        with pytest.raises(RowStoreError, match="unknown column"):
+            store.query("SELECT * FROM t WHERE GHOST < 1")
+
+    def test_duplicate_table(self, store):
+        with pytest.raises(RowStoreError, match="exists"):
+            store.create_table("t", make_table(3))
+
+    def test_catalog_reload(self, tmp_path):
+        root = str(tmp_path / "db")
+        store = MiniRowStore(root)
+        store.create_table("t", make_table(500), indexes=["A"])
+        reloaded = MiniRowStore(root)
+        assert "t" in reloaded.tables
+        out = reloaded.query("SELECT T FROM t WHERE A < 0.01")
+        assert out.num_rows == store.query("SELECT T FROM t WHERE A < 0.01").num_rows
+
+    def test_drop_table(self, tmp_path):
+        store = MiniRowStore(str(tmp_path / "db2"))
+        store.create_table("t", make_table(10))
+        store.drop_table("t")
+        assert "t" not in store.tables
+        store.create_table("t", make_table(10))  # name reusable
+
+    def test_empty_table(self, tmp_path):
+        store = MiniRowStore(str(tmp_path / "db3"))
+        store.create_table("empty", make_table(0))
+        out = store.query("SELECT * FROM empty")
+        assert out.num_rows == 0

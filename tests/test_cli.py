@@ -1,0 +1,239 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from tests.conftest import PAPER_DESCRIPTOR
+
+
+@pytest.fixture(scope="module")
+def desc_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ipars.desc"
+    path.write_text(PAPER_DESCRIPTOR)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def data_root(paper_dataset):
+    _, mount = paper_dataset
+    # The mount maps (node, path) under a root; recover the root.
+    return os.path.dirname(mount("osu0", "x")[: -len("/x")])
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestValidate:
+    def test_ok(self, capsys, desc_file):
+        code, out, _ = run(capsys, "validate", desc_file)
+        assert code == 0
+        assert "descriptor OK" in out
+        assert "physical files: 20" in out
+        assert "consistent groups: 16" in out
+
+    def test_invalid_descriptor(self, capsys, tmp_path):
+        bad = tmp_path / "bad.desc"
+        bad.write_text("[S]\nX = float\n")
+        code, _, err = run(capsys, "validate", str(bad))
+        assert code == 1
+        assert "error:" in err
+
+    def test_missing_file(self, capsys):
+        code, _, err = run(capsys, "validate", "/nope/nothing.desc")
+        assert code == 1
+
+
+class TestInventory:
+    def test_listing(self, capsys, desc_file):
+        code, out, _ = run(capsys, "inventory", desc_file)
+        assert code == 0
+        assert out.count("\n") >= 20
+        assert "DIRID=0" in out and "REL=3" in out
+
+    def test_check_ok(self, capsys, desc_file, data_root):
+        code, out, _ = run(
+            capsys, "inventory", desc_file, "--root", data_root, "--check"
+        )
+        assert code == 0
+        assert "20/20 files match" in out
+
+    def test_check_detects_problems(self, capsys, desc_file, tmp_path):
+        code, out, _ = run(
+            capsys, "inventory", desc_file, "--root", str(tmp_path), "--check"
+        )
+        assert code == 1
+        assert "MISSING" in out
+
+
+class TestCodegen:
+    def test_stdout(self, capsys, desc_file):
+        code, out, _ = run(capsys, "codegen", desc_file)
+        assert code == 0
+        assert "def index(ranges" in out
+
+    def test_output_file(self, capsys, desc_file, tmp_path):
+        target = tmp_path / "gen.py"
+        code, out, _ = run(capsys, "codegen", desc_file, "-o", str(target))
+        assert code == 0
+        compile(target.read_text(), str(target), "exec")
+
+
+class TestQuery:
+    def test_table_format(self, capsys, desc_file, data_root):
+        code, out, _ = run(
+            capsys, "query", desc_file,
+            "SELECT REL, TIME, SOIL FROM IparsData WHERE TIME = 1 AND REL = 0",
+            "--root", data_root, "--limit", "5",
+        )
+        assert code == 0
+        assert "(40 rows)" in out
+        assert "more rows" in out
+
+    def test_csv_format(self, capsys, desc_file, data_root):
+        code, out, _ = run(
+            capsys, "query", desc_file,
+            "SELECT REL, TIME FROM IparsData WHERE TIME = 2 AND REL = 1",
+            "--root", data_root, "--format", "csv",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0] == "REL,TIME"
+        assert len(lines) == 1 + 40
+        assert lines[1] == "1,2"
+
+    def test_npz_format(self, capsys, desc_file, data_root, tmp_path):
+        target = str(tmp_path / "result.npz")
+        code, out, _ = run(
+            capsys, "query", desc_file,
+            "SELECT X FROM IparsData WHERE TIME = 1 AND REL = 0",
+            "--root", data_root, "--format", "npz", "-o", target,
+        )
+        assert code == 0
+        from repro.core.table import VirtualTable
+
+        table = VirtualTable.load_npz(target)
+        assert table.num_rows == 40
+
+    def test_interpreted_flag(self, capsys, desc_file, data_root):
+        code, out, _ = run(
+            capsys, "query", desc_file,
+            "SELECT REL FROM IparsData WHERE TIME = 1 AND REL = 2",
+            "--root", data_root, "--interpreted", "--format", "csv",
+        )
+        assert code == 0
+        assert out.strip().splitlines()[1] == "2"
+
+    def test_bad_sql(self, capsys, desc_file, data_root):
+        code, _, err = run(
+            capsys, "query", desc_file, "SELECT FROM",
+            "--root", data_root,
+        )
+        assert code == 1
+        assert "error:" in err
+
+
+class TestExplain:
+    def test_plan_summary(self, capsys, desc_file):
+        code, out, _ = run(
+            capsys, "explain", desc_file,
+            "SELECT * FROM IparsData WHERE TIME <= 5",
+        )
+        assert code == 0
+        assert "AFCs planned: 80" in out
+
+
+class TestXmlCommands:
+    def test_to_xml_and_query_roundtrip(self, capsys, desc_file, data_root,
+                                        tmp_path):
+        code, xml, _ = run(capsys, "to-xml", desc_file)
+        assert code == 0
+        xml_file = tmp_path / "ipars.xml"
+        xml_file.write_text(xml)
+        # The query command accepts XML descriptors transparently.
+        code, out, _ = run(
+            capsys, "query", str(xml_file),
+            "SELECT REL FROM IparsData WHERE TIME = 1 AND REL = 3",
+            "--root", data_root, "--format", "csv",
+        )
+        assert code == 0
+        assert out.strip().splitlines()[1] == "3"
+
+    def test_from_xml_summary(self, capsys, desc_file, tmp_path):
+        _, xml, _ = run(capsys, "to-xml", desc_file)
+        xml_file = tmp_path / "d.xml"
+        xml_file.write_text(xml)
+        code, out, _ = run(capsys, "from-xml", str(xml_file))
+        assert code == 0
+        assert "[IPARS]" in out
+
+
+class TestVerifyData:
+    @pytest.fixture
+    def titan_files(self, titan_small, tmp_path):
+        config, text, mount, summaries = titan_small
+        desc = tmp_path / "titan.desc"
+        desc.write_text(text)
+        root = os.path.dirname(mount("osu0", "x")[: -len("/x")])
+        summ_file = str(tmp_path / "summ.json")
+        summaries.save(summ_file)
+        return config, str(desc), root, summ_file, mount
+
+    def test_clean_data_verifies(self, capsys, titan_files):
+        _, desc, root, summ_file, _ = titan_files
+        code, out, _ = run(
+            capsys, "verify-data", desc, "--root", root,
+            "--summaries", summ_file,
+        )
+        assert code == 0
+        assert "0 mismatch(es)" in out
+
+    def test_detects_stale_summaries(self, capsys, titan_files, tmp_path):
+        import shutil
+        import numpy as np
+
+        config, desc, root, summ_file, mount = titan_files
+        # Corrupt a copy of the data: overwrite part of one node's file.
+        copy_root = str(tmp_path / "tampered")
+        shutil.copytree(root, copy_root)
+        victim = os.path.join(copy_root, "osu0", config.dirname, "chunks.bin")
+        with open(victim, "r+b") as handle:
+            handle.write(np.full(64, 9e9, dtype="<f4").tobytes())
+        code, out, _ = run(
+            capsys, "verify-data", desc, "--root", copy_root,
+            "--summaries", summ_file,
+        )
+        assert code == 1
+        assert "STALE" in out
+
+    def test_missing_summary_file(self, capsys, titan_files):
+        _, desc, root, _, _ = titan_files
+        code, _, err = run(
+            capsys, "verify-data", desc, "--root", root,
+            "--summaries", "/nope.json",
+        )
+        assert code == 2
+        assert "index-build" in err
+
+
+class TestIndexBuild:
+    def test_builds_and_persists(self, capsys, titan_small, tmp_path):
+        config, text, mount, _ = titan_small
+        desc = tmp_path / "titan.desc"
+        desc.write_text(text)
+        root = os.path.dirname(mount("osu0", "x")[: -len("/x")])
+        out_file = str(tmp_path / "summ.json")
+        code, out, _ = run(
+            capsys, "index-build", str(desc), "--root", root, "-o", out_file
+        )
+        assert code == 0
+        assert f"built {config.total_chunks} chunk summaries" in out
+        payload = json.load(open(out_file))
+        assert len(payload["chunks"]) == config.total_chunks

@@ -1,0 +1,208 @@
+"""Tests for the Figure 5 algorithm: file grouping, alignment, AFCs.
+
+These tests walk the paper's own worked example (Section 4): the query
+``REL in (0, 1) AND TIME between 1 and 100`` over the Figure 4 descriptor
+excludes DATA2/DATA3, groups COORDS with same-directory DATA files, forms
+one aligned chunk set per TIME value, and prunes to the queried window.
+Our fixture scales the example to 20 time-steps and 10 cells per node;
+the structural counts scale accordingly.
+"""
+
+import pytest
+
+from repro.core.analysis import (
+    compute_alignment,
+    consistent_group,
+    enumerate_afcs,
+    find_file_groups,
+    match_file,
+)
+from repro.core.strips import enumerate_files, row_variable_order
+from repro.metadata import parse_descriptor
+from repro.sql import parse_where
+from repro.sql.ranges import extract_ranges
+from tests.conftest import PAPER_DESCRIPTOR
+
+
+@pytest.fixture(scope="module")
+def setup():
+    descriptor = parse_descriptor(PAPER_DESCRIPTOR)
+    files = enumerate_files(descriptor)
+    order = row_variable_order(descriptor)
+    return descriptor, files, order
+
+
+def paper_query_ranges():
+    # The paper's walkthrough query: REL in (0,1), TIME 1..10 (scaled from
+    # 1..100 of 500 to 1..10 of 20).
+    return extract_ranges(parse_where("REL IN (0, 1) AND TIME >= 1 AND TIME <= 10"))
+
+
+class TestMatchFile:
+    def test_rel_pruning_excludes_data2_data3(self, setup):
+        _, files, _ = setup
+        ranges = paper_query_ranges()
+        surviving = [f for f in files if match_file(f, ranges)]
+        names = sorted({f.relpath.split("/")[-1] for f in surviving})
+        assert names == ["COORDS", "DATA0", "DATA1"]
+        # 4 coords + 8 data files survive
+        assert len(surviving) == 12
+
+    def test_no_ranges_keeps_all(self, setup):
+        _, files, _ = setup
+        assert all(match_file(f, {}) for f in files)
+
+    def test_grid_constraint_prunes_directories(self, setup):
+        _, files, _ = setup
+        ranges = extract_ranges(parse_where("GRID >= 25 AND GRID <= 28"))
+        surviving = [f for f in files if match_file(f, ranges)]
+        # Only DIR[2] hosts grid points 21-30.
+        assert {f.dir_index for f in surviving} == {2}
+
+
+class TestConsistency:
+    def test_same_directory_pair_is_consistent(self, setup):
+        _, files, _ = setup
+        coords0 = next(f for f in files if f.leaf_name == "ipars1" and f.dir_index == 0)
+        data0 = next(
+            f for f in files
+            if f.leaf_name == "ipars2" and f.env == {"REL": 0, "DIRID": 0}
+        )
+        env = consistent_group([coords0, data0])
+        assert env == {"DIRID": 0, "REL": 0}
+
+    def test_cross_directory_pair_is_inconsistent(self, setup):
+        """The paper: DIR[0]/COORD and DIR[1]/DATA0 have non-overlapping
+        grid ranges, so they cannot jointly produce rows."""
+        _, files, _ = setup
+        coords0 = next(f for f in files if f.leaf_name == "ipars1" and f.dir_index == 0)
+        data1 = next(
+            f for f in files
+            if f.leaf_name == "ipars2" and f.env == {"REL": 0, "DIRID": 1}
+        )
+        assert consistent_group([coords0, data1]) is None
+
+
+class TestFindFileGroups:
+    def test_paper_walkthrough_group_count(self, setup):
+        """The paper finds 8 groups: {DIR[k]/COORD, DIR[k]/DATA0|DATA1}."""
+        _, files, _ = setup
+        groups = find_file_groups(
+            files, ["ipars1", "ipars2"], paper_query_ranges()
+        )
+        assert len(groups) == 8
+        for group, env in groups:
+            assert group[0].dir_index == group[1].dir_index
+            assert env["REL"] in (0, 1)
+
+    def test_full_product_without_query(self, setup):
+        _, files, _ = setup
+        groups = find_file_groups(files, ["ipars1", "ipars2"], {})
+        assert len(groups) == 16  # 4 dirs x 4 rels
+
+    def test_empty_when_leaf_fully_pruned(self, setup):
+        _, files, _ = setup
+        ranges = extract_ranges(parse_where("REL = 99"))
+        assert find_file_groups(files, ["ipars1", "ipars2"], ranges) == []
+
+
+class TestAlignment:
+    def test_paper_alignment_is_grid(self, setup):
+        descriptor, files, _ = setup
+        groups = find_file_groups(files, ["ipars1", "ipars2"], {})
+        group, _ = groups[0]
+        strips = [s for f in group for s in f.strips]
+        alignment = compute_alignment(strips, descriptor.index_attrs)
+        assert alignment.inner_vars == ("GRID",)
+        assert alignment.num_rows == 10
+
+    def test_index_attr_stays_out_of_chunk(self, setup):
+        """Without DATAINDEX, TIME could join the aligned extent for the
+        single-strip file; with it, TIME must stay a chunk enumerator."""
+        descriptor, files, _ = setup
+        data_file = next(f for f in files if f.leaf_name == "ipars2")
+        alignment = compute_alignment(data_file.strips, ("REL", "TIME"))
+        assert alignment.inner_vars == ("GRID",)
+        # Without the index declaration the whole file is one dense chunk.
+        free = compute_alignment(data_file.strips, ())
+        assert free.inner_vars == ("TIME", "GRID")
+        assert free.num_rows == 200
+
+    def test_stored_index_leaf_keeps_outer_dim(self, setup):
+        _, files, _ = setup
+        data_file = next(f for f in files if f.leaf_name == "ipars2")
+        alignment = compute_alignment(
+            data_file.strips, (), stored_index_leaves=("ipars2",)
+        )
+        # Outermost dim (TIME) reserved as the chunking dimension.
+        assert alignment.inner_vars == ("GRID",)
+
+    def test_empty_strips_rejected(self):
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError):
+            compute_alignment([], ())
+
+
+class TestEnumerateAfcs:
+    def test_paper_afc_counts(self, setup):
+        """500 AFC sets per group in the paper; 20 in our scaled fixture,
+        10 after TIME pruning."""
+        descriptor, files, order = setup
+        groups = find_file_groups(
+            files, ["ipars1", "ipars2"], paper_query_ranges()
+        )
+        group, env = groups[0]
+        strips = [s for f in group for s in f.strips]
+        alignment = compute_alignment(strips, descriptor.index_attrs)
+
+        all_afcs = enumerate_afcs(group, env, alignment, order, {})
+        assert len(all_afcs) == 20
+
+        pruned = enumerate_afcs(
+            group, env, alignment, order, paper_query_ranges()
+        )
+        assert len(pruned) == 10
+        for afc in pruned:
+            assert 1 <= afc.constant_map["TIME"] <= 10
+
+    def test_afc_geometry(self, setup):
+        descriptor, files, order = setup
+        groups = find_file_groups(files, ["ipars1", "ipars2"], {})
+        group, env = groups[0]
+        strips = [s for f in group for s in f.strips]
+        alignment = compute_alignment(strips, descriptor.index_attrs)
+        afcs = enumerate_afcs(group, env, alignment, order, {})
+        afc = afcs[3]  # TIME = 4
+        assert afc.num_rows == 10
+        coords_chunk, data_chunk = afc.chunks
+        assert coords_chunk.offset == 0
+        assert coords_chunk.bytes_per_row == 12
+        assert data_chunk.offset == 3 * 10 * 8
+        assert data_chunk.bytes_per_row == 8
+        assert afc.constant_map["TIME"] == 4
+        (grid,) = afc.inner_vars
+        assert grid.count == 10 and grid.repeat == 1
+
+    def test_implicit_columns(self, setup):
+        descriptor, files, order = setup
+        groups = find_file_groups(files, ["ipars1", "ipars2"], {})
+        group, env = groups[0]
+        strips = [s for f in group for s in f.strips]
+        alignment = compute_alignment(strips, descriptor.index_attrs)
+        afc = enumerate_afcs(group, env, alignment, order, {})[0]
+        cols = afc.implicit_columns(["REL", "TIME", "GRID"])
+        assert list(cols["REL"]) == [env["REL"]] * 10
+        assert list(cols["TIME"]) == [1] * 10
+        assert list(cols["GRID"]) == list(
+            range(group[0].dir_index * 10 + 1, group[0].dir_index * 10 + 11)
+        )
+
+    def test_total_bytes(self, setup):
+        descriptor, files, order = setup
+        groups = find_file_groups(files, ["ipars1", "ipars2"], {})
+        group, env = groups[0]
+        strips = [s for f in group for s in f.strips]
+        alignment = compute_alignment(strips, descriptor.index_attrs)
+        afc = enumerate_afcs(group, env, alignment, order, {})[0]
+        assert afc.total_bytes() == 10 * 12 + 10 * 8

@@ -1,0 +1,102 @@
+"""Tests for the code generator: generated index == interpreted index."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, GeneratedDataset, generate_index_source
+from repro.core.codegen_runtime import allowed_values, ranges_match
+from repro.sql import parse_where
+from repro.sql.ranges import IntervalSet, extract_ranges
+from tests.conftest import PAPER_DESCRIPTOR
+
+QUERIES = [
+    "SELECT * FROM IparsData",
+    "SELECT * FROM IparsData WHERE TIME > 5 AND TIME <= 9",
+    "SELECT * FROM IparsData WHERE REL IN (0, 2)",
+    "SELECT X, SOIL FROM IparsData WHERE REL = 1 AND TIME BETWEEN 3 AND 7",
+    "SELECT * FROM IparsData WHERE SOIL > 0.9",
+    "SELECT * FROM IparsData WHERE TIME > 100",
+    "SELECT * FROM IparsData WHERE SGAS < 0.3 AND TIME = 7",
+]
+
+
+@pytest.fixture(scope="module")
+def both():
+    return CompiledDataset(PAPER_DESCRIPTOR), GeneratedDataset(PAPER_DESCRIPTOR)
+
+
+def afc_key(afc):
+    """Order- and representation-insensitive identity of an AFC."""
+    return (
+        afc.num_rows,
+        tuple((c.node, c.path, c.offset, c.bytes_per_row) for c in afc.chunks),
+        tuple(sorted(afc.constants)),
+        afc.inner_vars,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_afcs(self, both, query):
+        interpreted, generated = both
+        plan_i = interpreted.plan(query)
+        plan_g = generated.plan(query)
+        assert sorted(map(afc_key, plan_i.afcs)) == sorted(
+            map(afc_key, plan_g.afcs)
+        )
+
+    def test_same_afcs_for_empty_ranges(self, both):
+        interpreted, generated = both
+        assert sorted(map(afc_key, interpreted.index({}))) == sorted(
+            map(afc_key, generated.index({}))
+        )
+
+
+class TestGeneratedSource:
+    def test_source_is_python(self, both):
+        _, generated = both
+        compile(generated.source, "<test>", "exec")
+
+    def test_source_has_one_function_per_group(self, both):
+        interpreted, generated = both
+        assert generated.source.count("def _group_") == len(interpreted.groups)
+
+    def test_offsets_are_inlined_arithmetic(self, both):
+        _, generated = both
+        # The TIME-dependent chunk offset appears as inlined arithmetic.
+        assert "(TIME - 1) * 80" in generated.source
+
+    def test_loop_bounds_are_constants(self, both):
+        _, generated = both
+        assert "allowed_values(ranges.get('TIME'), 1, 20, 1)" in generated.source
+
+    def test_source_written_to_path(self, tmp_path):
+        path = tmp_path / "generated.py"
+        GeneratedDataset(PAPER_DESCRIPTOR, source_path=str(path))
+        text = path.read_text()
+        assert "def index(ranges" in text
+
+    def test_generate_source_function(self, both):
+        interpreted, _ = both
+        source = generate_index_source(interpreted)
+        assert "DATASET_NAME = 'IparsData'" in source
+
+
+class TestRuntimeHelpers:
+    def test_allowed_values_no_constraint(self):
+        assert allowed_values(None, 1, 10, 2) == [1, 3, 5, 7, 9]
+
+    def test_allowed_values_filtered(self):
+        allowed = IntervalSet.of(4, 8)
+        assert allowed_values(allowed, 1, 10, 1) == [4, 5, 6, 7, 8]
+
+    def test_allowed_values_pinned(self):
+        assert allowed_values(None, 1, 10, 1, pin=7) == [7]
+        assert allowed_values(None, 1, 10, 2, pin=8) == []  # off-lattice
+        assert allowed_values(IntervalSet.of(0, 3), 1, 10, 1, pin=7) == []
+
+    def test_ranges_match(self):
+        ranges = extract_ranges(parse_where("T >= 5 AND T <= 6"))
+        assert ranges_match(ranges, (("T", 1, 20),))
+        assert not ranges_match(ranges, (("T", 10, 20),))
+        assert ranges_match(ranges, (("OTHER", 0, 0),))

@@ -1,0 +1,158 @@
+"""Tests for the chunk extractor: I/O, caching, stats, failure modes."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, Extractor, IOStats, local_mount
+from repro.errors import ExtractionError
+from tests.conftest import PAPER_DESCRIPTOR, paper_value_fn
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    from repro.datasets.writers import write_dataset
+
+    root = tmp_path_factory.mktemp("extractor")
+    mount = local_mount(str(root))
+    dataset = CompiledDataset(PAPER_DESCRIPTOR)
+    write_dataset(dataset, mount, paper_value_fn)
+    return dataset, mount, str(root)
+
+
+class TestExecute:
+    def test_full_scan_values(self, env):
+        dataset, mount, _ = env
+        with Extractor(mount) as extractor:
+            table = extractor.execute(dataset.plan("SELECT * FROM IparsData"))
+        assert table.num_rows == 4 * 4 * 20 * 10
+        # Spot-check: X column equals the GRID id by construction.
+        idx = table.sort_key()
+        assert table["X"].min() == 1.0
+        assert table["X"].max() == 40.0
+
+    def test_predicate_filtering(self, env):
+        dataset, mount, _ = env
+        with Extractor(mount) as extractor:
+            table = extractor.execute(
+                dataset.plan("SELECT SOIL FROM IparsData WHERE SOIL > 0.75")
+            )
+        assert (table["SOIL"] > 0.75).all()
+
+    def test_projection_order(self, env):
+        dataset, mount, _ = env
+        with Extractor(mount) as extractor:
+            table = extractor.execute(
+                dataset.plan("SELECT Z, REL, SOIL FROM IparsData WHERE TIME = 1")
+            )
+        assert table.column_names == ("Z", "REL", "SOIL")
+
+    def test_implicit_dtype_matches_schema(self, env):
+        dataset, mount, _ = env
+        with Extractor(mount) as extractor:
+            table = extractor.execute(
+                dataset.plan("SELECT REL, TIME FROM IparsData WHERE TIME = 2")
+            )
+        assert table["REL"].dtype == np.dtype("<i2")
+        assert table["TIME"].dtype == np.dtype("<i4")
+
+    def test_empty_result_keeps_schema_dtypes(self, env):
+        dataset, mount, _ = env
+        with Extractor(mount) as extractor:
+            table = extractor.execute(
+                dataset.plan("SELECT X FROM IparsData WHERE TIME > 999")
+            )
+        assert table.num_rows == 0
+        assert table["X"].dtype == np.dtype("<f4")
+
+    def test_scalar_false_predicate(self, env):
+        dataset, mount, _ = env
+        with Extractor(mount) as extractor:
+            table = extractor.execute(
+                dataset.plan("SELECT X FROM IparsData WHERE FALSE")
+            )
+        assert table.num_rows == 0
+
+
+class TestStats:
+    def test_counts(self, env):
+        dataset, mount, _ = env
+        stats = IOStats()
+        with Extractor(mount, segment_cache_bytes=0) as extractor:
+            extractor.execute(dataset.plan("SELECT * FROM IparsData"), stats)
+        assert stats.afcs_processed == 16 * 20
+        assert stats.chunks_read == 16 * 20 * 2
+        assert stats.rows_extracted == 3200
+        assert stats.rows_output == 3200
+        # Without the segment cache, each DATA chunk is read once but the
+        # COORDS chunk is re-read by every AFC it participates in.
+        data_bytes = 16 * 1600
+        coords_bytes = 16 * 20 * 120
+        assert stats.bytes_read == data_bytes + coords_bytes
+
+    def test_sequential_reads_need_few_seeks(self, env):
+        dataset, mount, _ = env
+        stats = IOStats()
+        with Extractor(mount, segment_cache_bytes=0) as extractor:
+            extractor.execute(
+                dataset.plan("SELECT SOIL FROM IparsData WHERE REL = 0"), stats
+            )
+        # Reading one DATA file beginning-to-end costs ~1 repositioning per
+        # file, not one per chunk.
+        assert stats.seeks <= 2 * 4 + 4
+
+    def test_segment_cache_hits(self, env):
+        dataset, mount, _ = env
+        stats = IOStats()
+        with Extractor(mount) as extractor:
+            extractor.execute(dataset.plan("SELECT * FROM IparsData"), stats)
+        assert stats.cache_hits > 0
+
+    def test_drop_caches(self, env):
+        dataset, mount, _ = env
+        extractor = Extractor(mount)
+        s1, s2, s3 = IOStats(), IOStats(), IOStats()
+        plan = dataset.plan("SELECT X FROM IparsData WHERE TIME = 1")
+        extractor.execute(plan, s1)
+        extractor.execute(plan, s2)
+        assert s2.bytes_read == 0  # fully cached
+        extractor.drop_caches()
+        extractor.execute(plan, s3)
+        assert s3.bytes_read == s1.bytes_read
+        extractor.close()
+
+
+class TestFailures:
+    def test_missing_file(self, env):
+        dataset, _, root = env
+
+        def broken_mount(node, path):
+            return os.path.join(root, "nowhere", node, path)
+
+        with Extractor(broken_mount) as extractor:
+            with pytest.raises(ExtractionError, match="cannot open"):
+                extractor.execute(dataset.plan("SELECT * FROM IparsData"))
+
+    def test_short_read_reports_layout_mismatch(self, env, tmp_path):
+        dataset, mount, root = env
+        # Truncate a copy of the dataset.
+        import shutil
+
+        copy_root = tmp_path / "truncated"
+        shutil.copytree(root, copy_root)
+        victim = copy_root / "osu0" / "ipars" / "DATA0"
+        with open(victim, "r+b") as handle:
+            handle.truncate(100)
+        with Extractor(local_mount(str(copy_root))) as extractor:
+            with pytest.raises(ExtractionError, match="short read"):
+                extractor.execute(dataset.plan("SELECT * FROM IparsData"))
+
+    def test_handle_cache_eviction(self, env):
+        dataset, mount, _ = env
+        stats = IOStats()
+        # With a single handle, the COORDS/DATA alternation of every AFC
+        # evicts and reopens constantly (the paper's many-files effect).
+        with Extractor(mount, handle_cache=1, segment_cache_bytes=0) as ex:
+            ex.execute(dataset.plan("SELECT * FROM IparsData"), stats)
+        assert stats.files_opened > 20

@@ -1,0 +1,151 @@
+"""Tests for CompiledDataset: group construction and query planning."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset
+from repro.errors import PlanningError, QueryValidationError
+from repro.metadata import parse_descriptor
+from tests.conftest import PAPER_DESCRIPTOR
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CompiledDataset(PAPER_DESCRIPTOR)
+
+
+class TestCompile:
+    def test_static_groups(self, dataset):
+        assert len(dataset.groups) == 16
+        for group in dataset.groups:
+            assert len(group.files) == 2
+            assert group.alignment.inner_vars == ("GRID",)
+
+    def test_row_var_order(self, dataset):
+        assert dataset.row_var_order == ["GRID", "TIME"]
+
+    def test_index_attrs(self, dataset):
+        assert dataset.index_attrs == ("REL", "TIME")
+        assert dataset.stored_index_attrs == ()
+
+    def test_total_data_bytes(self, dataset):
+        # 4 coords files of 120B + 16 data files of 1600B
+        assert dataset.total_data_bytes == 4 * 120 + 16 * 1600
+
+    def test_accepts_descriptor_object(self):
+        d = parse_descriptor(PAPER_DESCRIPTOR)
+        assert CompiledDataset(d).descriptor is d
+
+
+class TestPlan:
+    def test_full_scan(self, dataset):
+        plan = dataset.plan("SELECT * FROM IparsData")
+        assert len(plan.afcs) == 16 * 20
+        assert plan.planned_rows == 16 * 20 * 10
+        assert plan.output == list(dataset.schema.names)
+
+    def test_projection_and_needed(self, dataset):
+        plan = dataset.plan("SELECT X FROM IparsData WHERE SOIL > 0.5")
+        assert plan.output == ["X"]
+        assert plan.needed == ["X", "SOIL"]
+
+    def test_time_pruning(self, dataset):
+        plan = dataset.plan(
+            "SELECT * FROM IparsData WHERE TIME > 5 AND TIME <= 9"
+        )
+        assert len(plan.afcs) == 16 * 4
+
+    def test_rel_pruning(self, dataset):
+        plan = dataset.plan("SELECT * FROM IparsData WHERE REL = 2")
+        assert len(plan.afcs) == 4 * 20
+
+    def test_unsatisfiable(self, dataset):
+        plan = dataset.plan("SELECT * FROM IparsData WHERE TIME > 9 AND TIME < 5")
+        assert plan.afcs == []
+
+    def test_wrong_table(self, dataset):
+        with pytest.raises(QueryValidationError, match="targets table"):
+            dataset.plan("SELECT * FROM Wrong")
+
+    def test_unknown_select_column(self, dataset):
+        with pytest.raises(QueryValidationError):
+            dataset.plan("SELECT GHOST FROM IparsData")
+
+    def test_unknown_where_column(self, dataset):
+        with pytest.raises(QueryValidationError, match="GHOST"):
+            dataset.plan("SELECT * FROM IparsData WHERE GHOST < 1")
+
+    def test_plan_dtypes(self, dataset):
+        plan = dataset.plan("SELECT * FROM IparsData")
+        assert plan.dtypes["REL"] == np.dtype("<i2")
+        assert plan.dtypes["SOIL"] == np.dtype("<f4")
+
+    def test_explain_mentions_counts(self, dataset):
+        text = dataset.explain("SELECT * FROM IparsData WHERE REL = 0")
+        assert "AFCs planned: 80" in text
+
+
+class TestGroupJoin:
+    def test_many_leaves_do_not_explode(self):
+        """An 18-leaf L0-style descriptor must build groups via the
+        incremental join, not a 16^18 cartesian product."""
+        from repro.datasets import IparsConfig, ipars
+
+        config = IparsConfig(num_rels=4, num_times=5, cells_per_node=10,
+                             num_nodes=4)
+        text = ipars.descriptor_text(config, "L0")
+        dataset = CompiledDataset(text)
+        assert len(dataset.groups) == 16  # 4 dirs x 4 rels
+        for group in dataset.groups:
+            assert len(group.files) == 18
+
+    def test_inconsistent_shared_loops_rejected(self):
+        text = """
+[S]
+T = int
+A = float
+B = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATA { DATASET a DATASET b }
+  DATASET "a" { DATASPACE { LOOP T 1:10:1 { A } } DATA { DIR[0]/fa } }
+  DATASET "b" { DATASPACE { LOOP T 1:20:1 { B } } DATA { DIR[0]/fb } }
+}
+"""
+        with pytest.raises(PlanningError, match="no consistent"):
+            CompiledDataset(text + "\n")
+
+    def test_binding_pins_loop_variable(self):
+        """A variable that is a binding constant in one leaf and a loop in
+        another pins the chunk enumeration to the constant."""
+        text = """
+[S]
+T = int
+A = float
+B = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATA { DATASET a DATASET b }
+  DATASET "a" {
+    DATASPACE { LOOP T 1:10:1 { LOOP G 1:5:1 { A } } }
+    DATA { DIR[0]/fa }
+  }
+  DATASET "b" {
+    DATASPACE { LOOP G 1:5:1 { B } }
+    DATA { DIR[0]/fb$T T = 3:3:1 }
+  }
+}
+"""
+        dataset = CompiledDataset(text)
+        plan = dataset.plan("SELECT * FROM D")
+        # Only T=3 rows exist: B is only stored for T=3.
+        assert plan.planned_rows == 5
+        assert plan.afcs[0].constant_map["T"] == 3

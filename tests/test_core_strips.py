@@ -1,0 +1,187 @@
+"""Tests for dataspace linearisation (strips) and file enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.metadata import parse_descriptor
+from repro.core.strips import (
+    build_strips,
+    enumerate_files,
+    row_variable_order,
+)
+from tests.conftest import PAPER_DESCRIPTOR
+
+
+@pytest.fixture(scope="module")
+def descriptor():
+    return parse_descriptor(PAPER_DESCRIPTOR)
+
+
+@pytest.fixture(scope="module")
+def files(descriptor):
+    return enumerate_files(descriptor)
+
+
+class TestEnumerateFiles:
+    def test_counts(self, files):
+        coords = [f for f in files if f.leaf_name == "ipars1"]
+        data = [f for f in files if f.leaf_name == "ipars2"]
+        assert len(coords) == 4  # one per directory
+        assert len(data) == 16  # 4 REL x 4 DIRID
+
+    def test_paths_and_nodes(self, files):
+        coords = [f for f in files if f.leaf_name == "ipars1"]
+        assert {f.relpath for f in coords} == {"ipars/COORDS"}
+        assert {f.node for f in coords} == {"osu0", "osu1", "osu2", "osu3"}
+        data = [f for f in files if f.leaf_name == "ipars2"]
+        names = {f.relpath.split("/")[-1] for f in data}
+        assert names == {"DATA0", "DATA1", "DATA2", "DATA3"}
+
+    def test_file_sizes(self, files):
+        for f in files:
+            if f.leaf_name == "ipars1":
+                assert f.expected_size == 10 * 12  # 10 cells x (X,Y,Z) floats
+            else:
+                assert f.expected_size == 20 * 10 * 8  # times x cells x 2 floats
+
+    def test_implicit_intervals(self, files):
+        data = next(
+            f for f in files
+            if f.leaf_name == "ipars2" and f.env == {"REL": 2, "DIRID": 1}
+        )
+        implicit = data.implicit_intervals()
+        assert implicit["REL"].lo == implicit["REL"].hi == 2
+        assert (implicit["TIME"].lo, implicit["TIME"].hi) == (1, 20)
+        assert (implicit["GRID"].lo, implicit["GRID"].hi) == (11, 20)
+
+    def test_enumeration_order_deterministic(self, descriptor):
+        a = [str(f) for f in enumerate_files(descriptor)]
+        b = [str(f) for f in enumerate_files(descriptor)]
+        assert a == b
+
+
+class TestStripGeometry:
+    def test_coords_strip(self, descriptor):
+        leaf = descriptor.leaves()[0]
+        strips, size = build_strips(leaf, descriptor.schema, {"DIRID": 2})
+        assert size == 120
+        (strip,) = strips
+        assert strip.attrs == ("X", "Y", "Z")
+        assert strip.record_size == 12
+        assert strip.attr_offsets == (0, 4, 8)
+        (grid,) = strip.dims
+        assert (grid.start, grid.stop, grid.step) == (21, 30, 1)
+        assert grid.byte_stride == 12
+
+    def test_data_strip(self, descriptor):
+        leaf = descriptor.leaves()[1]
+        strips, size = build_strips(
+            leaf, descriptor.schema, {"REL": 0, "DIRID": 0}
+        )
+        (strip,) = strips
+        assert strip.attrs == ("SOIL", "SGAS")
+        assert strip.record_size == 8
+        time_dim, grid_dim = strip.dims
+        assert time_dim.var == "TIME"
+        assert time_dim.byte_stride == 10 * 8  # one time-step of 10 records
+        assert grid_dim.byte_stride == 8
+        assert size == 20 * 10 * 8
+
+    def test_offset_of(self, descriptor):
+        leaf = descriptor.leaves()[1]
+        strips, _ = build_strips(leaf, descriptor.schema, {"REL": 0, "DIRID": 0})
+        strip = strips[0]
+        # TIME ordinal 3, GRID ordinal 4 -> 3*80 + 4*8
+        assert strip.offset_of({"TIME": 3, "GRID": 4}) == 3 * 80 + 4 * 8
+
+    def test_dense_suffix(self, descriptor):
+        leaf = descriptor.leaves()[1]
+        strips, _ = build_strips(leaf, descriptor.schema, {"REL": 0, "DIRID": 0})
+        # Single strip file: fully dense (both loops contiguous).
+        assert strips[0].dense_suffix_length() == 2
+
+    def test_record_dtype_projection(self, descriptor):
+        leaf = descriptor.leaves()[1]
+        strips, _ = build_strips(leaf, descriptor.schema, {"REL": 0, "DIRID": 0})
+        dtype = strips[0].record_dtype(["SGAS"])
+        assert dtype.itemsize == 8  # full record, SOIL as padding
+        assert dtype.names == ("SGAS",)
+        assert dtype.fields["SGAS"][1] == 4
+
+    def test_num_records(self, descriptor):
+        leaf = descriptor.leaves()[1]
+        strips, _ = build_strips(leaf, descriptor.schema, {"REL": 0, "DIRID": 0})
+        assert strips[0].num_records == 200
+        assert strips[0].total_bytes == 1600
+
+
+class TestVariableAsArrayStrips:
+    TEXT = """
+[S]
+T = int
+A = float
+B = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATASPACE {
+    LOOP T 1:3:1 {
+      LOOP G 0:4:1 { A }
+      LOOP G 0:4:1 { B }
+    }
+  }
+  DATA { DIR[0]/f }
+}
+"""
+
+    def test_two_strips_one_file(self):
+        d = parse_descriptor(self.TEXT)
+        (file,) = enumerate_files(d)
+        assert len(file.strips) == 2
+        a, b = file.strips
+        assert a.attrs == ("A",)
+        assert b.attrs == ("B",)
+        # Within one T iteration: 5 A's then 5 B's.
+        assert a.base_offset == 0
+        assert b.base_offset == 20
+        assert a.dims[0].byte_stride == 40  # full T block
+        assert a.dims[1].byte_stride == 4
+        # The G loop is dense per strip, the T loop is not (interleaved).
+        assert a.dense_suffix_length() == 1
+
+    def test_row_variable_order(self):
+        d = parse_descriptor(self.TEXT)
+        assert row_variable_order(d) == ["T", "G"]
+
+
+class TestSequentialSegments:
+    TEXT = """
+[S]
+H = int
+A = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATASPACE {
+    H
+    LOOP G 0:9:1 { A }
+  }
+  DATA { DIR[0]/f }
+}
+"""
+
+    def test_header_then_array(self):
+        d = parse_descriptor(self.TEXT)
+        (file,) = enumerate_files(d)
+        header, array = file.strips
+        assert header.attrs == ("H",)
+        assert header.dims == ()
+        assert header.num_records == 1
+        assert array.base_offset == 4
+        assert file.expected_size == 4 + 40

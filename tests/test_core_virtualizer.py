@@ -1,0 +1,138 @@
+"""End-to-end tests for the Virtualizer facade, checked against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.core import Virtualizer
+from repro.datasets.writers import hash01
+from tests.conftest import (
+    PAPER_DESCRIPTOR,
+    assert_tables_equal,
+    paper_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def virtualizers(paper_dataset):
+    text, mount = paper_dataset
+    generated = Virtualizer(text, mount, use_codegen=True)
+    interpreted = Virtualizer(text, mount, use_codegen=False)
+    yield generated, interpreted
+    generated.close()
+    interpreted.close()
+
+
+def brute_force(predicate=None, select=None):
+    """Materialise the expected table with plain Python loops."""
+    out = {name: [] for name in
+           (select or ["REL", "TIME", "X", "Y", "Z", "SOIL", "SGAS"])}
+    for rel, t, g in paper_rows():
+        key = (rel * 1000 + t) * 10000 + g
+        row = {
+            "REL": rel, "TIME": t,
+            "X": np.float32(g * 1.0), "Y": np.float32(g * 2.0),
+            "Z": np.float32(g * 3.0),
+            "SOIL": np.float32(hash01(np.array([key]), 1)[0]),
+            "SGAS": np.float32(hash01(np.array([key]), 2)[0]),
+        }
+        if predicate is None or predicate(row):
+            for name in out:
+                out[name].append(row[name])
+    return out
+
+
+class TestCorrectness:
+    def test_full_scan_row_count(self, virtualizers):
+        generated, _ = virtualizers
+        table = generated.query("SELECT * FROM IparsData")
+        assert table.num_rows == len(paper_rows())
+
+    def test_generated_equals_interpreted(self, virtualizers):
+        generated, interpreted = virtualizers
+        for sql in [
+            "SELECT * FROM IparsData",
+            "SELECT X, SOIL FROM IparsData WHERE TIME > 5 AND SOIL > 0.4",
+            "SELECT * FROM IparsData WHERE REL IN (1, 3) AND SGAS < 0.2",
+            "SELECT REL FROM IparsData WHERE SPEED(X, Y, Z) < 40",
+        ]:
+            assert_tables_equal(
+                generated.query(sql), interpreted.query(sql)
+            )
+
+    def test_range_query_against_brute_force(self, virtualizers):
+        generated, _ = virtualizers
+        table = generated.query(
+            "SELECT REL, TIME, SOIL FROM IparsData "
+            "WHERE REL = 2 AND TIME >= 3 AND TIME <= 5 AND SOIL > 0.5"
+        ).canonical()
+        expected = brute_force(
+            predicate=lambda r: r["REL"] == 2 and 3 <= r["TIME"] <= 5
+            and r["SOIL"] > 0.5,
+            select=["REL", "TIME", "SOIL"],
+        )
+        assert table.num_rows == len(expected["REL"])
+        order = np.lexsort(
+            (expected["SOIL"], expected["TIME"], expected["REL"])
+        )
+        for name in ("REL", "TIME", "SOIL"):
+            np.testing.assert_array_almost_equal(
+                table[name], np.array(expected[name])[order]
+            )
+
+    def test_udf_filter_against_brute_force(self, virtualizers):
+        generated, _ = virtualizers
+        table = generated.query(
+            "SELECT X FROM IparsData WHERE DISTANCE(X, Y, Z) < 30 AND TIME = 1"
+        )
+        expected = brute_force(
+            predicate=lambda r: np.sqrt(
+                float(r["X"]) ** 2 + float(r["Y"]) ** 2 + float(r["Z"]) ** 2
+            ) < 30 and r["TIME"] == 1,
+            select=["X"],
+        )
+        assert table.num_rows == len(expected["X"])
+
+    def test_duplicate_rows_preserved(self, virtualizers):
+        """SELECT X without DISTINCT returns one row per (REL, TIME, cell)."""
+        generated, _ = virtualizers
+        table = generated.query("SELECT X FROM IparsData WHERE TIME <= 2")
+        # 40 cells x 4 rels x 2 times
+        assert table.num_rows == 40 * 4 * 2
+
+
+class TestFacade:
+    def test_explain(self, virtualizers):
+        generated, _ = virtualizers
+        assert "AFCs planned" in generated.explain("SELECT * FROM IparsData")
+
+    def test_generated_source_exposed(self, virtualizers):
+        generated, interpreted = virtualizers
+        assert "def index" in generated.generated_source
+        assert interpreted.generated_source is None
+
+    def test_schema_property(self, virtualizers):
+        generated, _ = virtualizers
+        assert generated.schema.names[0] == "REL"
+
+    def test_stats_accumulate(self, paper_dataset):
+        text, mount = paper_dataset
+        with Virtualizer(text, mount) as v:
+            v.query("SELECT X FROM IparsData WHERE TIME = 1")
+            assert v.stats.rows_output > 0
+
+    def test_context_manager(self, paper_dataset):
+        text, mount = paper_dataset
+        with Virtualizer(text, mount) as v:
+            v.query("SELECT X FROM IparsData WHERE TIME = 1")
+
+    def test_open_dataset_helper(self, paper_dataset, tmp_path):
+        import shutil
+        from repro.core import open_dataset
+
+        text, mount = paper_dataset
+        src_root = mount("", "")[:-1].rstrip("/")
+        # the session root is the parent of the node dirs
+        root = mount("", "").rstrip("/")
+        v = open_dataset(text, root)
+        assert v.query("SELECT X FROM IparsData WHERE TIME = 1").num_rows == 160
+        v.close()

@@ -1,0 +1,132 @@
+"""Tests for the MRI study archive dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, GeneratedDataset, Virtualizer, local_mount
+from repro.datasets import mri
+from repro.datasets.mri import MODALITIES, MriConfig
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    config = MriConfig(num_studies=4, slices=4, rows=12, cols=12,
+                       num_nodes=2, lesion_every=2)
+    root = tmp_path_factory.mktemp("mri")
+    mount = local_mount(str(root))
+    text, _ = mri.generate(config, mount)
+    return config, text, mount
+
+
+class TestStructure:
+    def test_file_placement_round_robin(self, archive):
+        config, text, _ = archive
+        dataset = CompiledDataset(text)
+        # One file per modality per study.
+        assert len(dataset.files) == config.num_studies * len(MODALITIES)
+        for file in dataset.files:
+            assert file.node == f"node{file.env['STUDY'] % config.num_nodes}"
+            assert f"study{file.env['STUDY']}/" in file.relpath
+
+    def test_groups_join_modalities_per_study(self, archive):
+        config, text, _ = archive
+        dataset = CompiledDataset(text)
+        assert len(dataset.groups) == config.num_studies
+        for group in dataset.groups:
+            assert len(group.files) == len(MODALITIES)
+            studies = {f.env["STUDY"] for f in group.files}
+            assert len(studies) == 1
+
+    def test_afc_granularity_is_per_slice(self, archive):
+        config, text, _ = archive
+        dataset = CompiledDataset(text)
+        afcs = dataset.index({})
+        assert len(afcs) == config.num_studies * config.slices
+        for afc in afcs:
+            assert afc.num_rows == config.rows * config.cols
+            assert len(afc.chunks) == len(MODALITIES)
+
+    def test_volume_bytes(self, archive):
+        config, text, _ = archive
+        dataset = CompiledDataset(text)
+        per_volume = config.voxels_per_study * 2
+        assert all(f.expected_size == per_volume for f in dataset.files)
+
+
+class TestContent:
+    def test_voxel_count(self, archive):
+        config, text, mount = archive
+        with Virtualizer(text, mount) as v:
+            table = v.query("SELECT STUDY FROM MriArchive WHERE SLICE = 0")
+        assert table.num_rows == config.num_studies * config.rows * config.cols
+
+    def test_intensities_in_range(self, archive):
+        config, text, mount = archive
+        with Virtualizer(text, mount) as v:
+            table = v.query("SELECT T1, T2, FLAIR FROM MriArchive WHERE STUDY = 1")
+        for m in MODALITIES:
+            assert table[m].dtype == np.dtype("<u2")
+            assert table[m].min() >= 0
+
+    def test_lesion_found_only_in_lesion_studies(self, archive):
+        config, text, mount = archive
+        with Virtualizer(text, mount) as v:
+            for study in range(config.num_studies):
+                hits = v.query(mri.lesion_query(config, study)).num_rows
+                if config.has_lesion(study):
+                    assert hits > 0, f"study {study} should show a lesion"
+                else:
+                    assert hits == 0, f"study {study} is a control"
+
+    def test_lesion_is_spatially_compact(self, archive):
+        config, text, mount = archive
+        study = 0
+        assert config.has_lesion(study)
+        with Virtualizer(text, mount) as v:
+            table = v.query(mri.lesion_query(config, study))
+        cs, cr, cc = config.lesion_center(study)
+        rs, rr, rc = config.lesion_radii
+        dist2 = (
+            ((table["SLICE"] - cs) / rs) ** 2
+            + ((table["ROW"] - cr) / rr) ** 2
+            + ((table["COL"] - cc) / rc) ** 2
+        )
+        assert dist2.max() <= 1.0 + 1e-9
+
+    def test_t1_hypointense_in_lesion(self, archive):
+        config, text, mount = archive
+        with Virtualizer(text, mount) as v:
+            lesion = v.query(
+                "SELECT T1 FROM MriArchive WHERE STUDY = 0 AND FLAIR > 2400"
+            )
+            normal = v.query(
+                "SELECT T1 FROM MriArchive WHERE STUDY = 0 AND FLAIR < 1200"
+            )
+        assert lesion.num_rows and normal.num_rows
+        assert lesion["T1"].mean() < normal["T1"].mean()
+
+    def test_generated_equals_interpreted(self, archive):
+        config, text, mount = archive
+        from tests.conftest import assert_tables_equal
+
+        sql = "SELECT * FROM MriArchive WHERE STUDY IN (0, 3) AND SLICE <= 1"
+        with Virtualizer(text, mount, use_codegen=True) as a:
+            with Virtualizer(text, mount, use_codegen=False) as b:
+                assert_tables_equal(a.query(sql), b.query(sql))
+
+    def test_study_and_slice_pruning(self, archive):
+        config, text, mount = archive
+        with Virtualizer(text, mount) as v:
+            plan = v.plan(
+                "SELECT T1 FROM MriArchive WHERE STUDY = 2 AND SLICE = 1"
+            )
+        assert len(plan.afcs) == 1
+        assert plan.planned_rows == config.rows * config.cols
+
+    def test_deterministic_regeneration(self, archive, tmp_path):
+        config, text, mount = archive
+        mount2 = local_mount(str(tmp_path))
+        mri.generate(config, mount2)
+        a = open(mount("node0", f"{config.dirname}/study0/T1.vol"), "rb").read()
+        b = open(mount2("node0", f"{config.dirname}/study0/T1.vol"), "rb").read()
+        assert a == b

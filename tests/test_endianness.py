@@ -1,0 +1,111 @@
+"""Big-endian datasets survive the full pipeline.
+
+2004-era scientific flat files were frequently written on big-endian
+hardware; the schema's byte-order prefix (``X = be float``) must flow
+through strip formats, the generic writer, the extractor, and results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, Virtualizer, local_mount
+from repro.datasets.writers import write_dataset
+from repro.metadata.types import parse_type
+
+BE_TEXT = """
+[S]
+T = int
+A = be float
+B = be double
+C = int
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATAINDEX { T }
+  DATASPACE {
+    LOOP T 1:6:1 {
+      LOOP G 0:4:1 { A B C }
+    }
+  }
+  DATA { DIR[0]/mixed.bin }
+}
+"""
+
+
+class TestParseTypePrefixes:
+    def test_be_prefix(self):
+        t = parse_type("be float")
+        assert t.dtype == np.dtype(">f4")
+
+    def test_big_endian_prefix(self):
+        assert parse_type("big endian short int").dtype == np.dtype(">i2")
+
+    def test_le_prefix(self):
+        assert parse_type("le double").dtype == np.dtype("<f8")
+
+    def test_prefix_with_alias(self):
+        assert parse_type("be int32").dtype == np.dtype(">i4")
+
+    def test_not_a_prefix(self):
+        # 'be' only counts as a prefix when what follows is a type.
+        with pytest.raises(Exception):
+            parse_type("be giraffe")
+
+    def test_case_insensitive(self):
+        assert parse_type("BE Float").dtype == np.dtype(">f4")
+
+
+class TestBigEndianPipeline:
+    @pytest.fixture(scope="class")
+    def env(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("be")
+        mount = local_mount(str(root))
+        dataset = CompiledDataset(BE_TEXT)
+
+        def value_fn(attr, env, coords):
+            base = coords["T"] * 10 + coords["G"]
+            if attr == "A":
+                return base * 1.0
+            if attr == "B":
+                return base * 2.0
+            return base
+
+        write_dataset(dataset, mount, value_fn)
+        return str(root), mount
+
+    def test_bytes_on_disk_are_big_endian(self, env):
+        root, mount = env
+        raw = open(mount("n0", "d/mixed.bin"), "rb").read()
+        # First record: T=1, G=0 -> A = 10.0 as big-endian f4.
+        assert raw[:4] == np.array(10.0, dtype=">f4").tobytes()
+        # ...followed by B = 20.0 as big-endian f8.
+        assert raw[4:12] == np.array(20.0, dtype=">f8").tobytes()
+        # ...and C = 10 as little-endian i4.
+        assert raw[12:16] == np.array(10, dtype="<i4").tobytes()
+
+    def test_values_roundtrip(self, env):
+        root, mount = env
+        with Virtualizer(BE_TEXT, mount) as v:
+            table = v.query("SELECT T, A, B, C FROM D WHERE T = 3")
+        assert table.num_rows == 5
+        np.testing.assert_allclose(
+            np.sort(table["A"]), [30.0, 31.0, 32.0, 33.0, 34.0]
+        )
+        np.testing.assert_allclose(np.sort(table["B"]), np.sort(table["A"]) * 2)
+        np.testing.assert_array_equal(np.sort(table["C"]), [30, 31, 32, 33, 34])
+
+    def test_predicates_on_be_columns(self, env):
+        root, mount = env
+        with Virtualizer(BE_TEXT, mount) as v:
+            table = v.query("SELECT A FROM D WHERE A >= 30 AND A < 40")
+        assert table.num_rows == 5
+
+    def test_mixed_width_record_geometry(self):
+        dataset = CompiledDataset(BE_TEXT)
+        (file,) = dataset.files
+        (strip,) = file.strips
+        assert strip.record_size == 4 + 8 + 4
+        assert strip.attr_formats == (">f4", ">f8", "<i4")

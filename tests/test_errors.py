@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_reproerror(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_family_trees(self):
+        assert issubclass(errors.MetadataSyntaxError, errors.MetadataError)
+        assert issubclass(errors.MetadataValidationError, errors.MetadataError)
+        assert issubclass(errors.SchemaError, errors.MetadataError)
+        assert issubclass(errors.QuerySyntaxError, errors.QueryError)
+        assert issubclass(errors.QueryValidationError, errors.QueryError)
+        assert issubclass(errors.ClusterError, errors.StormError)
+        assert issubclass(errors.PartitionError, errors.StormError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CodegenError("x")
+
+
+class TestPositions:
+    def test_metadata_syntax_position(self):
+        exc = errors.MetadataSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(exc)
+        assert "col 7" in str(exc)
+        assert exc.line == 3 and exc.column == 7
+
+    def test_query_syntax_position(self):
+        exc = errors.QuerySyntaxError("oops", line=1, column=12)
+        assert "line 1" in str(exc)
+
+    def test_position_optional(self):
+        exc = errors.MetadataSyntaxError("bad")
+        assert str(exc) == "bad"
+
+
+class TestRealErrorsArePrecise:
+    def test_descriptor_error_points_at_line(self):
+        from repro.metadata import parse_descriptor
+
+        text = "\n".join(
+            [
+                "[S]",
+                "T = int",
+                "X = float",
+                "",
+                "[D]",
+                "DatasetDescription = S",
+                "DIR[0] = n/d",
+                "",
+                'DATASET "D" {',
+                "  DATASPACE { LOOP T 1:2:1 { X } ",  # missing brace later
+            ]
+        )
+        with pytest.raises(errors.MetadataSyntaxError) as info:
+            parse_descriptor(text)
+        assert info.value.line >= 9
+
+    def test_query_error_mentions_candidates(self):
+        from repro.sql.functions import FunctionRegistry
+
+        registry = FunctionRegistry()
+        registry.register("ALPHA", lambda x: x)
+        with pytest.raises(errors.QueryValidationError, match="ALPHA"):
+            registry.get("BETA")

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "oil_reservoir.py",
+    "satellite_composite.py",
+    "custom_layout.py",
+    "admin_workflow.py",
+    "mri_lesion_search.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_list_is_complete():
+    present = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    assert present == set(EXAMPLES)

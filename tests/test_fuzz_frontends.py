@@ -1,0 +1,75 @@
+"""Fuzz the textual frontends: garbage in, clean errors out.
+
+Both parsers face administrator- and user-authored text; whatever comes
+in, they must raise the library's own error types — never an internal
+IndexError/KeyError/RecursionError — and never hang.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.metadata import parse_descriptor
+from repro.sql import parse_query
+
+_sql_tokens = st.sampled_from([
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN",
+    "*", ",", "(", ")", "<", "<=", ">", "=", ";", "X", "TIME", "T",
+    "SPEED", "1", "3.5", "'s'", "IparsData",
+])
+
+
+@given(st.lists(_sql_tokens, max_size=25).map(" ".join))
+@settings(max_examples=400, deadline=None)
+def test_sql_parser_never_crashes(text):
+    try:
+        parse_query(text)
+    except ReproError:
+        pass  # clean library error: fine
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=400, deadline=None)
+def test_sql_parser_survives_arbitrary_text(text):
+    try:
+        parse_query(text)
+    except ReproError:
+        pass
+
+
+_desc_tokens = st.sampled_from([
+    "[S]", "[D]", "X = float", "T = int", "DatasetDescription = S",
+    "DIR[0] = n/d", "DATASET", '"D"', "{", "}", "DATASPACE", "DATAINDEX",
+    "DATA", "LOOP", "T", "X", "1:5:1", "DIR[0]/f", "DATATYPE", "//c",
+    "$A", "(", ")",
+])
+
+
+@given(st.lists(_desc_tokens, max_size=30).map("\n".join))
+@settings(max_examples=300, deadline=None)
+def test_descriptor_parser_never_crashes(text):
+    try:
+        parse_descriptor(text)
+    except ReproError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_descriptor_parser_survives_arbitrary_text(text):
+    try:
+        parse_descriptor(text)
+    except ReproError:
+        pass
+
+
+@given(st.text(max_size=150))
+@settings(max_examples=200, deadline=None)
+def test_xml_parser_survives_arbitrary_text(text):
+    from repro.metadata import xml_to_descriptor
+
+    try:
+        xml_to_descriptor("<descriptor>" + text + "</descriptor>")
+    except ReproError:
+        pass

@@ -1,0 +1,128 @@
+"""Unit + property tests for the 1-D interval index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.range_index import MultiAttrRangeIndex, RangeIndex
+from repro.sql.ranges import IntervalSet
+
+
+class TestRangeIndex:
+    @pytest.fixture
+    def index(self):
+        # intervals: a=[0,10], b=[5,15], c=[20,30], d=[12,12]
+        return RangeIndex(
+            [(0, 10, "a"), (5, 15, "b"), (20, 30, "c"), (12, 12, "d")]
+        )
+
+    def test_stab(self, index):
+        assert set(index.stab(7)) == {"a", "b"}
+        assert set(index.stab(12)) == {"b", "d"}
+        assert index.stab(50) == []
+
+    def test_overlapping(self, index):
+        assert set(index.overlapping(9, 21)) == {"a", "b", "d", "c"}
+        assert set(index.overlapping(16, 19)) == set()
+
+    def test_boundary_inclusive(self, index):
+        assert "a" in index.stab(0)
+        assert "a" in index.stab(10)
+
+    def test_overlapping_set(self, index):
+        allowed = IntervalSet.points([7, 25])
+        assert set(index.overlapping_set(allowed)) == {"a", "b", "c"}
+
+    def test_overlapping_set_dedupes(self, index):
+        allowed = IntervalSet([])
+        allowed = IntervalSet.of(0, 1).union(IntervalSet.of(2, 3))
+        hits = index.overlapping_set(allowed)
+        assert hits.count("a") == 1
+
+    def test_empty_index(self):
+        index = RangeIndex([])
+        assert index.stab(1) == []
+        assert len(index) == 0
+
+
+@given(
+    st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 20)), max_size=40),
+    st.integers(-60, 60),
+    st.integers(0, 25),
+)
+@settings(max_examples=250, deadline=None)
+def test_overlap_matches_brute_force(raw, qlo, width):
+    entries = [(lo, lo + w, i) for i, (lo, w) in enumerate(raw)]
+    index = RangeIndex(entries)
+    got = set(index.overlapping(qlo, qlo + width))
+    expected = {
+        i for lo, hi, i in entries if not (hi < qlo or lo > qlo + width)
+    }
+    assert got == expected
+
+
+class TestMultiAttrRangeIndex:
+    @pytest.fixture
+    def index(self):
+        payloads = ["f0", "f1", "f2", "f3"]
+        hulls = [
+            {"REL": (0, 0), "TIME": (1, 100)},
+            {"REL": (1, 1), "TIME": (1, 100)},
+            {"REL": (0, 0), "TIME": (101, 200)},
+            {"X": (5, 10)},  # no REL/TIME hull: unconstrained by them
+        ]
+        return MultiAttrRangeIndex(payloads, hulls)
+
+    def test_select_single_attr(self, index):
+        hits = index.select({"REL": IntervalSet.points([0])})
+        assert hits == ["f0", "f2", "f3"]
+
+    def test_select_conjunction(self, index):
+        hits = index.select(
+            {"REL": IntervalSet.points([0]), "TIME": IntervalSet.of(150, 160)}
+        )
+        assert hits == ["f2", "f3"]
+
+    def test_unindexed_attr_ignored(self, index):
+        hits = index.select({"GHOST": IntervalSet.of(0, 1)})
+        assert len(hits) == 4
+
+    def test_uncovered_payloads_survive(self, index):
+        # f3 has no REL hull, so a REL constraint cannot exclude it.
+        hits = index.select({"REL": IntervalSet.points([7])})
+        assert hits == ["f3"]
+
+    def test_empty_selection_shortcircuits(self, index):
+        hits = index.select(
+            {"X": IntervalSet.of(100, 200), "REL": IntervalSet.points([0])}
+        )
+        assert "f3" not in hits
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAttrRangeIndex(["a"], [])
+
+    def test_matches_planner_match_file(self, paper_dataset):
+        """The indexed file selection equals brute-force match_file."""
+        from repro.core import CompiledDataset
+        from repro.core.analysis import match_file
+        from repro.sql import parse_where
+        from repro.sql.ranges import extract_ranges
+
+        text, _ = paper_dataset
+        dataset = CompiledDataset(text)
+        hulls = []
+        for file in dataset.files:
+            hulls.append(
+                {n: (iv.lo, iv.hi) for n, iv in file.implicit_intervals().items()}
+            )
+        index = MultiAttrRangeIndex(dataset.files, hulls)
+        for text_pred in [
+            "REL IN (0, 1) AND TIME >= 1 AND TIME <= 10",
+            "REL = 3",
+            "TIME > 18",
+            "SOIL > 0.5",
+        ]:
+            ranges = extract_ranges(parse_where(text_pred))
+            expected = [f for f in dataset.files if match_file(f, ranges)]
+            assert index.select(ranges) == expected

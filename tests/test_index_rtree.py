@@ -1,0 +1,119 @@
+"""Unit + property tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.index.rtree import RTree, boxes_intersect, box_union
+
+
+def box2(x0, x1, y0, y1):
+    return ((x0, x1), (y0, y1))
+
+
+class TestBoxOps:
+    def test_intersect(self):
+        assert boxes_intersect(box2(0, 2, 0, 2), box2(1, 3, 1, 3))
+        assert boxes_intersect(box2(0, 2, 0, 2), box2(2, 3, 2, 3))  # touching
+        assert not boxes_intersect(box2(0, 1, 0, 1), box2(2, 3, 0, 1))
+
+    def test_union(self):
+        assert box_union(box2(0, 1, 5, 6), box2(2, 3, 1, 2)) == box2(0, 3, 1, 6)
+
+
+class TestRTree:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.search(box2(0, 1, 0, 1))) == []
+
+    def test_single(self):
+        tree = RTree.bulk_load([(box2(0, 1, 0, 1), "a")])
+        assert list(tree.search(box2(0.5, 2, 0.5, 2))) == ["a"]
+        assert list(tree.search(box2(5, 6, 5, 6))) == []
+
+    def test_grid_of_boxes(self):
+        entries = [
+            (box2(i, i + 1, j, j + 1), (i, j))
+            for i in range(10)
+            for j in range(10)
+        ]
+        tree = RTree.bulk_load(entries, fanout=4)
+        assert len(tree) == 100
+        hits = set(tree.search(box2(2.5, 4.5, 2.5, 4.5)))
+        expected = {(i, j) for i in (2, 3, 4) for j in (2, 3, 4)}
+        assert hits == expected
+
+    def test_search_point(self):
+        entries = [(box2(i, i + 2, 0, 1), i) for i in range(10)]
+        tree = RTree.bulk_load(entries, fanout=3)
+        assert set(tree.search_point((4.5, 0.5))) == {3, 4}
+
+    def test_height_grows_logarithmically(self):
+        entries = [(box2(i, i + 1, 0, 1), i) for i in range(1000)]
+        tree = RTree.bulk_load(entries, fanout=16)
+        assert tree.height <= 4
+
+    def test_dimension_mismatch(self):
+        tree = RTree.bulk_load([(box2(0, 1, 0, 1), "a")])
+        with pytest.raises(ReproError, match="dims"):
+            list(tree.search(((0, 1),)))
+
+    def test_inconsistent_entry_dims(self):
+        with pytest.raises(ReproError, match="dimensionality"):
+            RTree.bulk_load([(box2(0, 1, 0, 1), "a"), (((0, 1),), "b")])
+
+    def test_inverted_box_rejected(self):
+        with pytest.raises(ReproError, match="inverted"):
+            RTree.bulk_load([(box2(2, 1, 0, 1), "a")])
+
+    def test_bad_fanout(self):
+        with pytest.raises(ReproError, match="fanout"):
+            RTree.bulk_load([(box2(0, 1, 0, 1), "a")], fanout=1)
+
+    def test_4d_boxes(self):
+        entries = [
+            ((((i, i + 1)) , (0, 1), (0, 1), (j, j + 1)), (i, j))
+            for i in range(4)
+            for j in range(4)
+        ]
+        tree = RTree.bulk_load(entries, fanout=3)
+        hits = set(tree.search(((0, 0.5), (0, 1), (0, 1), (2.5, 3.5))))
+        assert hits == {(0, 2), (0, 3)}
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 10, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 10, allow_nan=False),
+        ),
+        max_size=60,
+    ),
+    st.tuples(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 30, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 30, allow_nan=False),
+    ),
+    st.integers(2, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_rtree_matches_brute_force(raw_entries, raw_query, fanout):
+    """R-tree search returns exactly the brute-force intersection set."""
+    entries = [
+        (box2(x, x + w, y, y + h), i)
+        for i, (x, w, y, h) in enumerate(raw_entries)
+    ]
+    query = box2(
+        raw_query[0], raw_query[0] + raw_query[1],
+        raw_query[2], raw_query[2] + raw_query[3],
+    )
+    tree = RTree.bulk_load(entries, fanout=fanout)
+    got = set(tree.search(query))
+    expected = {i for box, i in entries if boxes_intersect(box, query)}
+    assert got == expected

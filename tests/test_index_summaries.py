@@ -1,0 +1,127 @@
+"""Tests for per-chunk min/max summaries (the Titan spatial index)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, Extractor, Virtualizer
+from repro.core.stats import IOStats
+from repro.errors import ReproError
+from repro.index import (
+    MinMaxSummaries,
+    build_summaries,
+    load_or_build_summaries,
+    summaries_path,
+)
+
+
+class TestBuild:
+    def test_one_summary_per_chunk(self, titan_small):
+        config, _, _, summaries = titan_small
+        assert len(summaries) == config.total_chunks
+        assert set(summaries.attrs) == {"X", "Y", "Z", "TIME"}
+
+    def test_bounds_are_correct(self, titan_small):
+        config, text, mount, summaries = titan_small
+        dataset = CompiledDataset(text)
+        with Extractor(mount) as extractor:
+            for afc in dataset.index({})[:5]:
+                chunk = afc.chunks[0]
+                cols = extractor.extract_afc(
+                    afc, ["X", "Y", "TIME"], IOStats()
+                )
+                bounds = summaries.bounds(chunk.key)
+                assert bounds["X"][0] == pytest.approx(float(cols["X"].min()))
+                assert bounds["X"][1] == pytest.approx(float(cols["X"].max()))
+                assert bounds["TIME"][0] == float(cols["TIME"].min())
+
+    def test_unknown_key(self, titan_small):
+        _, _, _, summaries = titan_small
+        assert summaries.bounds(("nope", "x", 0)) is None
+
+    def test_requires_indexed_attrs(self, paper_dataset):
+        # The IPARS example indexes only implicit attributes.
+        text, mount = paper_dataset
+        dataset = CompiledDataset(text)
+        with pytest.raises(ReproError, match="no stored indexed"):
+            build_summaries(dataset, mount)
+
+    def test_explicit_attr_override(self, titan_small):
+        _, text, mount, _ = titan_small
+        dataset = CompiledDataset(text)
+        summaries = build_summaries(dataset, mount, attrs=["S1"])
+        assert set(summaries.attrs) == {"S1"}
+
+    def test_unknown_attr_rejected(self, titan_small):
+        _, text, mount, _ = titan_small
+        dataset = CompiledDataset(text)
+        with pytest.raises(ReproError, match="unknown"):
+            build_summaries(dataset, mount, attrs=["GHOST"])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, titan_small, tmp_path):
+        _, _, _, summaries = titan_small
+        path = str(tmp_path / "summ.json")
+        summaries.save(path)
+        loaded = MinMaxSummaries.load(path)
+        assert len(loaded) == len(summaries)
+        key = next(iter(loaded._bounds))
+        assert loaded.bounds(key) == summaries.bounds(key)
+
+    def test_load_or_build(self, titan_small, tmp_path):
+        _, text, mount, _ = titan_small
+        dataset = CompiledDataset(text)
+        root = str(tmp_path)
+        first = load_or_build_summaries(dataset, mount, root)
+        assert len(first) > 0
+        import os
+
+        assert os.path.exists(summaries_path(root, dataset.descriptor.name))
+        second = load_or_build_summaries(dataset, mount, root)
+        assert len(second) == len(first)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "chunks": []}')
+        with pytest.raises(ReproError, match="version"):
+            MinMaxSummaries.load(str(path))
+
+
+class TestPruning:
+    def test_spatial_query_reads_fewer_chunks(self, titan_small):
+        config, text, mount, summaries = titan_small
+        with Virtualizer(text, mount, summaries=summaries) as with_index:
+            with Virtualizer(text, mount) as without_index:
+                sql = (
+                    "SELECT * FROM TitanData WHERE X >= 0 AND X <= "
+                    f"{config.extent[0] / 4}"
+                )
+                plan_indexed = with_index.plan(sql)
+                plan_plain = without_index.plan(sql)
+                assert len(plan_indexed.afcs) < len(plan_plain.afcs)
+                # and the results are identical
+                a = with_index.query(sql).canonical()
+                b = without_index.query(sql).canonical()
+                assert a.num_rows == b.num_rows
+                np.testing.assert_array_equal(a["X"], b["X"])
+
+    def test_pruning_never_loses_rows(self, titan_small):
+        config, text, mount, summaries = titan_small
+        queries = [
+            "SELECT * FROM TitanData WHERE X < 1000 AND Y < 1000",
+            "SELECT * FROM TitanData WHERE TIME >= 5000",
+            "SELECT X FROM TitanData WHERE Z > 350 AND S1 < 0.3",
+        ]
+        with Virtualizer(text, mount, summaries=summaries) as vi:
+            with Virtualizer(text, mount) as vp:
+                for sql in queries:
+                    assert vi.query(sql).num_rows == vp.query(sql).num_rows
+
+    def test_rtree_over_chunks(self, titan_small):
+        config, _, _, summaries = titan_small
+        tree = summaries.rtree(["X", "Y"])
+        assert len(tree) == config.total_chunks
+        hits = summaries.chunks_overlapping(
+            ["X", "Y"], ((0, config.extent[0] / 4), (0, config.extent[1] / 4))
+        )
+        assert 0 < len(hits) < config.total_chunks

@@ -1,0 +1,150 @@
+"""The paper's Section 4 walkthrough at the paper's own scale.
+
+The running example: 4 nodes, 100 grid points per node, 500 time steps,
+4 realizations; query ``REL in (0,1) AND TIME in [1,100]``.  The paper
+states the intermediate results explicitly; this test asserts every one
+of them at plan level (no data on disk is needed to plan).
+"""
+
+import pytest
+
+from repro.core import CompiledDataset, GeneratedDataset
+from repro.sql import parse_where
+from repro.sql.ranges import extract_ranges
+
+PAPER_SCALE_DESCRIPTOR = """
+[IPARS]
+REL = short int
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = osu0/ipars
+DIR[1] = osu1/ipars
+DIR[2] = osu2/ipars
+DIR[3] = osu3/ipars
+
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET ipars1 DATASET ipars2 }
+
+  DATASET "ipars1" {
+    DATASPACE {
+      LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+        X Y Z
+      }
+    }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }
+  }
+
+  DATASET "ipars2" {
+    DATASPACE {
+      LOOP TIME 1:500:1 {
+        LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+          SOIL SGAS
+        }
+      }
+    }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }
+  }
+}
+"""
+
+WALKTHROUGH_QUERY = "REL IN (0, 1) AND TIME >= 1 AND TIME <= 100"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CompiledDataset(PAPER_SCALE_DESCRIPTOR)
+
+
+class TestPaperWalkthrough:
+    def test_file_enumeration(self, dataset):
+        """'ipars1' comprises 4 files; 'ipars2' comprises 16 files."""
+        coords = [f for f in dataset.files if f.leaf_name == "ipars1"]
+        data = [f for f in dataset.files if f.leaf_name == "ipars2"]
+        assert len(coords) == 4
+        assert len(data) == 16
+
+    def test_grid_ranges_per_directory(self, dataset):
+        """'grid-points 1 through 100 in the file residing on directory 0,
+        grid-points 101 through 200 on directory 1, and so on.'"""
+        for file in dataset.files:
+            if file.leaf_name != "ipars1":
+                continue
+            hull = file.implicit_intervals()["GRID"]
+            assert hull.lo == file.dir_index * 100 + 1
+            assert hull.hi == (file.dir_index + 1) * 100
+
+    def test_sixteen_consistent_groups(self, dataset):
+        """Full product: {DIR[k]/COORD, DIR[k]/DATAr} for k, r in 0..3."""
+        assert len(dataset.groups) == 16
+
+    def test_eight_groups_survive_the_query(self, dataset):
+        """'eight such groups are put in the set T, which are
+        {DIR[k]/COORD, DIR[k]/DATA0} and {DIR[k]/COORD, DIR[k]/DATA1},
+        with k ranging from 0 to 3.'"""
+        ranges = extract_ranges(parse_where(WALKTHROUGH_QUERY))
+        from repro.core.analysis import match_file
+
+        surviving = [
+            g for g in dataset.groups
+            if all(match_file(f, ranges) for f in g.files)
+        ]
+        assert len(surviving) == 8
+        combos = {
+            (g.files[0].dir_index, g.env["REL"]) for g in surviving
+        }
+        assert combos == {(k, r) for k in range(4) for r in (0, 1)}
+
+    def test_five_hundred_afcs_per_group(self, dataset):
+        """'a total of 500 such aligned file chunk sets can be formed from
+        each set in T.'"""
+        afcs = dataset.index({})
+        assert len(afcs) == 16 * 500
+
+    def test_one_hundred_survive_pruning(self, dataset):
+        """'By using the query range, we can see that only 100 of these
+        should be processed.'"""
+        ranges = extract_ranges(parse_where(WALKTHROUGH_QUERY))
+        afcs = dataset.index(ranges)
+        assert len(afcs) == 8 * 100
+        per_group = {}
+        for afc in afcs:
+            key = tuple(sorted(afc.constant_map.items()))
+            per_group.setdefault(
+                (afc.constant_map["DIRID"], afc.constant_map["REL"]), 0
+            )
+            per_group[(afc.constant_map["DIRID"], afc.constant_map["REL"])] += 1
+        assert set(per_group.values()) == {100}
+
+    def test_afc_byte_geometry(self, dataset):
+        """Each AFC: 100 rows; COORDS at offset 0 with 12 bytes/row; the
+        DATA section for TIME=t at offset (t-1)*100*8 with 8 bytes/row."""
+        ranges = extract_ranges(parse_where(WALKTHROUGH_QUERY))
+        afc = next(
+            a for a in dataset.index(ranges)
+            if a.constant_map["TIME"] == 42 and a.constant_map["DIRID"] == 2
+        )
+        assert afc.num_rows == 100
+        coords_chunk, data_chunk = afc.chunks
+        assert coords_chunk.bytes_per_row == 12
+        assert coords_chunk.offset == 0
+        assert data_chunk.bytes_per_row == 8
+        assert data_chunk.offset == 41 * 100 * 8
+
+    def test_generated_matches_at_paper_scale(self, dataset):
+        generated = GeneratedDataset(PAPER_SCALE_DESCRIPTOR)
+        ranges = extract_ranges(parse_where(WALKTHROUGH_QUERY))
+        assert len(generated.index(ranges)) == len(dataset.index(ranges))
+
+    def test_dataset_volume_matches_paper_shape(self, dataset):
+        """17 GB-scale in the paper; here the formula must hold exactly:
+        coords 4 x 100 x 12B; data 16 x 500 x 100 x 8B."""
+        assert dataset.total_data_bytes == 4 * 100 * 12 + 16 * 500 * 100 * 8

@@ -1,0 +1,163 @@
+"""Tests for the programmatic descriptor builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, Virtualizer, local_mount
+from repro.datasets.writers import write_dataset
+from repro.errors import MetadataValidationError
+from repro.metadata import parse_descriptor
+from repro.metadata.builder import DescriptorBuilder, descriptor_for_array
+from tests.conftest import PAPER_DESCRIPTOR, assert_tables_equal
+
+
+def build_paper_equivalent():
+    """The Figure 4 descriptor, built programmatically (scaled fixture)."""
+    b = DescriptorBuilder("IparsData", schema_name="IPARS")
+    b.attribute("REL", "short int").attribute("TIME", "int")
+    b.attributes(X="float", Y="float", Z="float", SOIL="float", SGAS="float")
+    b.directories("osu{i}/ipars", count=4)
+    b.index_on("REL", "TIME")
+
+    coords = b.leaf("ipars1")
+    with coords.loop("GRID", "$DIRID*10+1", "($DIRID+1)*10"):
+        coords.record("X", "Y", "Z")
+    coords.files("DIR[$DIRID]/COORDS", DIRID=(0, 3))
+
+    data = b.leaf("ipars2")
+    with data.loop("TIME", 1, 20):
+        with data.loop("GRID", "$DIRID*10+1", "($DIRID+1)*10"):
+            data.record("SOIL", "SGAS")
+    data.files("DIR[$DIRID]/DATA$REL", REL=(0, 3), DIRID=(0, 3))
+    return b
+
+
+class TestBuilder:
+    def test_builds_valid_descriptor(self):
+        descriptor = build_paper_equivalent().build()
+        assert descriptor.name == "IparsData"
+        assert descriptor.index_attrs == ("REL", "TIME")
+        assert len(descriptor.leaves()) == 2
+
+    def test_matches_text_parser(self):
+        built = CompiledDataset(build_paper_equivalent().build())
+        parsed = CompiledDataset(parse_descriptor(PAPER_DESCRIPTOR))
+        key = lambda afc: (
+            afc.num_rows,
+            tuple((c.node, c.path, c.offset, c.bytes_per_row)
+                  for c in afc.chunks),
+            tuple(sorted(afc.constants)),
+        )
+        assert sorted(map(key, built.index({}))) == sorted(
+            map(key, parsed.index({}))
+        )
+
+    def test_to_text_roundtrip(self):
+        text = build_paper_equivalent().to_text()
+        reparsed = parse_descriptor(text)
+        assert reparsed.name == "IparsData"
+        assert CompiledDataset(reparsed).groups
+
+    def test_queries_against_fixture_data(self, paper_dataset):
+        text, mount = paper_dataset
+        built = build_paper_equivalent().build()
+        with Virtualizer(text, mount) as original:
+            with Virtualizer(built, mount) as from_builder:
+                sql = "SELECT TIME, SGAS FROM IparsData WHERE REL = 2 AND TIME <= 4"
+                assert_tables_equal(
+                    original.query(sql), from_builder.query(sql)
+                )
+
+    def test_arrays_helper(self):
+        b = DescriptorBuilder("D", schema_name="S")
+        b.attributes(T="int", A="float", B="float")
+        b.directory(0, "n0", "d")
+        b.index_on("T")
+        leaf = b.leaf("D")
+        with leaf.loop("T", 1, 5):
+            leaf.arrays("A", "B", var="G", lo=0, hi=9)
+        leaf.files("DIR[0]/f")
+        descriptor = b.build()
+        (leaf_node,) = descriptor.leaves()
+        # Two single-attribute strips per T iteration.
+        from repro.core.strips import build_strips
+
+        strips, _ = build_strips(leaf_node, descriptor.schema, {})
+        assert [s.attrs for s in strips] == [("A",), ("B",)]
+
+    def test_single_leaf_collapses_to_root(self):
+        b = DescriptorBuilder("Solo")
+        b.attribute("T", "int").attribute("A", "float")
+        b.directory(0, "n", "d")
+        leaf = b.leaf("Solo")
+        with leaf.loop("T", 1, 3):
+            leaf.record("A")
+        leaf.files("DIR[0]/f")
+        descriptor = b.build()
+        assert descriptor.layout.is_leaf
+        assert descriptor.layout.name == "Solo"
+
+
+class TestBuilderErrors:
+    def test_unclosed_loop(self):
+        b = DescriptorBuilder("D")
+        b.attribute("T", "int").attribute("A", "float")
+        b.directory(0, "n", "d")
+        leaf = b.leaf("D")
+        ctx = leaf.loop("T", 1, 3)
+        ctx.__enter__()
+        leaf.record("A")
+        leaf.files("DIR[0]/f")
+        with pytest.raises(MetadataValidationError, match="still open"):
+            b.build()
+
+    def test_empty_record(self):
+        leaf = DescriptorBuilder("D").leaf("D")
+        with pytest.raises(MetadataValidationError, match="attribute names"):
+            leaf.record()
+
+    def test_leaf_without_files(self):
+        b = DescriptorBuilder("D")
+        b.attribute("A", "float")
+        b.directory(0, "n", "d")
+        leaf = b.leaf("D")
+        with leaf.loop("G", 0, 2):
+            leaf.record("A")
+        with pytest.raises(MetadataValidationError, match="no files"):
+            b.build()
+
+    def test_validation_applies(self):
+        b = DescriptorBuilder("D")
+        b.attribute("A", "float")
+        b.directory(0, "n", "d")
+        leaf = b.leaf("D")
+        with leaf.loop("G", 0, 2):
+            leaf.record("GHOST")
+        leaf.files("DIR[0]/f")
+        with pytest.raises(MetadataValidationError, match="GHOST"):
+            b.build()
+
+
+class TestDescriptorForArray:
+    def test_roundtrip(self, tmp_path):
+        array = np.zeros(
+            7, dtype=[("T", "<i4"), ("A", "<f4"), ("B", "<f8")]
+        )
+        array["T"] = np.arange(7)
+        array["A"] = np.arange(7) * 0.5
+        array["B"] = np.arange(7) * 2.0
+        descriptor = descriptor_for_array("Table", array, index_attrs=("T",))
+
+        mount = local_mount(str(tmp_path))
+        import os
+
+        os.makedirs(tmp_path / "node0" / "data")
+        array.tofile(str(tmp_path / "node0" / "data" / "table.bin"))
+        with Virtualizer(descriptor, mount) as v:
+            out = v.query("SELECT T, B FROM Table WHERE A >= 1.0")
+        assert out.num_rows == 5
+        np.testing.assert_allclose(np.sort(out["B"]), np.arange(2, 7) * 2.0)
+
+    def test_requires_structured(self):
+        with pytest.raises(MetadataValidationError, match="structured"):
+            descriptor_for_array("T", np.zeros(3))

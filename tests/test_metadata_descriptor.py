@@ -1,0 +1,198 @@
+"""Tests for descriptor assembly and semantic validation."""
+
+import pytest
+
+from repro.errors import MetadataValidationError
+from repro.metadata import parse_descriptor
+from tests.conftest import PAPER_DESCRIPTOR
+
+
+def minimal(layout_body: str, schema_extra: str = "", dirs: int = 1) -> str:
+    """A tiny descriptor wrapper for validation tests."""
+    dir_lines = "\n".join(f"DIR[{i}] = n{i}/d" for i in range(dirs))
+    return f"""
+[S]
+T = int
+X = float
+{schema_extra}
+
+[D]
+DatasetDescription = S
+{dir_lines}
+
+{layout_body}
+"""
+
+
+class TestAssembly:
+    def test_paper_descriptor(self):
+        d = parse_descriptor(PAPER_DESCRIPTOR)
+        assert d.name == "IparsData"
+        assert d.schema.name == "IPARS"
+        assert d.index_attrs == ("REL", "TIME")
+        assert [l.name for l in d.leaves()] == ["ipars1", "ipars2"]
+
+    def test_extra_attrs_folded_into_schema(self):
+        text = minimal(
+            'DATASET "D" { DATATYPE { EXTRA = double } '
+            "DATASPACE { LOOP T 1:4:1 { X EXTRA } } DATA { DIR[0]/f } }"
+        )
+        d = parse_descriptor(text)
+        assert "EXTRA" in d.schema
+
+    def test_dataset_name_selection(self):
+        text = PAPER_DESCRIPTOR + "\n[Other]\nDatasetDescription = IPARS\nDIR[0] = n/d\n"
+        text += 'DATASET "Other" { DATASPACE { LOOP TIME 1:2:1 { X Y Z SOIL SGAS } } DATA { DIR[0]/f REL = 0:0:1 } }\n'
+        d = parse_descriptor(text, dataset_name="IparsData")
+        assert d.name == "IparsData"
+        d2 = parse_descriptor(text, dataset_name="Other")
+        assert d2.name == "Other"
+
+    def test_ambiguous_dataset_requires_name(self):
+        text = PAPER_DESCRIPTOR + "\n[Other]\nDatasetDescription = IPARS\nDIR[0] = n/d\n"
+        with pytest.raises(MetadataValidationError, match="dataset_name"):
+            parse_descriptor(text)
+
+    def test_unknown_dataset_name(self):
+        with pytest.raises(MetadataValidationError, match="no storage section"):
+            parse_descriptor(PAPER_DESCRIPTOR, dataset_name="Ghost")
+
+    def test_missing_schema(self):
+        text = """
+[D]
+DatasetDescription = GHOST
+DIR[0] = n/d
+
+DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }
+"""
+        with pytest.raises(MetadataValidationError, match="undefined schema"):
+            parse_descriptor(text)
+
+    def test_no_storage(self):
+        with pytest.raises(MetadataValidationError, match="no storage"):
+            parse_descriptor("[S]\nX = int\n")
+
+
+class TestValidation:
+    def test_unknown_attribute_in_dataspace(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X NOPE } } DATA { DIR[0]/f } }'
+        )
+        with pytest.raises(MetadataValidationError, match="NOPE"):
+            parse_descriptor(text)
+
+    def test_attribute_stored_twice_in_leaf(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } LOOP T2 1:2:1 { X } } '
+            "DATA { DIR[0]/f } }"
+        )
+        with pytest.raises(MetadataValidationError, match="twice"):
+            parse_descriptor(text)
+
+    def test_attribute_stored_by_two_leaves(self):
+        text = minimal(
+            """
+DATASET "D" {
+  DATA { DATASET a DATASET b }
+  DATASET "a" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/fa } }
+  DATASET "b" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/fb } }
+}
+"""
+        )
+        with pytest.raises(MetadataValidationError, match="one leaf"):
+            parse_descriptor(text)
+
+    def test_uncovered_attribute(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }',
+            schema_extra="MISSING = float",
+        )
+        with pytest.raises(MetadataValidationError, match="MISSING"):
+            parse_descriptor(text)
+
+    def test_implicit_attribute_must_be_integer(self):
+        text = """
+[S]
+T = float
+X = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n/d
+
+DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }
+"""
+        with pytest.raises(MetadataValidationError, match="integer type"):
+            parse_descriptor(text)
+
+    def test_loop_shadowing(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { LOOP T 1:2:1 { X } } } '
+            "DATA { DIR[0]/f } }"
+        )
+        with pytest.raises(MetadataValidationError, match="shadows"):
+            parse_descriptor(text)
+
+    def test_loop_bound_uses_unbound_variable(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:$K:1 { X } } DATA { DIR[0]/f } }'
+        )
+        with pytest.raises(MetadataValidationError, match="binding variables"):
+            parse_descriptor(text)
+
+    def test_loop_bound_uses_outer_loop_var(self):
+        # Triangular loops would make chunk sizes non-constant per file.
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:5:1 { LOOP U 1:$T:1 { X } } } '
+            "DATA { DIR[0]/f } }"
+        )
+        with pytest.raises(MetadataValidationError, match="binding variables"):
+            parse_descriptor(text)
+
+    def test_loop_var_collides_with_binding(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { LOOP A 1:2:1 { X } } } '
+            "DATA { DIR[0]/f$A A = 0:1:1 } }"
+        )
+        with pytest.raises(MetadataValidationError, match="collides"):
+            parse_descriptor(text)
+
+    def test_pattern_unbound_variable(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[$Q]/f } }'
+        )
+        with pytest.raises(MetadataValidationError, match="unbound"):
+            parse_descriptor(text)
+
+    def test_dir_index_out_of_range(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[7]/f } }'
+        )
+        with pytest.raises(MetadataValidationError, match="DIR\\[7\\]"):
+            parse_descriptor(text)
+
+    def test_duplicate_binding(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } '
+            "DATA { DIR[0]/f$A A = 0:1:1 A = 0:1:1 } }"
+        )
+        with pytest.raises(MetadataValidationError, match="binds variable"):
+            parse_descriptor(text)
+
+    def test_index_attr_not_in_schema(self):
+        text = minimal(
+            'DATASET "D" { DATAINDEX { GHOST } '
+            "DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }"
+        )
+        with pytest.raises(MetadataValidationError, match="GHOST"):
+            parse_descriptor(text)
+
+    def test_leaf_without_files(self):
+        text = minimal('DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } }')
+        with pytest.raises(MetadataValidationError, match="no files|neither"):
+            parse_descriptor(text)
+
+    def test_empty_dataset(self):
+        text = minimal('DATASET "D" { }')
+        with pytest.raises(MetadataValidationError, match="no leaf DATASET"):
+            parse_descriptor(text)

@@ -1,0 +1,164 @@
+"""Unit + property tests for descriptor arithmetic expressions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MetadataSyntaxError, MetadataValidationError
+from repro.metadata.expressions import (
+    BinOp,
+    Literal,
+    RangeExpr,
+    Var,
+    parse_expr,
+    parse_range,
+)
+
+
+class TestParseExpr:
+    def test_literal(self):
+        assert parse_expr("42").evaluate({}) == 42
+
+    def test_variable_with_dollar(self):
+        assert parse_expr("$DIRID").evaluate({"DIRID": 3}) == 3
+
+    def test_bare_variable(self):
+        # The paper's Figure 4 writes DIR[DIRID] without the '$'.
+        assert parse_expr("DIRID").evaluate({"DIRID": 5}) == 5
+
+    def test_precedence(self):
+        assert parse_expr("2+3*4").evaluate({}) == 14
+        assert parse_expr("(2+3)*4").evaluate({}) == 20
+
+    def test_paper_lower_bound(self):
+        expr = parse_expr("$DIRID*100+1")
+        assert expr.evaluate({"DIRID": 0}) == 1
+        assert expr.evaluate({"DIRID": 3}) == 301
+
+    def test_paper_upper_bound(self):
+        expr = parse_expr("($DIRID+1)*100")
+        assert expr.evaluate({"DIRID": 0}) == 100
+        assert expr.evaluate({"DIRID": 3}) == 400
+
+    def test_unary_minus(self):
+        assert parse_expr("-5").evaluate({}) == -5
+        assert parse_expr("-$A + 10").evaluate({"A": 3}) == 7
+
+    def test_floor_division(self):
+        assert parse_expr("7/2").evaluate({}) == 3
+
+    def test_modulo(self):
+        assert parse_expr("7%3").evaluate({}) == 1
+
+    def test_free_vars(self):
+        expr = parse_expr("($A+1)*($B-2)+3")
+        assert expr.free_vars() == frozenset({"A", "B"})
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(MetadataValidationError, match="unbound"):
+            parse_expr("$MISSING").evaluate({})
+
+    def test_division_by_zero(self):
+        with pytest.raises(MetadataValidationError, match="division by zero"):
+            parse_expr("1/($A-$A)").evaluate({"A": 1})
+
+    @pytest.mark.parametrize("bad", ["", "1+", "(1", "1)", "$", "1 2", "a..b"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(MetadataSyntaxError):
+            parse_expr(bad)
+
+    def test_to_python_matches_eval(self):
+        expr = parse_expr("($DIRID*100+1) % 7")
+        env = {"DIRID": 5}
+        assert eval(expr.to_python()) == expr.evaluate(env)
+
+
+class TestParseRange:
+    def test_simple(self):
+        r = parse_range("0:3:1")
+        assert list(r.evaluate({})) == [0, 1, 2, 3]
+
+    def test_default_stride(self):
+        r = parse_range("1:5")
+        assert list(r.evaluate({})) == [1, 2, 3, 4, 5]
+
+    def test_stride(self):
+        r = parse_range("0:10:5")
+        assert list(r.evaluate({})) == [0, 5, 10]
+
+    def test_paper_range_with_parens(self):
+        r = parse_range("($DIRID*100+1):(($DIRID+1)*100):1")
+        values = r.evaluate({"DIRID": 1})
+        assert values[0] == 101
+        assert values[-1] == 200
+        assert r.count({"DIRID": 1}) == 100
+
+    def test_count(self):
+        assert parse_range("1:500:1").count({}) == 500
+
+    def test_free_vars(self):
+        r = parse_range("$A:$B:1")
+        assert r.free_vars() == frozenset({"A", "B"})
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(MetadataValidationError, match="stride"):
+            parse_range("1:5:0").evaluate({})
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(MetadataValidationError, match="stride"):
+            parse_range("5:1:-1").evaluate({})
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(MetadataValidationError, match="empty range"):
+            parse_range("5:1:1").evaluate({})
+
+    def test_too_many_parts(self):
+        with pytest.raises(MetadataSyntaxError):
+            parse_range("1:2:3:4")
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["A", "B", "DIRID", "REL"])
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Literal(draw(st.integers(min_value=0, max_value=1000)))
+        return Var(draw(_names))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinOp(op, draw(exprs(depth + 1)), draw(exprs(depth + 1)))
+
+
+@given(exprs(), st.dictionaries(_names, st.integers(-50, 50)))
+@settings(max_examples=200, deadline=None)
+def test_str_reparse_evaluates_identically(expr, env):
+    """str(expr) parses back to an expression with identical semantics."""
+    full_env = {name: env.get(name, 1) for name in ["A", "B", "DIRID", "REL"]}
+    reparsed = parse_expr(str(expr))
+    assert reparsed.evaluate(full_env) == expr.evaluate(full_env)
+
+
+@given(exprs(), st.dictionaries(_names, st.integers(-50, 50)))
+@settings(max_examples=200, deadline=None)
+def test_to_python_evaluates_identically(expr, env):
+    """The code generator's rendering computes the same value."""
+    full_env = {name: env.get(name, 1) for name in ["A", "B", "DIRID", "REL"]}
+    rendered = expr.to_python()
+    assert eval(rendered, {"env": full_env}) == expr.evaluate(full_env)
+
+
+@given(
+    st.integers(0, 100),
+    st.integers(0, 100),
+    st.integers(1, 7),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_count_matches_enumeration(lo, extra, stride):
+    hi = lo + extra
+    r = parse_range(f"{lo}:{hi}:{stride}")
+    assert r.count({}) == len(list(r.evaluate({})))

@@ -1,0 +1,238 @@
+"""Unit tests for Component III (dataset layout) parsing."""
+
+import pytest
+
+from repro.errors import MetadataSyntaxError, MetadataValidationError
+from repro.metadata.layout import (
+    AttrGroup,
+    LoopNode,
+    iter_attr_names,
+    iter_loop_vars,
+    parse_file_pattern,
+    parse_layout,
+    root_datasets,
+)
+
+PAPER_LAYOUT = """
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET ipars1 DATASET ipars2 }
+
+  DATASET "ipars1" {
+    DATASPACE {
+      LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+        X Y Z
+      }
+    }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }
+  }
+
+  DATASET "ipars2" {
+    DATASPACE {
+      LOOP TIME 1:500:1 {
+        LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+          SOIL SGAS
+        }
+      }
+    }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }
+  }
+}
+"""
+
+
+class TestPaperLayout:
+    @pytest.fixture
+    def root(self):
+        datasets = parse_layout(PAPER_LAYOUT)
+        return datasets["IparsData"]
+
+    def test_tree_shape(self, root):
+        assert not root.is_leaf
+        assert [c.name for c in root.children] == ["ipars1", "ipars2"]
+        assert [l.name for l in root.leaves()] == ["ipars1", "ipars2"]
+
+    def test_schema_inheritance(self, root):
+        assert root.schema_name == "IPARS"
+        for child in root.children:
+            assert child.effective_schema_name() == "IPARS"
+
+    def test_index_inheritance(self, root):
+        for child in root.children:
+            assert child.effective_index_attrs() == ("REL", "TIME")
+
+    def test_ipars1_dataspace(self, root):
+        leaf = root.children[0]
+        (loop,) = leaf.dataspace
+        assert isinstance(loop, LoopNode)
+        assert loop.var == "GRID"
+        (group,) = loop.body
+        assert isinstance(group, AttrGroup)
+        assert group.names == ("X", "Y", "Z")
+
+    def test_ipars2_nested_loops(self, root):
+        leaf = root.children[1]
+        (time_loop,) = leaf.dataspace
+        assert time_loop.var == "TIME"
+        (grid_loop,) = time_loop.body
+        assert grid_loop.var == "GRID"
+        (group,) = grid_loop.body
+        assert group.names == ("SOIL", "SGAS")
+
+    def test_ipars2_bindings(self, root):
+        leaf = root.children[1]
+        assert [b.var for b in leaf.data.bindings] == ["REL", "DIRID"]
+        envs = list(leaf.data.binding_env_iter())
+        assert len(envs) == 16
+        assert envs[0] == {"REL": 0, "DIRID": 0}
+        assert envs[-1] == {"REL": 3, "DIRID": 3}
+
+    def test_file_expansion(self, root):
+        leaf = root.children[1]
+        pattern = leaf.data.patterns[0]
+        assert pattern.expand({"REL": 2, "DIRID": 1}) == (1, "DATA2")
+
+    def test_iter_helpers(self, root):
+        leaf = root.children[1]
+        assert list(iter_attr_names(leaf.dataspace)) == ["SOIL", "SGAS"]
+        assert list(iter_loop_vars(leaf.dataspace)) == ["TIME", "GRID"]
+
+
+class TestSiblingDefinitionStyle:
+    def test_children_defined_as_top_level_blocks(self):
+        # Figure 4 defines the children inline; the paper also allows the
+        # sibling style where DATA references later top-level blocks.
+        text = """
+DATASET "root" {
+  DATA { DATASET a DATASET b }
+}
+DATASET "a" {
+  DATASPACE { LOOP T 1:2:1 { X } }
+  DATA { DIR[0]/fa }
+}
+DATASET "b" {
+  DATASPACE { LOOP T 1:2:1 { Y } }
+  DATA { DIR[0]/fb }
+}
+"""
+        datasets = parse_layout(text)
+        roots = root_datasets(datasets)
+        assert [r.name for r in roots] == ["root"]
+        assert [c.name for c in roots[0].children] == ["a", "b"]
+
+    def test_unresolved_reference(self):
+        with pytest.raises(MetadataValidationError, match="undefined"):
+            parse_layout('DATASET "r" { DATA { DATASET ghost } }')
+
+
+class TestDatatypeClause:
+    def test_inline_attribute_definitions(self):
+        text = """
+DATASET "d" {
+  DATATYPE { EXTRA = double FLAG = char }
+  DATASPACE { LOOP T 1:2:1 { EXTRA FLAG } }
+  DATA { DIR[0]/f }
+}
+"""
+        node = parse_layout(text)["d"]
+        assert [a.name for a in node.extra_attrs] == ["EXTRA", "FLAG"]
+        assert node.extra_attrs[0].type.name == "double"
+
+    def test_schema_reference(self):
+        node = parse_layout(
+            'DATASET "d" { DATATYPE { S } DATASPACE { LOOP T 1:2:1 { X } } '
+            "DATA { DIR[0]/f } }"
+        )["d"]
+        assert node.schema_name == "S"
+
+
+class TestErrors:
+    def test_empty_loop_body(self):
+        with pytest.raises(MetadataValidationError, match="empty body"):
+            parse_layout(
+                'DATASET "d" { DATASPACE { LOOP T 1:2:1 { } } DATA { DIR[0]/f } }'
+            )
+
+    def test_dataspace_and_children_conflict(self):
+        text = """
+DATASET "d" {
+  DATASPACE { LOOP T 1:2:1 { X } }
+  DATASET "c" { DATASPACE { LOOP T 1:2:1 { Y } } DATA { DIR[0]/g } }
+}
+"""
+        with pytest.raises(MetadataValidationError, match="both"):
+            parse_layout(text)
+
+    def test_mixing_refs_and_files(self):
+        with pytest.raises(MetadataValidationError, match="cannot mix"):
+            parse_layout('DATASET "d" { DATA { DATASET a DIR[0]/f } }')
+
+    def test_variable_binding_bounds(self):
+        with pytest.raises(MetadataValidationError, match="constant"):
+            parse_layout(
+                'DATASET "d" { DATASPACE { LOOP T 1:2:1 { X } } '
+                "DATA { DIR[0]/f$A A = 0:$B:1 } }"
+            )
+
+    def test_unknown_keyword(self):
+        with pytest.raises(MetadataSyntaxError, match="unexpected"):
+            parse_layout('DATASET "d" { DATASPACES { } }')
+
+    def test_duplicate_dataset_name(self):
+        text = (
+            'DATASET "d" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }\n'
+        ) * 2
+        with pytest.raises(MetadataValidationError, match="twice"):
+            parse_layout(text)
+
+    def test_unterminated_block(self):
+        with pytest.raises(MetadataSyntaxError):
+            parse_layout('DATASET "d" { DATASPACE { LOOP T 1:2:1 { X }')
+
+
+class TestFilePattern:
+    def test_constant_dir(self):
+        pattern = parse_file_pattern("DIR[0]/data.bin")
+        assert pattern.expand({}) == (0, "data.bin")
+
+    def test_dir_expression(self):
+        pattern = parse_file_pattern("DIR[$N%4]/f")
+        assert pattern.expand({"N": 6}) == (2, "f")
+
+    def test_multiple_substitutions(self):
+        pattern = parse_file_pattern("DIR[$D]/rel$R-time$T.bin")
+        assert pattern.expand({"D": 1, "R": 2, "T": 30}) == (1, "rel2-time30.bin")
+
+    def test_subdirectory_template(self):
+        pattern = parse_file_pattern("DIR[0]/rel$R/chunk$C")
+        assert pattern.expand({"R": 1, "C": 5}) == (0, "rel1/chunk5")
+
+    def test_free_vars(self):
+        pattern = parse_file_pattern("DIR[$D]/x$A-y$B")
+        assert pattern.free_vars() == frozenset({"D", "A", "B"})
+
+    def test_unbound_template_var(self):
+        pattern = parse_file_pattern("DIR[0]/f$MISSING")
+        with pytest.raises(MetadataValidationError, match="unbound"):
+            pattern.expand({})
+
+    @pytest.mark.parametrize("bad", ["data.bin", "DIR[0]x", "DIR[0]/", "DIR[/f"])
+    def test_malformed(self, bad):
+        with pytest.raises(MetadataSyntaxError):
+            parse_file_pattern(bad)
+
+
+class TestCommentHandling:
+    def test_line_and_block_comments(self):
+        text = """
+// leading comment
+DATASET "d" { // {* trailing *}
+  {* block
+     comment *}
+  DATASPACE { LOOP T 1:2:1 { X } }
+  DATA { DIR[0]/f }
+}
+"""
+        node = parse_layout(text)["d"]
+        assert node.is_leaf

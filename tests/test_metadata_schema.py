@@ -1,0 +1,118 @@
+"""Unit tests for Component I (dataset schema) parsing and the Schema model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.metadata.schema import Attribute, Schema, parse_schemas
+from repro.metadata.types import parse_type
+
+IPARS_TEXT = """
+[IPARS]              // {* Dataset schema name *}
+REL = short int      // {* Data type definition *}
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+"""
+
+
+class TestParseSchemas:
+    def test_paper_example(self):
+        schemas = parse_schemas(IPARS_TEXT)
+        assert set(schemas) == {"IPARS"}
+        schema = schemas["IPARS"]
+        assert schema.names == ("REL", "TIME", "X", "Y", "Z", "SOIL", "SGAS")
+        assert schema.attribute("REL").type.name == "short int"
+        assert schema.attribute("TIME").type.name == "int"
+
+    def test_multiple_schemas(self):
+        text = "[A]\nP = int\n\n[B]\nQ = float\n"
+        schemas = parse_schemas(text)
+        assert set(schemas) == {"A", "B"}
+
+    def test_storage_sections_skipped(self):
+        text = IPARS_TEXT + "\n[IparsData]\nDatasetDescription = IPARS\nDIR[0] = n0/d\n"
+        schemas = parse_schemas(text)
+        assert set(schemas) == {"IPARS"}
+
+    def test_layout_blocks_skipped(self):
+        text = IPARS_TEXT + '\nDATASET "x" {\n DATASPACE { LOOP T 1:2:1 { X } }\n DATA { DIR[0]/f }\n}\n'
+        schemas = parse_schemas(text)
+        assert set(schemas) == {"IPARS"}
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(SchemaError, match="declared twice"):
+            parse_schemas("[A]\nX = int\n[A]\nY = int\n")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate attribute"):
+            parse_schemas("[A]\nX = int\nX = float\n")
+
+    def test_entry_outside_section(self):
+        with pytest.raises(SchemaError, match="outside any section"):
+            parse_schemas("X = int\n")
+
+    def test_missing_equals(self):
+        with pytest.raises(SchemaError, match="name = value"):
+            parse_schemas("[A]\nX int\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError, match="unknown attribute type"):
+            parse_schemas("[A]\nX = quaternion\n")
+
+    def test_empty_section_name(self):
+        with pytest.raises(SchemaError, match="empty section name"):
+            parse_schemas("[]\nX = int\n")
+
+
+class TestSchemaModel:
+    @pytest.fixture
+    def schema(self):
+        return parse_schemas(IPARS_TEXT)["IPARS"]
+
+    def test_contains(self, schema):
+        assert "SOIL" in schema
+        assert "WATER" not in schema
+
+    def test_len_and_iter(self, schema):
+        assert len(schema) == 7
+        assert [a.name for a in schema] == list(schema.names)
+
+    def test_index_of(self, schema):
+        assert schema.index_of("X") == 2
+        with pytest.raises(SchemaError):
+            schema.index_of("NOPE")
+
+    def test_row_size(self, schema):
+        assert schema.row_size == 2 + 4 + 5 * 4
+
+    def test_numpy_dtype(self, schema):
+        dtype = schema.numpy_dtype()
+        assert dtype.names == schema.names
+        assert dtype["REL"] == np.dtype("<i2")
+
+    def test_numpy_dtype_projection(self, schema):
+        dtype = schema.numpy_dtype(["SOIL", "TIME"])
+        assert dtype.names == ("SOIL", "TIME")
+
+    def test_project(self, schema):
+        projected = schema.project(["Z", "X"])
+        assert projected.names == ("Z", "X")
+
+    def test_extend(self, schema):
+        extended = schema.extend([Attribute("EXTRA", parse_type("double"))])
+        assert "EXTRA" in extended
+        assert len(schema) == 7  # original untouched
+
+    def test_extend_duplicate_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.extend([Attribute("SOIL", parse_type("int"))])
+
+    def test_to_text_roundtrip(self, schema):
+        text = schema.to_text()
+        reparsed = parse_schemas(text)["IPARS"]
+        assert reparsed.names == schema.names
+        assert [a.type.name for a in reparsed] == [a.type.name for a in schema]

@@ -1,0 +1,108 @@
+"""Unit tests for Component II (dataset storage) parsing."""
+
+import pytest
+
+from repro.errors import MetadataValidationError
+from repro.metadata.storage import DirEntry, StorageDescriptor, parse_storage
+
+TEXT = """
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = osu0/ipars
+DIR[1] = osu1/ipars
+DIR[2] = osu2/ipars
+DIR[3] = osu3/ipars
+"""
+
+
+class TestParseStorage:
+    def test_paper_example(self):
+        storages = parse_storage(TEXT)
+        assert set(storages) == {"IparsData"}
+        storage = storages["IparsData"]
+        assert storage.schema_name == "IPARS"
+        assert len(storage) == 4
+        assert storage.dir(2).node == "osu2"
+        assert storage.dir(2).path == "ipars"
+
+    def test_schema_sections_skipped(self):
+        text = "[IPARS]\nX = float\n" + TEXT
+        assert set(parse_storage(text)) == {"IparsData"}
+
+    def test_nested_path(self):
+        storages = parse_storage(
+            "[D]\nDatasetDescription = S\nDIR[0] = node7/data/deep/dir\n"
+        )
+        entry = storages["D"].dir(0)
+        assert entry.node == "node7"
+        assert entry.path == "data/deep/dir"
+
+    def test_node_only(self):
+        storages = parse_storage("[D]\nDatasetDescription = S\nDIR[0] = n0\n")
+        entry = storages["D"].dir(0)
+        assert entry.node == "n0"
+        assert entry.path == ""
+        assert entry.spec == "n0"
+
+    def test_sparse_and_unordered_indices(self):
+        storages = parse_storage(
+            "[D]\nDatasetDescription = S\nDIR[5] = b/x\nDIR[2] = a/x\n"
+        )
+        assert [e.index for e in storages["D"].dirs] == [2, 5]
+
+    def test_missing_description(self):
+        with pytest.raises(MetadataValidationError, match="DatasetDescription"):
+            parse_storage("[D]\nDIR[0] = n/p\n")
+
+    def test_duplicate_description(self):
+        with pytest.raises(MetadataValidationError, match="twice"):
+            parse_storage(
+                "[D]\nDatasetDescription = A\nDatasetDescription = B\nDIR[0] = n/p\n"
+            )
+
+    def test_no_dirs(self):
+        with pytest.raises(MetadataValidationError, match="no DIR"):
+            parse_storage("[D]\nDatasetDescription = S\n")
+
+    def test_duplicate_dir_index(self):
+        with pytest.raises(MetadataValidationError, match="declared twice"):
+            parse_storage(
+                "[D]\nDatasetDescription = S\nDIR[0] = a/x\nDIR[0] = b/y\n"
+            )
+
+    def test_unknown_key(self):
+        with pytest.raises(MetadataValidationError, match="unknown storage key"):
+            parse_storage("[D]\nDatasetDescription = S\nDIRS[0] = a/x\n")
+
+    def test_empty_dir_value(self):
+        with pytest.raises(MetadataValidationError, match="empty"):
+            parse_storage("[D]\nDatasetDescription = S\nDIR[0] =\n")
+
+
+class TestStorageModel:
+    @pytest.fixture
+    def storage(self):
+        return parse_storage(TEXT)["IparsData"]
+
+    def test_nodes(self, storage):
+        assert storage.nodes == ("osu0", "osu1", "osu2", "osu3")
+
+    def test_dirs_on_node(self, storage):
+        assert [e.index for e in storage.dirs_on_node("osu1")] == [1]
+        assert storage.dirs_on_node("missing") == []
+
+    def test_unknown_dir_index(self, storage):
+        with pytest.raises(MetadataValidationError, match="no DIR"):
+            storage.dir(9)
+
+    def test_multiple_dirs_per_node(self):
+        storage = StorageDescriptor(
+            "D", "S",
+            [DirEntry(0, "n0", "disk1"), DirEntry(1, "n0", "disk2")],
+        )
+        assert storage.nodes == ("n0",)
+        assert len(storage.dirs_on_node("n0")) == 2
+
+    def test_to_text_roundtrip(self, storage):
+        reparsed = parse_storage(storage.to_text())["IparsData"]
+        assert [e.spec for e in reparsed.dirs] == [e.spec for e in storage.dirs]

@@ -1,0 +1,93 @@
+"""Unit tests for the descriptor character scanner."""
+
+import pytest
+
+from repro.errors import MetadataSyntaxError
+from repro.metadata.tokens import Scanner
+
+
+class TestTrivia:
+    def test_whitespace_and_line_comments(self):
+        s = Scanner("  // comment\n  NAME")
+        assert s.read_ident() == "NAME"
+
+    def test_block_comments(self):
+        s = Scanner("{* multi\nline *} NAME")
+        assert s.read_ident() == "NAME"
+
+    def test_unterminated_block_comment(self):
+        s = Scanner("{* oops")
+        with pytest.raises(MetadataSyntaxError, match="unterminated"):
+            s.skip_trivia()
+
+    def test_at_end(self):
+        assert Scanner("   // only a comment").at_end()
+        assert not Scanner(" X ").at_end()
+
+
+class TestReaders:
+    def test_read_ident(self):
+        s = Scanner("Alpha_2 rest")
+        assert s.read_ident() == "Alpha_2"
+        assert s.read_ident() == "rest"
+
+    def test_read_ident_failure_names_expectation(self):
+        with pytest.raises(MetadataSyntaxError, match="loop variable"):
+            Scanner("{").read_ident("loop variable")
+
+    def test_peek_ident_does_not_consume(self):
+        s = Scanner("HELLO world")
+        assert s.peek_ident() == "HELLO"
+        assert s.read_ident() == "HELLO"
+
+    def test_read_name_quoted_and_bare(self):
+        assert Scanner('"my dataset"').read_name() == "my dataset"
+        assert Scanner("plain").read_name() == "plain"
+
+    def test_unterminated_string(self):
+        with pytest.raises(MetadataSyntaxError, match="unterminated"):
+            Scanner('"oops').read_quoted()
+
+    def test_expect_and_try_consume(self):
+        s = Scanner("{ }")
+        s.expect("{")
+        assert not s.try_consume("{")
+        assert s.try_consume("}")
+
+    def test_expect_reports_position(self):
+        s = Scanner("line1\nline2 X")
+        s.read_ident()
+        s.read_ident()
+        try:
+            s.expect("{")
+        except MetadataSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            raise AssertionError
+
+    def test_read_balanced_until(self):
+        s = Scanner("($A+1):(($A)*2) {")
+        assert s.read_balanced_until(":") == "($A+1)"
+        s.expect(":")
+        assert s.read_balanced_until("{") == "(($A)*2)"
+
+    def test_read_balanced_unbalanced(self):
+        with pytest.raises(MetadataSyntaxError, match="unbalanced"):
+            Scanner("a)b {").read_balanced_until("{")
+
+    def test_read_balanced_eof(self):
+        with pytest.raises(MetadataSyntaxError, match="end of input"):
+            Scanner("abc").read_balanced_until("{")
+
+    def test_read_until_whitespace_stops_at_braces(self):
+        s = Scanner("DIR[0]/file}rest")
+        assert s.read_until_whitespace() == "DIR[0]/file"
+
+    def test_read_rest_of_line_strips_comment(self):
+        s = Scanner("value // trailing\nnext")
+        assert s.read_rest_of_line() == "value"
+
+    def test_location_tracking(self):
+        s = Scanner("ab\ncd")
+        s.pos = 4  # the 'd'
+        assert s.location() == (2, 2)

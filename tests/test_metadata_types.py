@@ -1,0 +1,115 @@
+"""Unit tests for the scalar type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.metadata.types import (
+    BIG_ENDIAN,
+    LITTLE_ENDIAN,
+    ScalarType,
+    canonical_type_names,
+    parse_type,
+    type_from_dtype,
+)
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,size,kind",
+        [
+            ("char", 1, "i"),
+            ("short int", 2, "i"),
+            ("short", 2, "i"),
+            ("int", 4, "i"),
+            ("unsigned int", 4, "u"),
+            ("long int", 8, "i"),
+            ("long long", 8, "i"),
+            ("float", 4, "f"),
+            ("double", 8, "f"),
+        ],
+    )
+    def test_canonical_names(self, text, size, kind):
+        t = parse_type(text)
+        assert t.size == size
+        assert t.kind == kind
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("int16", "short int"),
+            ("int32", "int"),
+            ("float32", "float"),
+            ("float64", "double"),
+            ("real", "float"),
+            ("uint8", "unsigned char"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert parse_type(alias).name == canonical
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_type("  SHORT   INT ").name == "short int"
+        assert parse_type("Float").name == "float"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError, match="unknown attribute type"):
+            parse_type("decimal")
+
+    def test_empty_raises(self):
+        with pytest.raises(SchemaError):
+            parse_type("")
+
+
+class TestDtypes:
+    def test_little_endian_dtype(self):
+        assert parse_type("int").dtype == np.dtype("<i4")
+        assert parse_type("double").dtype == np.dtype("<f8")
+
+    def test_big_endian_dtype(self):
+        t = parse_type("float", byteorder=BIG_ENDIAN)
+        assert t.dtype == np.dtype(">f4")
+
+    def test_single_byte_ignores_order(self):
+        t = parse_type("char", byteorder=BIG_ENDIAN)
+        assert t.dtype.itemsize == 1
+
+    def test_with_byteorder(self):
+        t = parse_type("int").with_byteorder(BIG_ENDIAN)
+        assert t.byteorder == BIG_ENDIAN
+        assert t.dtype.byteorder == ">"
+
+    def test_with_bad_byteorder(self):
+        with pytest.raises(SchemaError):
+            parse_type("int").with_byteorder("!")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["char", "short int", "int", "long int",
+                                      "float", "double", "unsigned int"])
+    def test_type_from_dtype_roundtrip(self, name):
+        t = parse_type(name)
+        assert type_from_dtype(t.dtype).name == name
+
+    def test_type_from_unknown_dtype(self):
+        with pytest.raises(SchemaError):
+            type_from_dtype(np.dtype("complex128"))
+
+
+class TestPredicates:
+    def test_is_numeric(self):
+        assert parse_type("int").is_numeric
+        assert parse_type("float").is_numeric
+
+    def test_is_integer(self):
+        assert parse_type("short int").is_integer
+        assert not parse_type("float").is_integer
+
+    def test_is_float(self):
+        assert parse_type("double").is_float
+        assert not parse_type("int").is_float
+
+    def test_names_sorted_longest_first(self):
+        names = canonical_type_names()
+        lengths = [len(n) for n in names]
+        assert lengths == sorted(lengths, reverse=True)

@@ -1,0 +1,136 @@
+"""Tests for the XML embedding of the description language."""
+
+import pytest
+
+from repro.core import CompiledDataset, Virtualizer
+from repro.errors import MetadataSyntaxError, MetadataValidationError
+from repro.metadata import parse_descriptor
+from repro.metadata.xml_io import descriptor_to_xml, xml_to_descriptor
+from tests.conftest import PAPER_DESCRIPTOR, assert_tables_equal
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return parse_descriptor(PAPER_DESCRIPTOR)
+
+
+class TestRoundTrip:
+    def test_roundtrip_structure(self, paper):
+        xml = descriptor_to_xml(paper)
+        back = xml_to_descriptor(xml)
+        assert back.name == paper.name
+        assert back.schema.names == paper.schema.names
+        assert [a.type.name for a in back.schema] == [
+            a.type.name for a in paper.schema
+        ]
+        assert back.index_attrs == paper.index_attrs
+        assert [l.name for l in back.leaves()] == [l.name for l in paper.leaves()]
+        assert [e.spec for e in back.storage.dirs] == [
+            e.spec for e in paper.storage.dirs
+        ]
+
+    def test_roundtrip_produces_identical_plans(self, paper):
+        xml = descriptor_to_xml(paper)
+        back = xml_to_descriptor(xml)
+        a = CompiledDataset(paper)
+        b = CompiledDataset(back)
+        key = lambda afc: (
+            afc.num_rows,
+            tuple((c.node, c.path, c.offset, c.bytes_per_row) for c in afc.chunks),
+            tuple(sorted(afc.constants)),
+        )
+        assert sorted(map(key, a.index({}))) == sorted(map(key, b.index({})))
+
+    def test_roundtrip_queries_on_disk(self, paper_dataset):
+        text, mount = paper_dataset
+        xml = descriptor_to_xml(parse_descriptor(text))
+        with Virtualizer(text, mount) as original:
+            with Virtualizer(xml_to_descriptor(xml), mount) as from_xml:
+                sql = "SELECT REL, SOIL FROM IparsData WHERE TIME <= 3"
+                assert_tables_equal(original.query(sql), from_xml.query(sql))
+
+    def test_double_roundtrip_is_stable(self, paper):
+        once = descriptor_to_xml(paper)
+        twice = descriptor_to_xml(xml_to_descriptor(once))
+        assert once == twice
+
+    def test_extra_attrs_roundtrip(self):
+        text = """
+[S]
+T = int
+X = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATATYPE { S }
+  DATATYPE { EXTRA = double }
+  DATASPACE { LOOP T 1:4:1 { X EXTRA } }
+  DATA { DIR[0]/f }
+}
+"""
+        descriptor = parse_descriptor(text)
+        back = xml_to_descriptor(descriptor_to_xml(descriptor))
+        assert "EXTRA" in back.schema
+        assert back.schema.attribute("EXTRA").type.name == "double"
+
+
+class TestXmlContent:
+    def test_expressions_preserved(self, paper):
+        xml = descriptor_to_xml(paper)
+        assert "DIRID" in xml
+        assert "<loop" in xml and "<attributes>" in xml
+        assert 'pattern="DIR[$DIRID]/DATA$REL"' in xml
+
+    def test_is_wellformed_xml(self, paper):
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(descriptor_to_xml(paper))
+        assert root.tag == "descriptor"
+        assert root.find("schema") is not None
+        assert root.find("storage") is not None
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(MetadataSyntaxError, match="malformed"):
+            xml_to_descriptor("<descriptor><schema</descriptor>")
+
+    def test_wrong_root(self):
+        with pytest.raises(MetadataSyntaxError, match="root element"):
+            xml_to_descriptor("<layout/>")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(MetadataSyntaxError, match="missing required"):
+            xml_to_descriptor(
+                "<descriptor><schema><attribute name='X'/></schema>"
+                "</descriptor>"
+            )
+
+    def test_storage_without_dirs(self):
+        with pytest.raises(MetadataValidationError, match="no <dir>"):
+            xml_to_descriptor(
+                "<descriptor>"
+                "<schema name='S'><attribute name='X' type='float'/></schema>"
+                "<storage dataset='D' schema='S'/>"
+                "</descriptor>"
+            )
+
+    def test_validation_still_applies(self):
+        # Structure parses, but the leaf stores an unknown attribute.
+        xml = """
+<descriptor>
+  <schema name="S"><attribute name="X" type="float"/></schema>
+  <storage dataset="D" schema="S"><dir index="0" node="n" path="d"/></storage>
+  <dataset name="D">
+    <dataspace><loop var="T" lo="1" hi="2" step="1">
+      <attributes>GHOST</attributes>
+    </loop></dataspace>
+    <data><file pattern="DIR[0]/f"/></data>
+  </dataset>
+</descriptor>
+"""
+        with pytest.raises(MetadataValidationError, match="GHOST"):
+            xml_to_descriptor(xml)

@@ -1,0 +1,190 @@
+"""Property tests for dataspace linearisation invariants.
+
+Hypothesis draws random dataspace trees (nested loops + attribute groups)
+and checks the structural invariants every layout must satisfy:
+
+* the byte spans of all strips tile the file exactly — no gaps, no
+  overlaps, total equal to the computed file size;
+* every record address computed via (base_offset + ordinal * stride) is
+  unique and in bounds;
+* the dense-suffix computation is sound: scanning a dense suffix's worth
+  of consecutive records really is contiguous in the file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadata import parse_descriptor
+from repro.core.strips import build_strips, enumerate_files
+
+ATTRS = ["A", "B", "C", "D"]
+SIZES = {"A": 4, "B": 4, "C": 8, "D": 2}
+TYPES = {"A": "float", "B": "int", "C": "double", "D": "short int"}
+
+
+@st.composite
+def _geometries(draw):
+    """One fixed geometry per loop variable: a variable may appear in
+    several sibling loops (variable-as-array layouts), but must iterate
+    identically everywhere within a file."""
+    out = {}
+    for var in ["T", "G", "K"]:
+        lo = draw(st.integers(0, 3))
+        count = draw(st.integers(1, 4))
+        step = draw(st.integers(1, 2))
+        out[var] = (lo, lo + (count - 1) * step, step)
+    return out
+
+
+@st.composite
+def _tree_body(draw, geometries, depth, var_pool, attr_pool):
+    items = []
+    n_items = draw(st.integers(1, 2 if depth else 3))
+    for _ in range(n_items):
+        if not attr_pool:
+            break
+        make_loop = var_pool and depth < 3 and draw(st.booleans())
+        if make_loop:
+            var = draw(st.sampled_from(var_pool))
+            lo, hi, step = geometries[var]
+            remaining = [v for v in var_pool if v != var]
+            body = draw(
+                _tree_body(geometries, depth + 1, remaining, attr_pool)
+            )
+            if not body:
+                continue
+            items.append(("loop", var, lo, hi, step, body))
+        else:
+            k = draw(st.integers(1, min(2, len(attr_pool))))
+            group = [attr_pool.pop(0) for _ in range(k)]
+            items.append(("group", tuple(group)))
+    return items
+
+
+@st.composite
+def space_trees(draw, depth=0):
+    """A random dataspace body: list of loops/attribute groups.
+
+    The attribute pool is shared across the whole tree (each attribute is
+    stored once per leaf); loop variables never shadow along a path and
+    always iterate with one per-variable geometry.
+    """
+    geometries = draw(_geometries())
+    return draw(
+        _tree_body(geometries, depth, ["T", "G", "K"], list(ATTRS))
+    )
+
+
+def used_attrs(items) -> List[str]:
+    out = []
+    for item in items:
+        if item[0] == "group":
+            out.extend(item[1])
+        else:
+            out.extend(used_attrs(item[5]))
+    return out
+
+
+def render(items, indent="    ") -> str:
+    lines = []
+    for item in items:
+        if item[0] == "group":
+            lines.append(indent + " ".join(item[1]))
+        else:
+            _, var, lo, hi, step, body = item
+            lines.append(f"{indent}LOOP {var} {lo}:{hi}:{step} {{")
+            lines.append(render(body, indent + "  "))
+            lines.append(indent + "}")
+    return "\n".join(lines)
+
+
+def make_descriptor(items) -> str:
+    attrs = used_attrs(items)
+    if not attrs:
+        items = [("group", ("A",))]
+        attrs = ["A"]
+    schema_lines = [f"{a} = {TYPES[a]}" for a in dict.fromkeys(attrs)]
+    # Loop vars that are schema-attrs? none here; add T/G/K nowhere.
+    return (
+        "[S]\n" + "\n".join(schema_lines) + "\n\n"
+        "[D]\nDatasetDescription = S\nDIR[0] = n0/d\n\n"
+        'DATASET "D" {\n  DATASPACE {\n' + render(items) + "\n  }\n"
+        "  DATA { DIR[0]/f }\n}\n"
+    )
+
+
+@given(space_trees())
+@settings(max_examples=200, deadline=None)
+def test_strips_tile_the_file_exactly(items):
+    text = make_descriptor(items)
+    descriptor = parse_descriptor(text)
+    (file,) = enumerate_files(descriptor)
+
+    # Enumerate every record's byte span across all strips.
+    spans: List[Tuple[int, int]] = []
+    for strip in file.strips:
+        from itertools import product
+
+        axes = [range(d.count) for d in strip.dims]
+        for ordinals in product(*axes) if axes else [()]:
+            offset = strip.base_offset + sum(
+                o * d.byte_stride for o, d in zip(ordinals, strip.dims)
+            )
+            spans.append((offset, offset + strip.record_size))
+
+    spans.sort()
+    # No overlaps or gaps; full coverage.
+    assert spans[0][0] == 0
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end == start, f"gap or overlap at byte {end} in\n{text}"
+    assert spans[-1][1] == file.expected_size
+
+
+@given(space_trees())
+@settings(max_examples=150, deadline=None)
+def test_dense_suffix_is_actually_dense(items):
+    text = make_descriptor(items)
+    descriptor = parse_descriptor(text)
+    (file,) = enumerate_files(descriptor)
+    for strip in file.strips:
+        length = strip.dense_suffix_length()
+        if length == 0:
+            continue
+        dims = strip.dims[len(strip.dims) - length :]
+        # Walking the dense sub-space in row-major order advances the
+        # offset by exactly record_size each step.
+        from itertools import product
+
+        axes = [range(d.count) for d in dims]
+        offsets = []
+        for ordinals in product(*axes):
+            offsets.append(
+                sum(o * d.byte_stride for o, d in zip(ordinals, dims))
+            )
+        assert offsets == [
+            i * strip.record_size for i in range(len(offsets))
+        ], str(strip)
+
+
+@given(space_trees())
+@settings(max_examples=100, deadline=None)
+def test_full_scan_row_count_matches_row_space(items):
+    """plan('SELECT *') enumerates exactly the cross product of all loop
+    variables — the virtual table's row space."""
+    from repro.core import CompiledDataset
+
+    text = make_descriptor(items)
+    dataset = CompiledDataset(text)
+    plan = dataset.plan("SELECT * FROM D")
+    geometry = {}
+    for file in dataset.files:
+        geometry.update(file.loop_geometry())
+    expected = 1
+    for start, stop, step in geometry.values():
+        expected *= (stop - start) // step + 1
+    assert plan.planned_rows == expected

@@ -1,0 +1,203 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.sql import (
+    And,
+    Between,
+    BoolLiteral,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    Literal,
+    Not,
+    Or,
+    parse_query,
+    parse_where,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select From WHERE and OR not")]
+        assert kinds == ["keyword"] * 6 + ["end"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 2.5e-2 -7")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 3.14, 1000.0, 0.025, -7]
+        assert isinstance(values[0], int)
+        assert isinstance(values[1], float)
+
+    def test_operators(self):
+        ops = [t.value for t in tokenize("< <= > >= = == != <>")[:-1]]
+        assert ops == ["<", "<=", ">", ">=", "=", "==", "!=", "<>"]
+
+    def test_strings(self):
+        tokens = tokenize("'abc' \"xy\"")
+        assert [t.value for t in tokens[:-1]] == ["abc", "xy"]
+
+    def test_comments(self):
+        tokens = tokenize("SELECT -- a comment\n *")
+        assert [t.kind for t in tokens] == ["keyword", "punct", "end"]
+
+    def test_positions(self):
+        tokens = tokenize("SELECT\n  X")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("SELECT @")
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+
+class TestParseQuery:
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM IPARS")
+        assert q.table == "IPARS"
+        assert q.is_select_star
+        assert q.where is None
+
+    def test_projection(self):
+        q = parse_query("SELECT X, Y, SOIL FROM IparsData")
+        assert q.select == ["X", "Y", "SOIL"]
+
+    def test_paper_figure1_query(self):
+        q = parse_query(
+            "SELECT * FROM IparsData WHERE RID in (0,6,26,27) AND "
+            "TIME >= 1000 AND TIME <= 1100 AND SOIL >= 0.7 AND "
+            "SPEED(OILVX, OILVY, OILVZ) <= 30.0;"
+        )
+        assert isinstance(q.where, And)
+        assert len(q.where.terms) == 5
+        in_term = q.where.terms[0]
+        assert isinstance(in_term, InList)
+        assert in_term.values == (0, 6, 26, 27)
+        speed = q.where.terms[4]
+        assert isinstance(speed, Comparison)
+        assert isinstance(speed.left, FunctionCall)
+        assert speed.left.name == "SPEED"
+
+    def test_paper_figure7_queries(self):
+        for text in [
+            "SELECT * FROM TITAN",
+            "SELECT * FROM TITAN WHERE X>=0 AND Y<=10000 AND Y>=0 AND "
+            "Y<=10000 AND Z>=0 AND Z<=100",
+            "SELECT * FROM TITAN WHERE DISTANCE(X, Y, Z)<1000",
+            "SELECT * FROM TITAN WHERE S1 < 0.01",
+        ]:
+            q = parse_query(text)
+            assert q.table == "TITAN"
+
+    def test_or_precedence(self):
+        q = parse_where("A < 1 OR B < 2 AND C < 3")
+        assert isinstance(q, Or)
+        assert isinstance(q.terms[1], And)
+
+    def test_parentheses(self):
+        q = parse_where("(A < 1 OR B < 2) AND C < 3")
+        assert isinstance(q, And)
+        assert isinstance(q.terms[0], Or)
+
+    def test_not(self):
+        q = parse_where("NOT A < 1")
+        assert isinstance(q, Not)
+
+    def test_not_in(self):
+        q = parse_where("A NOT IN (1, 2)")
+        assert isinstance(q, Not)
+        assert isinstance(q.term, InList)
+
+    def test_between(self):
+        q = parse_where("T BETWEEN 10 AND 20")
+        assert isinstance(q, Between)
+        assert (q.lo, q.hi) == (10, 20)
+
+    def test_not_between(self):
+        q = parse_where("T NOT BETWEEN 10 AND 20")
+        assert isinstance(q, Not)
+
+    def test_between_binds_tighter_than_and(self):
+        q = parse_where("T BETWEEN 10 AND 20 AND X < 5")
+        assert isinstance(q, And)
+        assert isinstance(q.terms[0], Between)
+
+    def test_literal_on_left(self):
+        q = parse_where("100 <= TIME")
+        assert isinstance(q, Comparison)
+        assert isinstance(q.left, Literal)
+
+    def test_boolean_literals(self):
+        assert isinstance(parse_where("TRUE"), BoolLiteral)
+        assert parse_where("FALSE").value is False
+
+    def test_nested_function_args(self):
+        q = parse_where("F(G(X), 2, Y) < 1")
+        f = q.left
+        assert isinstance(f.args[0], FunctionCall)
+        assert isinstance(f.args[1], Literal)
+        assert isinstance(f.args[2], Column)
+
+    def test_zero_arg_function(self):
+        q = parse_where("Speed() < 30")
+        assert isinstance(q.left, FunctionCall)
+        assert q.left.args == ()
+
+    def test_semicolon_optional(self):
+        parse_query("SELECT * FROM T;")
+        parse_query("SELECT * FROM T")
+
+    def test_str_roundtrip(self):
+        text = ("SELECT X, Y FROM T WHERE A IN (1, 2) AND B BETWEEN 0 AND 5 "
+                "OR NOT (C < 3)")
+        q1 = parse_query(text)
+        q2 = parse_query(str(q1))
+        assert str(q1) == str(q2)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT * FORM T",
+            "SELECT * FROM T WHERE",
+            "SELECT * FROM T WHERE X",
+            "SELECT * FROM T WHERE X <",
+            "SELECT X Y FROM T",
+            "SELECT * FROM T WHERE A IN 1",
+            "SELECT * FROM T WHERE A BETWEEN 1",
+            "SELECT * FROM T extra",
+            "SELECT * FROM T WHERE A NOT < 3",
+            "* FROM T",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse_query("SELECT *\nFROM T WHERE X <")
+        except QuerySyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected syntax error")
+
+
+class TestReferencedColumns:
+    def test_dedup_and_order(self):
+        q = parse_query(
+            "SELECT X FROM T WHERE A < 1 AND F(B, A) < 2 AND C IN (1)"
+        )
+        assert q.referenced_columns() == ("A", "B", "C")
+
+    def test_no_where(self):
+        assert parse_query("SELECT * FROM T").referenced_columns() == ()

@@ -1,0 +1,265 @@
+"""Unit + property tests for the interval algebra and range extraction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import DEFAULT_REGISTRY, parse_where
+from repro.sql.ranges import (
+    Interval,
+    IntervalSet,
+    extract_ranges,
+    query_is_unsatisfiable,
+)
+
+
+class TestInterval:
+    def test_contains_closed(self):
+        iv = Interval(1, 5)
+        assert iv.contains(1) and iv.contains(5) and iv.contains(3)
+        assert not iv.contains(0.999) and not iv.contains(5.001)
+
+    def test_contains_open(self):
+        iv = Interval(1, 5, lo_open=True, hi_open=True)
+        assert not iv.contains(1) and not iv.contains(5)
+        assert iv.contains(1.001)
+
+    def test_empty(self):
+        assert Interval(5, 1).is_empty()
+        assert Interval(2, 2, lo_open=True).is_empty()
+        assert not Interval(2, 2).is_empty()
+
+    def test_intersect(self):
+        a, b = Interval(0, 10), Interval(5, 15)
+        c = a.intersect(b)
+        assert (c.lo, c.hi) == (5, 10)
+
+    def test_intersect_open_endpoints(self):
+        a = Interval(0, 5, hi_open=True)
+        b = Interval(5, 10)
+        assert a.intersect(b).is_empty()
+
+    def test_from_comparison(self):
+        assert Interval.from_comparison("<", 3).contains(2.9)
+        assert not Interval.from_comparison("<", 3).contains(3)
+        assert Interval.from_comparison(">=", 3).contains(3)
+        assert Interval.from_comparison("=", 3).contains(3)
+
+    def test_hull(self):
+        h = Interval(0, 2).hull(Interval(5, 8))
+        assert (h.lo, h.hi) == (0, 8)
+
+
+class TestIntervalSet:
+    def test_normalisation_merges_overlaps(self):
+        s = IntervalSet([Interval(0, 5), Interval(3, 8)])
+        assert len(s.intervals) == 1
+        assert s.intervals[0].hi == 8
+
+    def test_normalisation_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 5, hi_open=True), Interval(5, 8)])
+        assert len(s.intervals) == 1
+
+    def test_keeps_disjoint(self):
+        s = IntervalSet([Interval(0, 1), Interval(3, 4)])
+        assert len(s.intervals) == 2
+
+    def test_open_adjacency_stays_disjoint(self):
+        s = IntervalSet(
+            [Interval(0, 5, hi_open=True), Interval(5, 8, lo_open=True)]
+        )
+        assert len(s.intervals) == 2
+        assert not s.contains(5)
+
+    def test_points(self):
+        s = IntervalSet.points([0, 6, 26, 27])
+        assert s.contains(26) and not s.contains(13)
+
+    def test_full_and_empty(self):
+        assert IntervalSet.full().is_full()
+        assert IntervalSet.empty().is_empty()
+        assert IntervalSet.full().contains(1e18)
+
+    def test_intersect_union(self):
+        a = IntervalSet.of(0, 10)
+        b = IntervalSet.of(5, 15)
+        assert a.intersect(b).bounds == (5, 10)
+        assert a.union(b).bounds == (0, 15)
+
+    def test_intersect_with_full(self):
+        a = IntervalSet.of(0, 10)
+        assert a.intersect(IntervalSet.full()) == a
+
+    def test_overlaps_range(self):
+        s = IntervalSet.of(10, 20)
+        assert s.overlaps_range(0, 10)
+        assert s.overlaps_range(15, 16)
+        assert not s.overlaps_range(21, 30)
+
+
+class TestExtractRanges:
+    def test_simple_comparisons(self):
+        r = extract_ranges(parse_where("TIME >= 1000 AND TIME <= 1100"))
+        assert r["TIME"].bounds == (1000, 1100)
+
+    def test_strict_bounds_are_open(self):
+        r = extract_ranges(parse_where("TIME > 1000 AND TIME < 1100"))
+        assert not r["TIME"].contains(1000)
+        assert not r["TIME"].contains(1100)
+        assert r["TIME"].contains(1001)
+
+    def test_in_list(self):
+        r = extract_ranges(parse_where("REL IN (0, 6, 26)"))
+        assert r["REL"].contains(6)
+        assert not r["REL"].contains(3)
+
+    def test_between(self):
+        r = extract_ranges(parse_where("T BETWEEN 5 AND 9"))
+        assert r["T"].bounds == (5, 9)
+
+    def test_mirrored_comparison(self):
+        r = extract_ranges(parse_where("100 <= TIME"))
+        assert r["TIME"].contains(100)
+        assert not r["TIME"].contains(99)
+
+    def test_or_unions(self):
+        r = extract_ranges(parse_where("T < 5 OR T > 10"))
+        assert r["T"].contains(0) and r["T"].contains(11)
+        assert not r["T"].contains(7)
+
+    def test_or_drops_unshared_attrs(self):
+        r = extract_ranges(parse_where("T < 5 OR X > 2"))
+        assert "T" not in r and "X" not in r
+
+    def test_and_intersects(self):
+        r = extract_ranges(parse_where("(T < 5 OR T > 10) AND T >= 3"))
+        assert not r["T"].contains(2)
+        assert r["T"].contains(3) and r["T"].contains(11)
+
+    def test_not_pushed_through(self):
+        r = extract_ranges(parse_where("NOT T < 5"))
+        assert r["T"].contains(5)
+        assert not r["T"].contains(4.9)
+
+    def test_not_between(self):
+        r = extract_ranges(parse_where("T NOT BETWEEN 5 AND 9"))
+        assert r["T"].contains(4) and r["T"].contains(10)
+        assert not r["T"].contains(7)
+
+    def test_demorgan(self):
+        r = extract_ranges(parse_where("NOT (T < 5 OR T > 10)"))
+        assert r["T"].bounds == (5, 10)
+
+    def test_not_in_is_conservative(self):
+        # NOT IN excludes points; we conservatively keep the attr
+        # unconstrained (full predicate still filters rows).
+        r = extract_ranges(parse_where("T NOT IN (1, 2)"))
+        assert "T" not in r
+
+    def test_inequality(self):
+        r = extract_ranges(parse_where("T != 5"))
+        assert not r["T"].contains(5)
+        assert r["T"].contains(4) and r["T"].contains(6)
+
+    def test_function_calls_unconstrained(self):
+        r = extract_ranges(parse_where("SPEED(A, B, C) < 30"))
+        assert r == {}
+
+    def test_column_to_column_unconstrained(self):
+        assert extract_ranges(parse_where("A < B")) == {}
+
+    def test_none(self):
+        assert extract_ranges(None) == {}
+
+    def test_contradiction_detected(self):
+        r = extract_ranges(parse_where("T < 5 AND T > 10"))
+        assert query_is_unsatisfiable(r)
+
+    def test_false_literal(self):
+        r = extract_ranges(parse_where("FALSE"))
+        assert query_is_unsatisfiable(r)
+
+    def test_paper_figure1_ranges(self):
+        r = extract_ranges(parse_where(
+            "RID in (0,6,26,27) AND TIME >= 1000 AND TIME <= 1100 AND "
+            "SOIL >= 0.7 AND SPEED(OILVX, OILVY, OILVZ) <= 30.0"
+        ))
+        assert set(r) == {"RID", "TIME", "SOIL"}
+        assert r["SOIL"].bounds[0] == 0.7
+
+
+# ---------------------------------------------------------------------------
+# Property tests: extracted ranges are NECESSARY conditions
+# ---------------------------------------------------------------------------
+
+_attrs = ("A", "B")
+
+
+@st.composite
+def predicates(draw, depth=0):
+    if depth >= 3 or draw(st.integers(0, 2)) == 0:
+        attr = draw(st.sampled_from(_attrs))
+        kind = draw(st.integers(0, 3))
+        value = draw(st.integers(-10, 10))
+        if kind == 0:
+            op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+            return f"{attr} {op} {value}"
+        if kind == 1:
+            hi = value + draw(st.integers(0, 10))
+            return f"{attr} BETWEEN {value} AND {hi}"
+        if kind == 2:
+            values = draw(st.lists(st.integers(-10, 10), min_size=1, max_size=4))
+            return f"{attr} IN ({', '.join(map(str, values))})"
+        return f"NOT ({draw(predicates(depth + 1))})"
+    op = draw(st.sampled_from(["AND", "OR"]))
+    return f"({draw(predicates(depth + 1))}) {op} ({draw(predicates(depth + 1))})"
+
+
+@given(
+    predicates(),
+    st.integers(-12, 12),
+    st.integers(-12, 12),
+)
+@settings(max_examples=300, deadline=None)
+def test_ranges_are_necessary_conditions(text, a, b):
+    """Any row satisfying the predicate lies within the extracted ranges.
+
+    This is THE safety property of chunk pruning: pruning by ranges can
+    only remove rows the full predicate would reject anyway.
+    """
+    node = parse_where(text)
+    columns = {"A": np.array([a]), "B": np.array([b])}
+    satisfied = bool(np.asarray(node.evaluate(columns, DEFAULT_REGISTRY)).all())
+    ranges = extract_ranges(node)
+    if satisfied:
+        for attr, value in (("A", a), ("B", b)):
+            if attr in ranges:
+                assert ranges[attr].contains(value), (
+                    f"{text}: row ({a}, {b}) satisfies predicate but "
+                    f"{attr}={value} outside {ranges[attr]}"
+                )
+
+
+@given(st.lists(st.tuples(st.integers(-20, 20), st.integers(0, 10)), max_size=6),
+       st.integers(-25, 25))
+@settings(max_examples=200, deadline=None)
+def test_interval_set_union_contains_members(pairs, probe):
+    sets = [IntervalSet.of(lo, lo + width) for lo, width in pairs]
+    union = IntervalSet.empty()
+    for s in sets:
+        union = union.union(s)
+    assert union.contains(probe) == any(s.contains(probe) for s in sets)
+
+
+@given(st.tuples(st.integers(-20, 20), st.integers(0, 10)),
+       st.tuples(st.integers(-20, 20), st.integers(0, 10)),
+       st.integers(-25, 25))
+@settings(max_examples=200, deadline=None)
+def test_interval_set_intersection(a, b, probe):
+    sa = IntervalSet.of(a[0], a[0] + a[1])
+    sb = IntervalSet.of(b[0], b[0] + b[1])
+    both = sa.intersect(sb)
+    assert both.contains(probe) == (sa.contains(probe) and sb.contains(probe))

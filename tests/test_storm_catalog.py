@@ -1,0 +1,150 @@
+"""Tests for the multi-dataset catalog and planner diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledDataset, local_mount
+from repro.datasets import IparsConfig, TitanConfig, ipars, titan
+from repro.errors import StormError
+from repro.index import build_summaries, summaries_path
+from repro.metadata import descriptor_to_xml, parse_descriptor
+from repro.storm import VirtualCluster
+from repro.storm.catalog import Catalog
+
+
+@pytest.fixture(scope="module")
+def multi_env(tmp_path_factory):
+    """One cluster hosting both an IPARS and a Titan dataset."""
+    root = tmp_path_factory.mktemp("catalog")
+    cluster = VirtualCluster.create(str(root), 2)
+    ipars_cfg = IparsConfig(num_rels=2, num_times=6, cells_per_node=20,
+                            num_nodes=2)
+    titan_cfg = TitanConfig(chunks_x=4, chunks_y=2, chunks_z=2, chunks_t=2,
+                            elems_per_chunk=50, num_nodes=2)
+    ipars_text, _ = ipars.generate(ipars_cfg, "L0", cluster.mount())
+    titan_text, _ = titan.generate(titan_cfg, cluster.mount())
+    # Persist Titan summaries where the catalog auto-discovers them.
+    dataset = CompiledDataset(titan_text)
+    build_summaries(dataset, cluster.mount()).save(
+        summaries_path(cluster.root, "TitanData")
+    )
+    return cluster, ipars_cfg, titan_cfg, ipars_text, titan_text
+
+
+class TestCatalog:
+    def test_register_and_route(self, multi_env):
+        cluster, ipars_cfg, titan_cfg, ipars_text, titan_text = multi_env
+        with Catalog(cluster) as catalog:
+            catalog.register(ipars_text)
+            catalog.register(titan_text)
+            assert catalog.table_names == ["IparsData", "TitanData"]
+
+            r1 = catalog.query(
+                "SELECT REL FROM IparsData WHERE TIME = 1", remote=False
+            )
+            assert r1.num_rows == ipars_cfg.num_rels * ipars_cfg.total_cells
+            r2 = catalog.query("SELECT S1 FROM TitanData", remote=False)
+            assert r2.num_rows == titan_cfg.total_rows
+
+    def test_summaries_auto_discovered(self, multi_env):
+        cluster, _, titan_cfg, _, titan_text = multi_env
+        with Catalog(cluster) as catalog:
+            catalog.register(titan_text)
+            dataset = catalog.dataset("TitanData")
+            assert dataset.summaries is not None
+            plan = dataset.plan(
+                "SELECT X FROM TitanData WHERE X < 1 AND Y < 1"
+            )
+            assert len(plan.afcs) < titan_cfg.total_chunks
+
+    def test_xml_registration(self, multi_env):
+        cluster, ipars_cfg, _, ipars_text, _ = multi_env
+        xml = descriptor_to_xml(parse_descriptor(ipars_text))
+        with Catalog(cluster) as catalog:
+            name = catalog.register(xml)
+            assert name == "IparsData"
+            result = catalog.query(
+                "SELECT TIME FROM IparsData WHERE TIME <= 2", remote=False
+            )
+            assert result.num_rows == 2 * ipars_cfg.num_rels * ipars_cfg.total_cells
+
+    def test_unknown_table(self, multi_env):
+        cluster, *_ = multi_env
+        with Catalog(cluster) as catalog:
+            with pytest.raises(StormError, match="no dataset"):
+                catalog.query("SELECT X FROM Ghost")
+
+    def test_duplicate_registration(self, multi_env):
+        cluster, _, _, ipars_text, _ = multi_env
+        with Catalog(cluster) as catalog:
+            catalog.register(ipars_text)
+            with pytest.raises(StormError, match="already registered"):
+                catalog.register(ipars_text)
+
+    def test_unregister(self, multi_env):
+        cluster, _, _, ipars_text, _ = multi_env
+        with Catalog(cluster) as catalog:
+            catalog.register(ipars_text)
+            catalog.unregister("IparsData")
+            assert "IparsData" not in catalog
+
+    def test_interpreted_mode(self, multi_env):
+        cluster, ipars_cfg, _, ipars_text, _ = multi_env
+        with Catalog(cluster) as catalog:
+            catalog.register(ipars_text, use_codegen=False)
+            dataset = catalog.dataset("IparsData")
+            assert type(dataset).__name__ == "CompiledDataset"
+            assert catalog.query(
+                "SELECT X FROM IparsData WHERE TIME = 1", remote=False
+            ).num_rows > 0
+
+    def test_explain_routes(self, multi_env):
+        cluster, _, _, ipars_text, titan_text = multi_env
+        with Catalog(cluster) as catalog:
+            catalog.register(ipars_text)
+            catalog.register(titan_text)
+            assert "IparsData" in catalog.explain("SELECT X FROM IparsData")
+            assert "TitanData" in catalog.explain("SELECT X FROM TitanData")
+
+
+class TestPlannerWarnings:
+    def test_clean_descriptor_has_no_warnings(self, multi_env):
+        _, _, _, ipars_text, _ = multi_env
+        assert CompiledDataset(ipars_text).warnings == []
+
+    def test_degenerate_alignment_warns(self):
+        text = """
+[S]
+H = int
+A = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATA { DATASET h DATASET a }
+  DATASET "h" { DATASPACE { H } DATA { DIR[0]/h } }
+  DATASET "a" { DATASPACE { LOOP G 0:9:1 { A } } DATA { DIR[0]/a } }
+}
+"""
+        dataset = CompiledDataset(text)
+        assert any("dense loop suffix" in w for w in dataset.warnings)
+
+    def test_missing_index_warns_for_large_data(self):
+        text = """
+[S]
+A = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" {
+  DATASPACE { LOOP G 0:99999999:1 { A } }
+  DATA { DIR[0]/huge }
+}
+"""
+        dataset = CompiledDataset(text)
+        assert any("no DATAINDEX" in w for w in dataset.warnings)
+        assert any("256 MB" in w for w in dataset.warnings)

@@ -1,0 +1,141 @@
+"""Unit tests for the data mover and filtering services."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import IOStats
+from repro.core.table import VirtualTable
+from repro.sql import DEFAULT_REGISTRY, parse_where
+from repro.storm.filtering import FilteringService
+from repro.storm.mover import DataMoverService, MESSAGE_OVERHEAD
+from repro.storm.partition import BlockPartitioner, RoundRobinPartitioner
+
+
+def make_table(n):
+    return VirtualTable(
+        {
+            "A": np.arange(n, dtype=np.float32),
+            "B": np.arange(n, dtype=np.int16),
+        },
+        order=["A", "B"],
+    )
+
+
+class TestDataMover:
+    def test_row_bytes(self):
+        mover = DataMoverService()
+        assert mover.row_bytes(make_table(3)) == 4 + 2
+
+    def test_move_accounting(self):
+        mover = DataMoverService()
+        stats = IOStats()
+        deliveries = mover.move(
+            make_table(100), RoundRobinPartitioner(), 4, stats
+        )
+        assert len(deliveries) == 4
+        assert sum(d.table.num_rows for d in deliveries) == 100
+        expected_payload = 100 * 6
+        total = sum(d.bytes_sent for d in deliveries)
+        messages = sum(d.messages for d in deliveries)
+        assert total == expected_payload + messages * MESSAGE_OVERHEAD
+        assert stats.bytes_sent == total
+
+    def test_empty_clients_send_nothing(self):
+        mover = DataMoverService()
+        deliveries = mover.move(make_table(2), BlockPartitioner(), 4)
+        empty = [d for d in deliveries if d.table.num_rows == 0]
+        assert all(d.bytes_sent == 0 and d.messages == 0 for d in empty)
+
+    def test_message_chunking(self):
+        mover = DataMoverService(message_bytes=100)
+        (delivery,) = mover.move(make_table(1000), BlockPartitioner(), 1)
+        # 6000 payload bytes over 100-byte messages.
+        assert delivery.messages == 60
+
+    def test_delivered_content_is_the_partition(self):
+        mover = DataMoverService()
+        table = make_table(10)
+        deliveries = mover.move(table, BlockPartitioner(), 2)
+        np.testing.assert_array_equal(deliveries[0].table["A"], np.arange(5))
+        np.testing.assert_array_equal(
+            deliveries[1].table["A"], np.arange(5, 10)
+        )
+
+
+class TestFilteringService:
+    @pytest.fixture
+    def service(self):
+        return FilteringService()
+
+    def test_no_predicate_projects(self, service):
+        columns = {"A": np.arange(4.0), "B": np.arange(4.0) * 2}
+        out = service.apply(None, columns, ["B"], 4)
+        assert set(out) == {"B"}
+        np.testing.assert_array_equal(out["B"], [0, 2, 4, 6])
+
+    def test_vector_predicate(self, service):
+        columns = {"A": np.arange(4.0)}
+        out = service.apply(parse_where("A >= 2"), columns, ["A"], 4)
+        np.testing.assert_array_equal(out["A"], [2, 3])
+
+    def test_all_filtered_returns_none(self, service):
+        columns = {"A": np.arange(4.0)}
+        assert service.apply(parse_where("A > 99"), columns, ["A"], 4) is None
+
+    def test_scalar_predicates(self, service):
+        columns = {"A": np.arange(3.0)}
+        assert service.apply(parse_where("FALSE"), columns, ["A"], 3) is None
+        out = service.apply(parse_where("TRUE"), columns, ["A"], 3)
+        assert len(out["A"]) == 3
+
+    def test_stats_row_counting(self, service):
+        stats = IOStats()
+        columns = {"A": np.arange(10.0)}
+        service.apply(parse_where("A < 4"), columns, ["A"], 10, stats)
+        assert stats.rows_output == 4
+
+    def test_udf_predicate(self, service):
+        columns = {
+            "VX": np.array([3.0, 30.0]),
+            "VY": np.array([4.0, 40.0]),
+            "VZ": np.zeros(2),
+        }
+        out = service.apply(
+            parse_where("SPEED(VX, VY, VZ) < 10"), columns, ["VX"], 2
+        )
+        np.testing.assert_array_equal(out["VX"], [3.0])
+
+    def test_filter_only_columns_dropped_from_output(self, service):
+        columns = {"A": np.arange(4.0), "HIDDEN": np.arange(4.0)}
+        out = service.apply(
+            parse_where("HIDDEN >= 2"), columns, ["A"], 4
+        )
+        assert set(out) == {"A"}
+
+
+class TestConcurrentQueries:
+    def test_parallel_submits_are_safe(self, ipars_l0):
+        """Concurrent submit() calls from multiple threads agree with
+        serial execution (per-node extraction is serialised by a lock)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core import GeneratedDataset
+        from repro.storm import QueryService, VirtualCluster
+
+        config, text, mount = ipars_l0
+        # Rebuild a cluster object over the fixture's root directory.
+        root = mount("", "").rstrip("/")
+        cluster = VirtualCluster(root, [f"osu{i}" for i in range(config.num_nodes)])
+        service = QueryService(GeneratedDataset(text), cluster)
+        queries = [
+            f"SELECT REL, TIME, SOIL FROM IparsData WHERE TIME = {t}"
+            for t in range(1, 9)
+        ]
+        expected = [service.submit(q, remote=False).num_rows for q in queries]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(lambda q: service.submit(q, remote=False).num_rows,
+                         queries)
+            )
+        assert results == expected
+        service.close()

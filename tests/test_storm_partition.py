@@ -1,0 +1,149 @@
+"""Unit + property tests for the partition generation service."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.table import VirtualTable
+from repro.errors import PartitionError
+from repro.storm.partition import (
+    BlockPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+)
+
+
+def table_of(n):
+    return VirtualTable(
+        {"K": np.arange(n) % 7, "V": np.arange(n, dtype=np.float64)},
+        order=["K", "V"],
+    )
+
+
+class TestRoundRobin:
+    def test_assignment(self):
+        parts = RoundRobinPartitioner().partition(table_of(10), 3)
+        assert [list(p) for p in parts] == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_single_client_is_identity(self):
+        (only,) = RoundRobinPartitioner().partition(table_of(5), 1)
+        assert list(only) == list(range(5))
+
+
+class TestBlock:
+    def test_contiguous_blocks(self):
+        parts = BlockPartitioner().partition(table_of(10), 3)
+        assert [list(p) for p in parts] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_empty_table(self):
+        parts = BlockPartitioner().partition(table_of(0), 3)
+        assert all(len(p) == 0 for p in parts)
+
+    def test_more_clients_than_rows(self):
+        parts = BlockPartitioner().partition(table_of(2), 5)
+        assert sum(len(p) for p in parts) == 2
+
+
+class TestHash:
+    def test_colocation(self):
+        table = table_of(70)
+        parts = HashPartitioner(["K"]).partition(table, 4)
+        # All rows with equal K land on the same client.
+        key_to_client = {}
+        for client, idx in enumerate(parts):
+            for i in idx:
+                k = int(table["K"][i])
+                assert key_to_client.setdefault(k, client) == client
+
+    def test_requires_attrs(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner([])
+
+    def test_multi_attr_keys(self):
+        table = table_of(20)
+        parts = HashPartitioner(["K", "V"]).partition(table, 3)
+        assert sum(len(p) for p in parts) == 20
+
+    def test_round_float_keys_spread(self):
+        """Round coordinates (10.0, 20.0, ...) have all-zero low mantissa
+        bits; the hash finalizer must still spread them across clients."""
+        table = VirtualTable(
+            {"X": (np.arange(1000, dtype=np.float64) % 40) * 10.0}
+        )
+        parts = HashPartitioner(["X"]).partition(table, 4)
+        sizes = [len(p) for p in parts]
+        assert min(sizes) > 0
+        assert max(sizes) < 600
+
+
+class TestRange:
+    def test_split(self):
+        table = table_of(10)  # V = 0..9
+        parts = RangePartitioner("V", [3, 7]).partition(table, 3)
+        # Boundary values go right: V=3 lands on client 1, V=7 on client 2.
+        assert [list(p) for p in parts] == [
+            [0, 1, 2], [3, 4, 5, 6], [7, 8, 9]
+        ]
+
+    def test_boundary_count_mismatch(self):
+        with pytest.raises(PartitionError, match="boundaries"):
+            RangePartitioner("V", [1]).partition(table_of(5), 3)
+
+    def test_unsorted_boundaries(self):
+        with pytest.raises(PartitionError, match="sorted"):
+            RangePartitioner("V", [7, 3])
+
+
+class TestFactory:
+    def test_named_schemes(self):
+        assert isinstance(make_partitioner("round_robin"), RoundRobinPartitioner)
+        assert isinstance(make_partitioner("block"), BlockPartitioner)
+        assert isinstance(
+            make_partitioner("hash", attrs=["K"]), HashPartitioner
+        )
+        assert isinstance(
+            make_partitioner("range", attr="V", boundaries=[1.0]),
+            RangePartitioner,
+        )
+
+    def test_unknown_scheme(self):
+        with pytest.raises(PartitionError, match="unknown"):
+            make_partitioner("zigzag")
+
+    def test_invalid_client_count(self):
+        with pytest.raises(PartitionError):
+            RoundRobinPartitioner().partition(table_of(3), 0)
+
+
+@given(
+    st.integers(0, 200),
+    st.integers(1, 9),
+    st.sampled_from(["round_robin", "block"]),
+)
+@settings(max_examples=150, deadline=None)
+def test_partition_is_exact_cover(num_rows, num_clients, scheme):
+    """Every row is delivered to exactly one client (no loss, no dup)."""
+    partitioner = make_partitioner(scheme)
+    parts = partitioner.partition(table_of(num_rows), num_clients)
+    assert len(parts) == num_clients
+    combined = np.concatenate(parts) if parts else np.empty(0)
+    assert sorted(combined.tolist()) == list(range(num_rows))
+
+
+@given(st.integers(0, 200), st.integers(1, 9))
+@settings(max_examples=100, deadline=None)
+def test_hash_partition_is_exact_cover(num_rows, num_clients):
+    parts = HashPartitioner(["K"]).partition(table_of(num_rows), num_clients)
+    combined = np.concatenate(parts) if parts else np.empty(0)
+    assert sorted(combined.tolist()) == list(range(num_rows))
+
+
+@given(st.integers(1, 100), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_block_partition_balanced(num_rows, num_clients):
+    parts = BlockPartitioner().partition(table_of(num_rows), num_clients)
+    sizes = [len(p) for p in parts]
+    assert max(sizes) - min(s for s in sizes) <= -(-num_rows // num_clients)

@@ -1,0 +1,82 @@
+"""Tests for the streaming (batched) query API."""
+
+import numpy as np
+import pytest
+
+from repro.core import Virtualizer
+from repro.core.table import concat_tables
+from repro.errors import ExtractionError
+from tests.conftest import assert_tables_equal
+
+
+@pytest.fixture(scope="module")
+def v(paper_dataset):
+    text, mount = paper_dataset
+    virtualizer = Virtualizer(text, mount)
+    yield virtualizer
+    virtualizer.close()
+
+
+class TestQueryIter:
+    def test_batches_reassemble_to_full_result(self, v):
+        sql = "SELECT REL, TIME, SOIL FROM IparsData WHERE SOIL > 0.3"
+        whole = v.query(sql)
+        batches = list(v.query_iter(sql, batch_rows=100))
+        assert len(batches) > 1
+        assert_tables_equal(concat_tables(batches), whole)
+
+    def test_batch_sizes_bounded_by_afc_granularity(self, v):
+        # Each AFC yields 10 rows; with batch_rows=25 batches flush at the
+        # first AFC boundary at or past 25 rows.
+        batches = list(
+            v.query_iter("SELECT X FROM IparsData", batch_rows=25)
+        )
+        assert all(25 <= b.num_rows <= 34 for b in batches[:-1])
+        assert sum(b.num_rows for b in batches) == 3200
+
+    def test_chunk_cap_tightens_batches(self, paper_dataset):
+        text, mount = paper_dataset
+        with Virtualizer(text, mount, chunk_row_cap=5) as capped:
+            batches = list(
+                capped.query_iter("SELECT X FROM IparsData", batch_rows=5)
+            )
+            assert all(b.num_rows == 5 for b in batches)
+
+    def test_filtered_stream(self, v):
+        sql = "SELECT SOIL FROM IparsData WHERE SOIL > 0.95"
+        whole = v.query(sql)
+        batches = list(v.query_iter(sql, batch_rows=8))
+        assert sum(b.num_rows for b in batches) == whole.num_rows
+        for batch in batches:
+            assert (batch["SOIL"] > 0.95).all()
+
+    def test_empty_result_yields_nothing(self, v):
+        batches = list(
+            v.query_iter("SELECT X FROM IparsData WHERE TIME > 999")
+        )
+        assert batches == []
+
+    def test_single_batch_when_large(self, v):
+        batches = list(
+            v.query_iter("SELECT X FROM IparsData", batch_rows=10**9)
+        )
+        assert len(batches) == 1
+        assert batches[0].num_rows == 3200
+
+    def test_invalid_batch_size(self, v):
+        with pytest.raises(ExtractionError):
+            list(v.query_iter("SELECT X FROM IparsData", batch_rows=0))
+
+    def test_stats_accumulate_once(self, paper_dataset):
+        from repro.core import IOStats
+
+        text, mount = paper_dataset
+        with Virtualizer(text, mount) as fresh:
+            stats = IOStats()
+            total = sum(
+                b.num_rows
+                for b in fresh.query_iter(
+                    "SELECT X FROM IparsData", batch_rows=64, stats=stats
+                )
+            )
+            assert stats.rows_output == total == 3200

@@ -1,0 +1,98 @@
+"""Tests for table export (CSV / npz) and the console-script entry point."""
+
+import io
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.table import VirtualTable
+
+
+@pytest.fixture
+def table():
+    return VirtualTable(
+        {
+            "T": np.array([3, 1, 2], dtype=np.int32),
+            "V": np.array([0.5, 1.25, -2.0], dtype=np.float32),
+        },
+        order=["T", "V"],
+    )
+
+
+class TestCsv:
+    def test_basic(self, table):
+        out = io.StringIO()
+        written = table.to_csv(out)
+        lines = out.getvalue().strip().splitlines()
+        assert written == 3
+        assert lines[0] == "T,V"
+        assert lines[1] == "3,0.5"
+
+    def test_no_header(self, table):
+        out = io.StringIO()
+        table.to_csv(out, header=False)
+        assert out.getvalue().splitlines()[0] == "3,0.5"
+
+    def test_limit(self, table):
+        out = io.StringIO()
+        written = table.to_csv(out, limit=2)
+        assert written == 2
+        assert len(out.getvalue().strip().splitlines()) == 3  # header + 2
+
+    def test_float_precision_roundtrips(self):
+        values = np.array([0.1, 1 / 3, 1e-20], dtype=np.float64)
+        t = VirtualTable({"X": values})
+        out = io.StringIO()
+        t.to_csv(out)
+        parsed = [float(l) for l in out.getvalue().strip().splitlines()[1:]]
+        np.testing.assert_array_equal(np.array(parsed), values)
+
+
+class TestNpz:
+    def test_roundtrip(self, table, tmp_path):
+        path = str(tmp_path / "t.npz")
+        table.save_npz(path)
+        loaded = VirtualTable.load_npz(path)
+        assert loaded.column_names == table.column_names
+        np.testing.assert_array_equal(loaded["V"], table["V"])
+        assert loaded["T"].dtype == np.int32
+
+    def test_empty_table(self, tmp_path):
+        path = str(tmp_path / "e.npz")
+        t = VirtualTable({"A": np.empty(0, dtype=np.float32)})
+        t.save_npz(path)
+        loaded = VirtualTable.load_npz(path)
+        assert loaded.num_rows == 0
+        assert loaded.column_names == ("A",)
+
+
+class TestConsoleScript:
+    def test_module_entry_point(self, tmp_path):
+        desc = tmp_path / "d.desc"
+        desc.write_text(
+            "[S]\nT = int\nA = float\n\n"
+            "[D]\nDatasetDescription = S\nDIR[0] = n/d\n\n"
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { A } } '
+            "DATA { DIR[0]/f } }\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "validate", str(desc)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "descriptor OK" in result.stdout
+
+    def test_module_entry_point_error_path(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "validate", "/no/such/file"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 1
+        assert "error:" in result.stderr
