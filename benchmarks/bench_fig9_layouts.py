@@ -20,7 +20,7 @@ from repro.bench import (
     print_figure,
     ratio,
 )
-from repro.core import GeneratedDataset
+from repro.core import ExecOptions, GeneratedDataset
 from repro.datasets import ALL_LAYOUTS, figure8_queries, ipars
 from repro.storm import QueryService, VirtualCluster
 
@@ -113,6 +113,6 @@ def test_fig9_gen_l0_subset_wall(benchmark, layout_envs):
 
     def run():
         service.drop_caches()
-        return service.submit(sql, remote=False).num_rows
+        return service.submit(sql, ExecOptions(remote=False)).num_rows
 
     assert benchmark(run) > 0

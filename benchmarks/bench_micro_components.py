@@ -12,7 +12,9 @@ import numpy as np
 import pytest
 
 from repro.bench import fig6_titan_config
+from repro.bench.harness import measure_storm
 from repro.core import CompiledDataset, Extractor, GeneratedDataset, IOStats
+from repro.storm import QueryService
 from repro.datasets import titan
 from repro.index import build_summaries
 from repro.index.rtree import RTree
@@ -88,3 +90,27 @@ def test_micro_summary_build(benchmark, titan_scan_env):
         iterations=1,
     )
     assert len(summaries) == config.total_chunks
+
+
+def test_micro_traced_stage_breakdown(benchmark, titan_scan_env):
+    """Full service pipeline with tracing on: where does the time go?
+
+    Pins that tracing stays usable at benchmark scale and that every
+    pipeline stage shows up in the span breakdown.
+    """
+    config, cluster, dataset = titan_scan_env
+    sql = (
+        f"SELECT X, Y, Z, S1 FROM TitanData WHERE X <= {config.extent[0] / 2:.0f}"
+    )
+    with QueryService(dataset, cluster) as service:
+        def traced():
+            service.drop_caches()
+            return measure_storm(
+                service, sql, "traced",
+                num_clients=2, remote=True, trace=True,
+            )
+
+        measurement = benchmark.pedantic(traced, rounds=2, iterations=1)
+    assert {"plan", "index", "extract", "filter"} <= set(measurement.stages)
+    assert {"partition", "mover"} <= set(measurement.stages)
+    assert all(seconds >= 0 for seconds in measurement.stages.values())

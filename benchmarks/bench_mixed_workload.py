@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workloads import ipars_workload, mri_workload, titan_workload
+from repro.core import ExecOptions
 from repro.datasets import figure7_queries
 
 
@@ -21,7 +22,7 @@ def run_workload(service, queries):
     total_bytes = 0
     sim = 0.0
     for sql in queries:
-        result = service.submit(sql, remote=False)
+        result = service.submit(sql, ExecOptions(remote=False))
         total_rows += result.num_rows
         stats = result.total_stats
         total_bytes += stats.bytes_read

@@ -11,7 +11,7 @@ import pytest
 
 from repro.baselines.rowstore import MiniRowStore
 from repro.bench import fig6_titan_config, fig9_ipars_config
-from repro.core import CompiledDataset, GeneratedDataset
+from repro.core import CompiledDataset, ExecOptions, GeneratedDataset
 from repro.datasets import ipars, titan
 from repro.index import build_summaries
 from repro.storm import QueryService, VirtualCluster
@@ -36,7 +36,7 @@ def titan_env(tmp_path_factory):
     # database") that the virtualization approach avoids entirely.
     import time
 
-    full = service.submit("SELECT * FROM TitanData", remote=False).table
+    full = service.submit("SELECT * FROM TitanData", ExecOptions(remote=False)).table
     store = MiniRowStore(str(root / "pg"))
     load_start = time.perf_counter()
     info = store.create_table("TitanData", full, indexes=["X", "S1"])

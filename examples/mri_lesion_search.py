@@ -15,7 +15,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.core import GeneratedDataset, Virtualizer, local_mount
+from repro.core import ExecOptions, GeneratedDataset, Virtualizer, local_mount
 from repro.datasets import mri
 from repro.datasets.mri import MriConfig
 from repro.storm import Catalog, VirtualCluster
@@ -50,7 +50,7 @@ screen = (
     f"SELECT STUDY, SLICE, ROW, COL, FLAIR FROM Flair "
     f"WHERE T2 > {threshold} AND FLAIR > {threshold}"
 )
-result = catalog.query(screen, remote=False)
+result = catalog.query(screen, ExecOptions(remote=False))
 print(f"Screen: {screen}")
 print("  ->", result.summary())
 
@@ -67,7 +67,7 @@ for study in range(config.num_studies):
 # Zoom into one study: per-slice lesion area (the tumour's extent).
 # ---------------------------------------------------------------------------
 study = next(s for s in range(config.num_studies) if config.has_lesion(s))
-detail = catalog.query(mri.lesion_query(config, study), remote=False).table
+detail = catalog.query(mri.lesion_query(config, study), ExecOptions(remote=False)).table
 print(f"\nStudy {study} lesion extent by slice:")
 slices = defaultdict(int)
 for s in detail["SLICE"]:

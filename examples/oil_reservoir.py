@@ -21,7 +21,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro.core import GeneratedDataset
+from repro.core import ExecOptions, GeneratedDataset
 from repro.datasets import IparsConfig, ipars
 from repro.storm import HashPartitioner, QueryService, VirtualCluster
 
@@ -46,7 +46,7 @@ figure1 = (
     "SELECT * FROM IparsData WHERE REL in (0, 2) AND TIME >= 20 AND "
     "TIME <= 30 AND SOIL >= 0.7 AND SPEED(OILVX, OILVY, OILVZ) <= 10.0"
 )
-result = service.submit(figure1, remote=False)
+result = service.submit(figure1, ExecOptions(remote=False))
 print("Figure 1 query:", figure1)
 print("  ->", result.summary())
 
@@ -58,7 +58,7 @@ bypassed_sql = (
     "AND TIME >= 40 AND TIME <= 50 AND SOIL > 0.85 "
     "AND SPEED(OILVX, OILVY, OILVZ) < 2.0"
 )
-result = service.submit(bypassed_sql, remote=False)
+result = service.submit(bypassed_sql, ExecOptions(remote=False))
 table = result.table
 print("\nBypassed-oil candidates in realization 1, T in [40, 50]:")
 print("  ->", result.summary())
@@ -79,9 +79,11 @@ if table.num_rows:
 # ---------------------------------------------------------------------------
 result = service.submit(
     "SELECT X, Y, Z, TIME, SOIL, PWAT FROM IparsData WHERE REL = 1 AND TIME <= 20",
-    num_clients=4,
-    partitioner=HashPartitioner(["X", "Y", "Z"]),
-    remote=True,
+    ExecOptions(
+        num_clients=4,
+        partitioner=HashPartitioner(["X", "Y", "Z"]),
+        remote=True,
+    ),
 )
 print("\nDistribution to 4 clients (hash on X, Y, Z):")
 for delivery in result.deliveries:

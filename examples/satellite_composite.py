@@ -18,7 +18,7 @@ import tempfile
 
 import numpy as np
 
-from repro.core import GeneratedDataset
+from repro.core import ExecOptions, GeneratedDataset
 from repro.datasets import TitanConfig, titan
 from repro.index import build_summaries
 from repro.storm import QueryService, RangePartitioner, VirtualCluster
@@ -56,7 +56,7 @@ print(f"\nQuery: {sql}")
 print(f"  spatial index: {len(plan.afcs)} of {config.total_chunks} chunks "
       "need to be read")
 
-result = service.submit(sql, remote=False)
+result = service.submit(sql, ExecOptions(remote=False))
 table = result.table
 print("  ->", result.summary())
 
@@ -83,9 +83,11 @@ for row in composite[::-1]:
 boundaries = [x_hi * f for f in (0.25, 0.5, 0.75)]
 result = service.submit(
     sql,
-    num_clients=4,
-    partitioner=RangePartitioner("X", boundaries),
-    remote=True,
+    ExecOptions(
+        num_clients=4,
+        partitioner=RangePartitioner("X", boundaries),
+        remote=True,
+    ),
 )
 print("\nRange partitioning by X band for 4 composite workers:")
 for delivery in result.deliveries:

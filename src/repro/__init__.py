@@ -21,6 +21,7 @@ from .core import (
     AlignedFileChunkSet,
     ChunkRef,
     CompiledDataset,
+    ExecOptions,
     ExtractionPlan,
     Extractor,
     GeneratedDataset,
@@ -30,6 +31,7 @@ from .core import (
     local_mount,
     open_dataset,
 )
+from .core.extractor import Mount
 from .errors import (
     CodegenError,
     ExtractionError,
@@ -46,6 +48,12 @@ from .errors import (
     StormError,
 )
 from .metadata import Descriptor, Schema, parse_descriptor
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    tree_summary,
+    write_chrome_trace,
+)
 from .sql import FunctionRegistry, Query, filter_function, parse_query
 from .storm import (
     CostModel,
@@ -63,6 +71,7 @@ __all__ = [
     "CompiledDataset",
     "CostModel",
     "Descriptor",
+    "ExecOptions",
     "ExtractionError",
     "ExtractionPlan",
     "Extractor",
@@ -72,6 +81,8 @@ __all__ = [
     "MetadataError",
     "MetadataSyntaxError",
     "MetadataValidationError",
+    "MetricsRegistry",
+    "Mount",
     "PlanningError",
     "Query",
     "QueryError",
@@ -84,6 +95,7 @@ __all__ = [
     "Schema",
     "SchemaError",
     "StormError",
+    "Tracer",
     "VirtualCluster",
     "VirtualTable",
     "Virtualizer",
@@ -92,4 +104,6 @@ __all__ = [
     "open_dataset",
     "parse_descriptor",
     "parse_query",
+    "tree_summary",
+    "write_chrome_trace",
 ]

@@ -19,12 +19,14 @@ import json
 import os
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..baselines.rowstore import MiniRowStore
 from ..core.afc import ExtractionPlan
 from ..core.extractor import Extractor
+from ..core.options import ExecOptions
 from ..core.stats import IOStats
+from ..obs import Tracer
 from ..storm.cost import CostModel, POSTGRES_COST, STORM_COST
 from ..storm.query_service import QueryService
 
@@ -43,6 +45,9 @@ class Measurement:
     files_opened: int = 0
     seeks: int = 0
     afcs: int = 0
+    #: Wall seconds per pipeline stage (plan/index/extract/filter/...),
+    #: filled when the measurement ran with tracing on.
+    stages: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         return asdict(self)
@@ -54,13 +59,22 @@ def measure_storm(
     label: str = "storm",
     num_clients: int = 1,
     remote: bool = False,
+    trace: bool = False,
     **submit_kwargs,
 ) -> Measurement:
-    """Run one query cold through the STORM query service."""
+    """Run one query cold through the STORM query service.
+
+    With ``trace=True`` the run carries a :class:`Tracer` and the
+    measurement's ``stages`` breaks wall time down per pipeline stage.
+    """
     service.drop_caches()
-    result = service.submit(
-        sql, num_clients=num_clients, remote=remote, **submit_kwargs
+    options = ExecOptions(
+        num_clients=num_clients,
+        remote=remote,
+        trace=Tracer() if trace else None,
+        **submit_kwargs,
     )
+    result = service.submit(sql, options)
     stats = result.total_stats
     return Measurement(
         label=label,
@@ -73,6 +87,7 @@ def measure_storm(
         files_opened=stats.files_opened,
         seeks=stats.seeks,
         afcs=result.afc_count,
+        stages=result.trace.stage_seconds() if result.trace else {},
     )
 
 

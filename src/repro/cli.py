@@ -9,6 +9,7 @@ workflow end to end::
     python -m repro codegen   DESC.txt -o gen.py  # inspect generated code
     python -m repro index-build DESC.txt --root D # build chunk summaries
     python -m repro query     DESC.txt "SELECT ..." --root D --format csv
+    python -m repro trace     DESC.txt "SELECT ..." --root D -o trace.json
     python -m repro explain   DESC.txt "SELECT ..."
     python -m repro to-xml    DESC.txt            # XML embedding
     python -m repro from-xml  DESC.xml            # ...and back
@@ -209,6 +210,46 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run a query with span tracing on and export the timeline.
+
+    Writes a chrome://tracing / Perfetto-loadable JSON file and prints
+    the span tree with wall/CPU time per pipeline stage.
+    """
+    from .core.options import ExecOptions
+    from .obs import Tracer, tree_summary, write_chrome_trace
+    from .storm.cluster import VirtualCluster
+    from .storm.query_service import QueryService
+
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    summaries = None
+    if args.summaries:
+        summaries = MinMaxSummaries.load(args.summaries)
+    else:
+        default = summaries_path(args.root, descriptor.name)
+        if os.path.exists(default):
+            summaries = MinMaxSummaries.load(default)
+    if args.interpreted:
+        dataset: CompiledDataset = CompiledDataset(descriptor, summaries)
+    else:
+        dataset = GeneratedDataset(descriptor, summaries)
+    cluster = VirtualCluster.for_storage(args.root, descriptor.storage)
+    tracer = Tracer()
+    options = ExecOptions(
+        trace=tracer,
+        remote=not args.local,
+        num_clients=args.clients,
+    )
+    with QueryService(dataset, cluster) as service:
+        result = service.submit(args.sql, options)
+    write_chrome_trace(tracer, args.output)
+    print(tree_summary(tracer, min_fraction=args.min_percent / 100.0))
+    print(result.summary())
+    print(f"trace written to {args.output} "
+          "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def cmd_explain(args) -> int:
     descriptor = _load_descriptor(args.descriptor, args.dataset)
     dataset = GeneratedDataset(descriptor)
@@ -286,6 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interpreted", action="store_true",
                    help="use the interpreted planner instead of codegen")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "trace", help="run a query with tracing and export the timeline"
+    )
+    common(p, root=True)
+    p.add_argument("sql", help="SELECT ... FROM ... [WHERE ...]")
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="chrome-trace JSON output path (default trace.json)")
+    p.add_argument("--clients", type=int, default=1,
+                   help="number of destination clients for partitioning")
+    p.add_argument("--local", action="store_true",
+                   help="co-located client: skip partition/mover stages")
+    p.add_argument("--min-percent", type=float, default=1.0,
+                   help="hide spans below this %% of total time in the "
+                        "printed tree (0 shows everything; the JSON always "
+                        "has all spans)")
+    p.add_argument("--summaries", help="chunk summary file to prune with")
+    p.add_argument("--interpreted", action="store_true",
+                   help="use the interpreted planner instead of codegen")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("explain", help="show the plan for a query")
     common(p)

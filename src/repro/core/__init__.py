@@ -18,6 +18,7 @@ from .analysis import (
 )
 from .codegen import GeneratedDataset, generate_index_source
 from .extractor import Extractor, Mount, local_mount
+from .options import DEFAULT_OPTIONS, ExecOptions
 from .planner import CompiledDataset, StaticGroup
 from .stats import IOStats
 from .strips import (
@@ -37,6 +38,8 @@ __all__ = [
     "ChunkRef",
     "ChunkSummaries",
     "CompiledDataset",
+    "DEFAULT_OPTIONS",
+    "ExecOptions",
     "ExtractionPlan",
     "Extractor",
     "GeneratedDataset",

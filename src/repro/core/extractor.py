@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from ..errors import ExtractionError
+from ..obs.tracer import NULL_TRACER
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
 from .afc import AlignedFileChunkSet, ExtractionPlan
 from .stats import IOStats
@@ -126,14 +127,24 @@ class Extractor:
     # -- chunk I/O ---------------------------------------------------------------
 
     def read_chunk(
-        self, node: str, path: str, offset: int, nbytes: int, stats: IOStats
+        self,
+        node: str,
+        path: str,
+        offset: int,
+        nbytes: int,
+        stats: IOStats,
+        tracer=NULL_TRACER,
     ) -> bytes:
         """Read one chunk's payload, via the segment cache."""
         key = (node, path, offset, nbytes)
         cached = self._segments.get(key)
         if cached is not None:
             stats.cache_hits += 1
+            if tracer.enabled:
+                tracer.event("segment_cache_hit", node=node, path=path, bytes=nbytes)
             return cached
+        if tracer.enabled:
+            tracer.event("segment_cache_miss", node=node, path=path, bytes=nbytes)
         full_path = self.mount(node, path)
         handle = self._handles.get(full_path, stats)
         handle.seek(offset)
@@ -160,6 +171,7 @@ class Extractor:
         needed: List[str],
         stats: IOStats,
         dtypes: Optional[Dict[str, np.dtype]] = None,
+        tracer=NULL_TRACER,
     ) -> Dict[str, np.ndarray]:
         """Materialise the needed columns of one aligned file chunk set."""
         columns: Dict[str, np.ndarray] = afc.implicit_columns(needed)
@@ -176,7 +188,9 @@ class Extractor:
             if not wanted:
                 continue
             nbytes = afc.num_rows * chunk.bytes_per_row
-            data = self.read_chunk(chunk.node, chunk.path, chunk.offset, nbytes, stats)
+            data = self.read_chunk(
+                chunk.node, chunk.path, chunk.offset, nbytes, stats, tracer
+            )
             stats.chunks_read += 1
             records = np.frombuffer(data, dtype=chunk.strip.record_dtype(wanted))
             for name in wanted:
@@ -192,17 +206,34 @@ class Extractor:
     # -- plan execution ---------------------------------------------------------
 
     def execute(
-        self, plan: ExtractionPlan, stats: Optional[IOStats] = None
+        self,
+        plan: ExtractionPlan,
+        stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
     ) -> VirtualTable:
         """Run a full extraction plan and return the projected table."""
         stats = stats if stats is not None else IOStats()
+        with tracer.span("extract", afcs=len(plan.afcs)) as span:
+            table = self._execute(plan, stats, tracer)
+            span.tag(rows=table.num_rows, bytes_read=stats.bytes_read)
+        return table
+
+    def _execute(
+        self, plan: ExtractionPlan, stats: IOStats, tracer
+    ) -> VirtualTable:
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
         for afc in plan.afcs:
             stats.afcs_processed += 1
-            columns = self.extract_afc(afc, plan.needed, stats, plan.dtypes)
+            columns = self.extract_afc(afc, plan.needed, stats, plan.dtypes, tracer)
             stats.rows_extracted += afc.num_rows
             if plan.where is not None:
-                mask = np.asarray(plan.where.evaluate(columns, self.functions))
+                if tracer.enabled:
+                    with tracer.span("filter", rows=afc.num_rows):
+                        mask = np.asarray(
+                            plan.where.evaluate(columns, self.functions)
+                        )
+                else:
+                    mask = np.asarray(plan.where.evaluate(columns, self.functions))
                 if mask.ndim == 0:
                     if not mask:
                         continue
@@ -235,6 +266,7 @@ class Extractor:
         plan: ExtractionPlan,
         batch_rows: int = 65536,
         stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
     ):
         """Stream a plan's results as a sequence of VirtualTable batches.
 
@@ -263,10 +295,16 @@ class Extractor:
 
         for afc in plan.afcs:
             stats.afcs_processed += 1
-            columns = self.extract_afc(afc, plan.needed, stats, plan.dtypes)
+            columns = self.extract_afc(afc, plan.needed, stats, plan.dtypes, tracer)
             stats.rows_extracted += afc.num_rows
             if plan.where is not None:
-                mask = np.asarray(plan.where.evaluate(columns, self.functions))
+                if tracer.enabled:
+                    with tracer.span("filter", rows=afc.num_rows):
+                        mask = np.asarray(
+                            plan.where.evaluate(columns, self.functions)
+                        )
+                else:
+                    mask = np.asarray(plan.where.evaluate(columns, self.functions))
                 if mask.ndim == 0:
                     if not bool(mask):
                         continue
@@ -290,12 +328,14 @@ class Extractor:
             yield flush()
 
 
-def local_mount(root: str) -> Mount:
+def local_mount(root: Union[str, "os.PathLike"]) -> Mount:
     """A mount mapping every node to ``root/<node>`` on the local disk.
 
     This is how a virtual cluster lives in one directory tree: node
-    ``osu0``'s files sit under ``root/osu0/``.
+    ``osu0``'s files sit under ``root/osu0/``.  ``root`` may be a ``str``
+    or any ``os.PathLike`` (``pathlib.Path``).
     """
+    root = os.fspath(root)
 
     def resolve(node: str, path: str) -> str:
         return os.path.join(root, node, path)

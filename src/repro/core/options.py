@@ -1,0 +1,60 @@
+"""Unified execution options for every query entry point.
+
+Before this module, execution knobs drifted apart per method:
+``QueryService.submit`` took ``num_clients/partitioner/remote/parallel``,
+``Virtualizer.query_iter`` took ``batch_rows``, and tracing had no surface
+at all.  :class:`ExecOptions` is the single carrier accepted by
+``Virtualizer.query`` / ``query_iter`` and ``QueryService.submit`` (and
+``Catalog.submit``); the old per-method keywords still work through a
+deprecation shim in each method.
+
+The dataclass is frozen: derive variants with :meth:`replace`, e.g.
+``LOCAL = ExecOptions(remote=False); LOCAL.replace(trace=True)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..obs.tracer import NullTracer, Tracer, as_tracer
+
+if TYPE_CHECKING:  # storm imports core; never the other way around
+    from ..storm.partition import Partitioner
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """How a query runs — transport, parallelism, batching, tracing.
+
+    ``remote``      charge result transfer to the network (the paper's
+                    client/server mode); ``False`` models a co-located
+                    client and skips partition/mover entirely.
+    ``parallel``    extract on one thread per node.
+    ``num_clients`` destination processors for partition generation.
+    ``partitioner`` row-distribution scheme (default round-robin).
+    ``batch_rows``  target rows per batch for streaming execution.
+    ``trace``       ``True`` for a fresh tracer, a :class:`Tracer` to
+                    collect into, or ``None``/``False`` for the no-op
+                    tracer (the near-zero-overhead default).
+    """
+
+    remote: bool = True
+    parallel: bool = True
+    num_clients: int = 1
+    partitioner: Optional["Partitioner"] = None
+    batch_rows: int = 65536
+    trace: Union[bool, Tracer, None] = None
+
+    def replace(self, **changes) -> "ExecOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def tracer(self) -> Union[Tracer, NullTracer]:
+        """Resolve :attr:`trace` to a tracer instance (see ``as_tracer``)."""
+        return as_tracer(self.trace)
+
+
+#: Shared defaults, so call sites can write ``DEFAULT_OPTIONS.replace(...)``.
+DEFAULT_OPTIONS = ExecOptions()

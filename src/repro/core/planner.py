@@ -15,13 +15,12 @@ against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..errors import PlanningError, QueryValidationError
 from ..metadata.descriptor import Descriptor, parse_descriptor
+from ..obs.tracer import NULL_TRACER
 from ..sql.ast import Query
 from ..sql.parser import parse_query
 from ..sql.ranges import RangeMap, extract_ranges, query_is_unsatisfiable
@@ -47,6 +46,11 @@ class StaticGroup:
 
 class CompiledDataset:
     """A descriptor compiled into query-ready planning tables."""
+
+    #: ``QueryService`` passes a tracer to ``plan`` only when this is set,
+    #: so duck-typed datasets (hand-written planners with a bare
+    #: ``plan(sql)``) keep working unchanged.
+    supports_tracing = True
 
     def __init__(
         self,
@@ -250,24 +254,31 @@ class CompiledDataset:
             )
         return afcs
 
-    def plan(self, query: Union[Query, str]) -> ExtractionPlan:
+    def plan(self, query: Union[Query, str], tracer=NULL_TRACER) -> ExtractionPlan:
         """Full planning: parse/validate, derive ranges, emit the plan."""
-        query = self.resolve_query(query)
-        needed, output = self.needed_columns(query)
-        ranges = extract_ranges(query.where)
-        dtypes = {a.name: a.dtype for a in self.schema}
-        if query_is_unsatisfiable(ranges):
-            return ExtractionPlan([], needed, output, query.where, dtypes)
-        afcs = self.index(ranges)
-        if self.chunk_row_cap is not None:
-            from .afc import split_afc
+        with tracer.span("plan", dataset=self.descriptor.name) as span:
+            query = self.resolve_query(query)
+            needed, output = self.needed_columns(query)
+            ranges = extract_ranges(query.where)
+            dtypes = {a.name: a.dtype for a in self.schema}
+            if query_is_unsatisfiable(ranges):
+                span.tag(unsatisfiable=True, afcs=0)
+                return ExtractionPlan([], needed, output, query.where, dtypes)
+            # Note: no ``len(self.groups)`` tag here — touching ``groups``
+            # would defeat the lazy analysis on the cached-codegen path.
+            with tracer.span("index") as index_span:
+                afcs = self.index(ranges)
+                index_span.tag(afcs=len(afcs))
+            if self.chunk_row_cap is not None:
+                from .afc import split_afc
 
-            afcs = [
-                piece
-                for afc in afcs
-                for piece in split_afc(afc, self.chunk_row_cap)
-            ]
-        return ExtractionPlan(afcs, needed, output, query.where, dtypes)
+                afcs = [
+                    piece
+                    for afc in afcs
+                    for piece in split_afc(afc, self.chunk_row_cap)
+                ]
+            span.tag(afcs=len(afcs))
+            return ExtractionPlan(afcs, needed, output, query.where, dtypes)
 
     # -- introspection ------------------------------------------------------------
 

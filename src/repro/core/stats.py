@@ -5,12 +5,18 @@ row-store baseline — counts its work through an :class:`IOStats` object.
 The STORM cost model converts these counts into deterministic simulated
 time, which is what lets a single-machine reproduction exhibit the paper's
 cluster-scale performance shapes (DESIGN.md, substitutions table).
+
+``IOStats`` implements the :class:`repro.obs.metrics.StatsSink` protocol
+(``record(name, value)``); the open-ended generalisation — named metrics
+created on demand, gauges, histograms — is
+:class:`repro.obs.metrics.MetricsRegistry`, which can ingest an
+``IOStats`` via ``record_stats`` so flat counters surface in query traces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Union
 
 
 @dataclass
@@ -37,6 +43,15 @@ class IOStats:
         """Accumulate another stats object into this one."""
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def record(self, name: str, value: Union[int, float] = 1) -> None:
+        """StatsSink protocol: add ``value`` to the named counter.
+
+        Unknown names are ignored — the fixed field set is the point of
+        this class; use a ``MetricsRegistry`` for open-ended metrics.
+        """
+        if name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + value)
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}

@@ -16,15 +16,19 @@ interpreted reference planner instead.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+import os
+import warnings
+from typing import Optional, Union
 
 from ..metadata.descriptor import Descriptor, parse_descriptor
+from ..obs.tracer import NULL_TRACER
 from ..sql.ast import Query
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
 from .afc import ExtractionPlan
 from .analysis import ChunkSummaries
 from .codegen import GeneratedDataset
 from .extractor import Extractor, Mount, local_mount
+from .options import ExecOptions
 from .planner import CompiledDataset
 from .stats import IOStats
 from .table import VirtualTable
@@ -40,12 +44,14 @@ class Virtualizer:
         functions: Optional[FunctionRegistry] = None,
         use_codegen: bool = True,
         summaries: Optional[ChunkSummaries] = None,
-        codegen_path: Optional[str] = None,
+        codegen_path: Optional[Union[str, "os.PathLike"]] = None,
         segment_cache_bytes: int = 32 * 1024 * 1024,
         chunk_row_cap: Optional[int] = None,
     ):
         if isinstance(descriptor, str):
             descriptor = parse_descriptor(descriptor)
+        if codegen_path is not None:
+            codegen_path = os.fspath(codegen_path)
         if use_codegen:
             self.dataset: CompiledDataset = GeneratedDataset(
                 descriptor,
@@ -63,27 +69,60 @@ class Virtualizer:
 
     # -- querying -------------------------------------------------------------
 
-    def plan(self, sql: Union[Query, str]) -> ExtractionPlan:
+    def plan(
+        self, sql: Union[Query, str], options: Optional[ExecOptions] = None
+    ) -> ExtractionPlan:
         """Plan a query without executing it."""
-        return self.dataset.plan(sql)
+        tracer = options.tracer() if options is not None else NULL_TRACER
+        return self.dataset.plan(sql, tracer=tracer)
 
     def query(
-        self, sql: Union[Query, str], stats: Optional[IOStats] = None
+        self,
+        sql: Union[Query, str],
+        stats: Optional[IOStats] = None,
+        options: Optional[ExecOptions] = None,
     ) -> VirtualTable:
-        """Execute a query and return the virtual table."""
-        plan = self.dataset.plan(sql)
-        return self.extractor.execute(plan, stats if stats is not None else self.stats)
+        """Execute a query and return the virtual table.
+
+        ``options`` carries the unified execution knobs (only
+        ``batch_rows`` and ``trace`` apply to this local path; transport
+        options belong to ``QueryService.submit``).
+        """
+        tracer = options.tracer() if options is not None else NULL_TRACER
+        with tracer.span("query", sql=_sql_tag(sql)):
+            plan = self.dataset.plan(sql, tracer=tracer)
+            return self.extractor.execute(
+                plan, stats if stats is not None else self.stats, tracer
+            )
 
     def query_iter(
         self,
         sql: Union[Query, str],
-        batch_rows: int = 65536,
+        batch_rows: Optional[int] = None,
         stats: Optional[IOStats] = None,
+        options: Optional[ExecOptions] = None,
     ):
-        """Stream query results as VirtualTable batches (bounded memory)."""
-        plan = self.dataset.plan(sql)
+        """Stream query results as VirtualTable batches (bounded memory).
+
+        The batch size comes from ``options.batch_rows``; the positional
+        ``batch_rows`` argument is deprecated.
+        """
+        if batch_rows is not None:
+            warnings.warn(
+                "Virtualizer.query_iter(batch_rows=...) is deprecated; "
+                "pass options=ExecOptions(batch_rows=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = (options or ExecOptions()).replace(batch_rows=batch_rows)
+        opts = options or ExecOptions()
+        tracer = opts.tracer()
+        plan = self.dataset.plan(sql, tracer=tracer)
         return self.extractor.execute_iter(
-            plan, batch_rows, stats if stats is not None else self.stats
+            plan,
+            opts.batch_rows,
+            stats if stats is not None else self.stats,
+            tracer,
         )
 
     def explain(self, sql: Union[Query, str]) -> str:
@@ -110,13 +149,19 @@ class Virtualizer:
         self.close()
 
 
+def _sql_tag(sql: Union[Query, str]) -> str:
+    """A bounded string form of the query for span tags."""
+    return str(sql)[:200]
+
+
 def open_dataset(
     descriptor: Union[Descriptor, str],
-    root: str,
+    root: Union[str, "os.PathLike"],
     **kwargs,
 ) -> Virtualizer:
     """Convenience constructor: mount a virtual cluster rooted at ``root``.
 
-    Node ``osu0``'s directories are expected under ``root/osu0/...``.
+    Node ``osu0``'s directories are expected under ``root/osu0/...``;
+    ``root`` may be a ``str`` or a ``pathlib.Path``.
     """
     return Virtualizer(descriptor, local_mount(root), **kwargs)

@@ -1,0 +1,52 @@
+"""Query-lifecycle observability: span tracing, metrics, exporters.
+
+The paper's evaluation is entirely about *where time goes* — index lookup
+vs. extraction vs. filtering vs. data movement (Sections 5, Figures 6-11).
+This package makes that profile a first-class artifact of every query:
+
+* :mod:`repro.obs.tracer` — a lightweight span tracer.  A :class:`Span`
+  is a named, tagged interval with wall and CPU time; spans nest via a
+  per-thread stack, and :class:`TraceContext` roots worker-thread spans
+  under a cross-thread parent.  The default :data:`NULL_TRACER` is a
+  no-op whose ``span()`` returns a shared singleton, so the pipeline pays
+  one cheap call (or a single ``if tracer.enabled`` in hot loops) when
+  tracing is off.
+
+* :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  histograms) that subsumes and extends the fixed-field
+  :class:`~repro.core.stats.IOStats` counters via the :class:`StatsSink`
+  protocol.
+
+* :mod:`repro.obs.export` — exporters: the Chrome trace-event JSON format
+  (load the file in ``chrome://tracing`` / Perfetto) and a human-readable
+  span tree with per-stage totals.
+"""
+
+from .export import (
+    chrome_trace,
+    read_chrome_trace,
+    spans_from_chrome,
+    tree_summary,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, StatsSink
+from .tracer import NULL_TRACER, NullTracer, Span, TraceContext, Tracer, as_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "StatsSink",
+    "TraceContext",
+    "Tracer",
+    "as_tracer",
+    "chrome_trace",
+    "read_chrome_trace",
+    "spans_from_chrome",
+    "tree_summary",
+    "write_chrome_trace",
+]

@@ -1,0 +1,192 @@
+"""Metrics registry: counters, gauges, and histograms behind StatsSink.
+
+:class:`~repro.core.stats.IOStats` counts a fixed set of integer fields —
+exactly what the cost model needs, deterministic and cheap.  The registry
+generalises it: metrics are created by name on first use, gauges hold
+point-in-time values, histograms capture distributions (log2 buckets).
+Both the registry and ``IOStats`` implement the :class:`StatsSink`
+protocol (``record(name, value)``), so instrumented code can count into
+either without caring which it was given.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Union
+
+try:  # Protocol is typing-only; keep a runtime fallback for py3.7 clones
+    from typing import Protocol, runtime_checkable
+
+    @runtime_checkable
+    class StatsSink(Protocol):
+        """Anything that can absorb a named numeric observation."""
+
+        def record(self, name: str, value: Union[int, float] = 1) -> None:
+            ...
+
+except ImportError:  # pragma: no cover
+    StatsSink = object  # type: ignore[assignment,misc]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A distribution: count/sum/min/max plus power-of-two buckets.
+
+    Bucket key ``e`` counts observations in ``[2**e, 2**(e+1))``; zero and
+    negative observations land in the ``"zero"`` bucket.  Exponential
+    buckets keep the histogram O(log range) regardless of value spread —
+    chunk sizes span bytes to gigabytes.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[Union[int, str], int] = {}
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key: Union[int, str] = (
+            "zero" if value <= 0 else int(math.floor(math.log2(value)))
+        )
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items(), key=str)},
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use; thread safe.
+
+    Implements :class:`StatsSink`: ``record(name, value)`` increments the
+    counter of that name, and :meth:`record_stats` ingests any object with
+    an ``as_dict()`` of numeric fields (an :class:`IOStats`), which is how
+    flat per-node operation counts surface in a query trace.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self.counters.get(name)
+            if metric is None:
+                metric = self.counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self.gauges.get(name)
+            if metric is None:
+                metric = self.gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self.histograms.get(name)
+            if metric is None:
+                metric = self.histograms[name] = Histogram(name)
+            return metric
+
+    # -- StatsSink -----------------------------------------------------------
+
+    def record(self, name: str, value: Union[int, float] = 1) -> None:
+        self.counter(name).inc(value)
+
+    def record_stats(self, stats, prefix: str = "io.") -> None:
+        """Ingest an IOStats-like object (anything with ``as_dict()``)."""
+        for name, value in stats.as_dict().items():
+            if value:
+                self.counter(prefix + name).inc(value)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate another registry (counters add, gauges last-write,
+        histograms recombine)."""
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name)
+            mine.count += hist.count
+            mine.total += hist.total
+            mine.min = min(mine.min, hist.min)
+            mine.max = max(mine.max, hist.max)
+            for key, count in hist.buckets.items():
+                mine.buckets[key] = mine.buckets.get(key, 0) + count
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self.counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+                "histograms": {
+                    n: h.as_dict() for n, h in sorted(self.histograms.items())
+                },
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry {len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms>"
+        )

@@ -1,0 +1,364 @@
+"""Span tracer: named, tagged, nested time intervals per query.
+
+Design constraints (see docs/architecture.md, "Observability"):
+
+* **Near-zero overhead when disabled.**  The pipeline's default tracer is
+  :data:`NULL_TRACER`, whose ``span()`` returns one shared no-op context
+  manager and whose ``event()`` does nothing; hot loops additionally guard
+  with a single ``if tracer.enabled``.
+
+* **Thread safe.**  ``QueryService`` extracts on one thread per node; each
+  thread keeps its own span stack (``threading.local``) and the finished
+  span list is appended under a lock.  Cross-thread parent/child links are
+  made explicit with :class:`TraceContext`.
+
+* **Self-contained.**  Spans record relative wall time (``perf_counter``
+  since the tracer's epoch) and per-thread CPU time (``thread_time``); no
+  global state, several tracers can be live at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+
+_UNSET = object()
+
+
+class Span:
+    """One traced interval: a name, tags, and wall/CPU start+duration.
+
+    Use as a context manager (``with tracer.span("extract") as span:``);
+    entering pushes the span on the current thread's stack (so nested
+    spans parent automatically) and records it with the tracer.
+    """
+
+    __slots__ = (
+        "name",
+        "tags",
+        "span_id",
+        "parent_id",
+        "tid",
+        "phase",
+        "start",
+        "duration",
+        "cpu_start",
+        "cpu_seconds",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tags: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+        tracer: "Tracer",
+        phase: str = "X",
+    ):
+        self.name = name
+        self.tags = tags
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tid = 0
+        self.phase = phase  # "X" = complete span, "i" = instant event
+        self.start: float = 0.0
+        self.duration: Optional[float] = None
+        self.cpu_start: float = 0.0
+        self.cpu_seconds: Optional[float] = None
+        self._tracer = tracer
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach (or overwrite) tags; returns self for chaining."""
+        self.tags.update(tags)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._begin(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.tags["error"] = f"{exc_type.__name__}: {exc}"
+        self._tracer._end(self)
+        return False
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration * 1e3:.3f}ms" if self.finished else "open"
+        return f"<Span {self.name!r} id={self.span_id} {dur} tags={self.tags}>"
+
+
+class Tracer:
+    """Records spans and instant events for one query (or one session).
+
+    The tracer is the *trace context* threaded through every pipeline
+    layer; components receive it as an optional parameter defaulting to
+    :data:`NULL_TRACER` and never need to check for ``None``.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "query"):
+        self.name = name
+        self.epoch = time.perf_counter()
+        self.spans: List[Span] = []
+        self.metrics = MetricsRegistry()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {}
+
+    # -- span creation -------------------------------------------------------
+
+    def span(self, name: str, parent: Optional[Span] = None, **tags: Any) -> Span:
+        """A new span.  Parentage: the current thread's innermost open
+        span wins; otherwise the explicit ``parent`` (for spans opened on
+        worker threads); otherwise the span is a root."""
+        stack = self._stack()
+        if stack:
+            parent_id: Optional[int] = stack[-1].span_id
+        elif parent is not None:
+            parent_id = parent.span_id
+        else:
+            parent_id = None
+        return Span(name, tags, next(self._ids), parent_id, self)
+
+    def event(self, name: str, parent: Optional[Span] = None, **tags: Any) -> None:
+        """Record an instant (zero-duration) event, e.g. a cache hit."""
+        span = self.span(name, parent, **tags)
+        span.phase = "i"
+        now = time.perf_counter() - self.epoch
+        span.start = now
+        span.duration = 0.0
+        span.cpu_seconds = 0.0
+        span.tid = self._tid()
+        with self._lock:
+            self.spans.append(span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- bookkeeping (called by Span) ----------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    def _begin(self, span: Span) -> None:
+        span.tid = self._tid()
+        self._stack().append(span)
+        with self._lock:
+            self.spans.append(span)
+        # Clocks start last so the span excludes tracer bookkeeping.
+        span.cpu_start = time.thread_time()
+        span.start = time.perf_counter() - self.epoch
+
+    def _end(self, span: Span) -> None:
+        span.duration = time.perf_counter() - self.epoch - span.start
+        span.cpu_seconds = time.thread_time() - span.cpu_start
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # exited out of order; keep the stack sane
+            stack.remove(span)
+
+    # -- querying the trace --------------------------------------------------
+
+    def find(self, name: str) -> List[Span]:
+        """All recorded spans/events with the given name, in start order."""
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total wall seconds per span name (events excluded).
+
+        Nested spans are summed under their own name only, so ``extract``
+        and its ``filter`` children report independently.
+        """
+        out: Dict[str, float] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for span in spans:
+            if span.phase != "X":
+                continue
+            out[span.name] = out.get(span.name, 0.0) + (span.duration or 0.0)
+        return out
+
+    # -- export conveniences (implemented in repro.obs.export) ---------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        from .export import chrome_trace
+
+        return chrome_trace(self)
+
+    def write_chrome_trace(self, path) -> None:
+        from .export import write_chrome_trace
+
+        write_chrome_trace(self, path)
+
+    def tree_summary(self) -> str:
+        from .export import tree_summary
+
+        return tree_summary(self)
+
+
+class _NullSpan:
+    """The shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = "null"
+    tags: Dict[str, Any] = {}
+    duration = 0.0
+    cpu_seconds = 0.0
+    finished = True
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullMetrics:
+    """Inert metrics registry: every handle is shared and discards data."""
+
+    class _Inert:
+        __slots__ = ()
+        value = 0
+        count = 0
+
+        def inc(self, n=1):
+            pass
+
+        def set(self, v):
+            pass
+
+        def observe(self, v):
+            pass
+
+    _INERT = _Inert()
+
+    def counter(self, name):
+        return self._INERT
+
+    def gauge(self, name):
+        return self._INERT
+
+    def histogram(self, name):
+        return self._INERT
+
+    def record(self, name, value=1):
+        pass
+
+    def record_stats(self, stats, prefix=""):
+        pass
+
+    def as_dict(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``span()`` returns one shared singleton, so the per-span cost with
+    tracing off is a single attribute lookup and call; hot loops can skip
+    even that by checking :attr:`enabled`.
+    """
+
+    enabled = False
+    name = "null"
+    spans: List[Span] = []
+    metrics = _NullMetrics()
+
+    def span(self, name: str, parent: Optional[Span] = None, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, parent: Optional[Span] = None, **tags: Any) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def stage_seconds(self) -> Dict[str, float]:
+        return {}
+
+
+#: The default tracer of every pipeline entry point.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(trace: Union[bool, Tracer, NullTracer, None]) -> Union[Tracer, NullTracer]:
+    """Resolve an ``ExecOptions.trace`` value to a tracer instance.
+
+    ``None``/``False`` -> :data:`NULL_TRACER`; ``True`` -> a fresh
+    :class:`Tracer`; a tracer instance passes through unchanged.
+    """
+    if trace is None or trace is False:
+        return NULL_TRACER
+    if trace is True:
+        return Tracer()
+    return trace
+
+
+class TraceContext:
+    """A tracer plus an explicit parent span, for cross-thread nesting.
+
+    ``QueryService`` opens the per-query root span on the submitting
+    thread, then hands ``TraceContext(tracer, root)`` to its per-node
+    workers; spans those threads open parent under the root even though
+    the thread-local stack over there is empty.
+    """
+
+    __slots__ = ("tracer", "parent")
+
+    def __init__(
+        self,
+        tracer: Union[Tracer, NullTracer, None] = None,
+        parent: Optional[Span] = None,
+    ):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.parent = parent
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def span(self, name: str, **tags: Any):
+        return self.tracer.span(name, parent=self.parent, **tags)
+
+    def event(self, name: str, **tags: Any) -> None:
+        self.tracer.event(name, parent=self.parent, **tags)
+
+    def child(self, parent: Span) -> "TraceContext":
+        """A context whose spans parent under ``parent``."""
+        return TraceContext(self.tracer, parent)

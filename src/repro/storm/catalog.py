@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from ..core.codegen import GeneratedDataset
+from ..core.options import ExecOptions
 from ..core.planner import CompiledDataset
 from ..errors import StormError
 from ..index.summaries import MinMaxSummaries, summaries_path
@@ -162,10 +163,19 @@ class Catalog:
             query = self.views.resolve(query, schema_names)
         return query
 
-    def query(self, sql: Union[Query, str], **submit_kwargs) -> QueryResult:
-        """Route a query (possibly over a view) to its dataset's service."""
+    def query(
+        self,
+        sql: Union[Query, str],
+        options: Optional[ExecOptions] = None,
+        **submit_kwargs,
+    ) -> QueryResult:
+        """Route a query (possibly over a view) to its dataset's service.
+
+        ``options`` carries the execution knobs; extra keywords are the
+        deprecated per-call overrides that ``QueryService.submit`` shims.
+        """
         query = self._resolve(sql)
-        return self.service(query.table).submit(query, **submit_kwargs)
+        return self.service(query.table).submit(query, options, **submit_kwargs)
 
     def explain(self, sql: Union[Query, str]) -> str:
         query = self._resolve(sql)

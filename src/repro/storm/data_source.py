@@ -19,7 +19,7 @@ from ..core.afc import AlignedFileChunkSet, ExtractionPlan
 from ..core.extractor import Extractor, Mount
 from ..core.stats import IOStats
 from ..core.table import VirtualTable
-from ..sql.functions import FunctionRegistry
+from ..obs.tracer import NULL_TRACER
 from .filtering import FilteringService
 
 
@@ -57,18 +57,21 @@ class DataSourceService:
         plan: ExtractionPlan,
         afcs: List[AlignedFileChunkSet],
         stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
     ) -> VirtualTable:
         """Extract + filter the given AFCs; returns this node's partial table."""
         with self._lock:
-            return self._execute_locked(plan, afcs, stats)
+            return self._execute_locked(plan, afcs, stats, tracer)
 
     def _execute_locked(
         self,
         plan: ExtractionPlan,
         afcs: List[AlignedFileChunkSet],
         stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
     ) -> VirtualTable:
         stats = stats if stats is not None else self.stats
+        tracing = tracer.enabled
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
         needed_set = set(plan.needed)
         for afc in afcs:
@@ -78,12 +81,18 @@ class DataSourceService:
                     chunk.strip.attrs
                 ):
                     stats.remote_bytes_read += chunk.total_bytes(afc.num_rows)
-            columns = self.extractor.extract_afc(
-                afc, plan.needed, stats, plan.dtypes
-            )
+            if tracing:
+                with tracer.span("extract_afc", node=self.node, rows=afc.num_rows):
+                    columns = self.extractor.extract_afc(
+                        afc, plan.needed, stats, plan.dtypes, tracer
+                    )
+            else:
+                columns = self.extractor.extract_afc(
+                    afc, plan.needed, stats, plan.dtypes
+                )
             stats.rows_extracted += afc.num_rows
             selected = self.filtering.apply(
-                plan.where, columns, plan.output, afc.num_rows, stats
+                plan.where, columns, plan.output, afc.num_rows, stats, tracer
             )
             if selected is None:
                 continue

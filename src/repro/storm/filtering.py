@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.stats import IOStats
+from ..obs.tracer import NULL_TRACER
 from ..sql.ast import Node
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
 
@@ -31,12 +32,31 @@ class FilteringService:
         output: List[str],
         num_rows: int,
         stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
     ) -> Optional[Dict[str, np.ndarray]]:
         """Filter one block; returns projected columns or None if empty.
 
         ``columns`` may contain WHERE-only attributes beyond ``output``;
         the result contains exactly ``output``.
         """
+        if tracer.enabled and where is not None:
+            with tracer.span("filter", rows=num_rows) as span:
+                selected = self._apply(where, columns, output, num_rows, stats)
+                if selected is None:
+                    span.tag(out=0)
+                elif output:
+                    span.tag(out=int(len(selected[output[0]])))
+            return selected
+        return self._apply(where, columns, output, num_rows, stats)
+
+    def _apply(
+        self,
+        where: Optional[Node],
+        columns: Dict[str, np.ndarray],
+        output: List[str],
+        num_rows: int,
+        stats: Optional[IOStats] = None,
+    ) -> Optional[Dict[str, np.ndarray]]:
         if where is None:
             selected = {name: columns[name] for name in output}
             count = num_rows

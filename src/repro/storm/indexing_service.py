@@ -15,12 +15,13 @@ service adds two things on top of the raw function:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.afc import AlignedFileChunkSet
 from ..core.planner import CompiledDataset
 from ..core.strips import PhysicalFile
 from ..index.range_index import MultiAttrRangeIndex
+from ..obs.tracer import NULL_TRACER
 from ..sql.ranges import RangeMap
 
 
@@ -37,16 +38,24 @@ class IndexingService:
             dataset.files, hulls
         )
 
-    def candidate_files(self, ranges: RangeMap) -> List[PhysicalFile]:
+    def candidate_files(
+        self, ranges: RangeMap, tracer=NULL_TRACER
+    ) -> List[PhysicalFile]:
         """Files whose implicit attributes admit the query ranges."""
-        return self.file_index.select(ranges)
+        with tracer.span("index_files") as span:
+            files = self.file_index.select(ranges)
+            span.tag(files=len(files))
+        return files
 
-    def lookup(self, ranges: RangeMap) -> List[AlignedFileChunkSet]:
+    def lookup(self, ranges: RangeMap, tracer=NULL_TRACER) -> List[AlignedFileChunkSet]:
         """All matching AFCs (the generated/interpreted index function)."""
-        return self.dataset.index(ranges)
+        with tracer.span("index") as span:
+            afcs = self.dataset.index(ranges)
+            span.tag(afcs=len(afcs))
+        return afcs
 
     def lookup_by_node(
-        self, ranges: RangeMap
+        self, ranges: RangeMap, tracer=NULL_TRACER
     ) -> Dict[str, List[AlignedFileChunkSet]]:
         """Matching AFCs grouped by the node that should process them.
 
@@ -55,6 +64,6 @@ class IndexingService:
         data source service (rare — groups normally live on one node).
         """
         by_node: Dict[str, List[AlignedFileChunkSet]] = defaultdict(list)
-        for afc in self.lookup(ranges):
+        for afc in self.lookup(ranges, tracer):
             by_node[afc.chunks[0].node if afc.chunks else "local"].append(afc)
         return dict(by_node)

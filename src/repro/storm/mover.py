@@ -10,13 +10,12 @@ is a function call).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..core.stats import IOStats
 from ..core.table import VirtualTable
+from ..obs.tracer import NULL_TRACER
 from .partition import Partitioner
 
 #: Bytes of per-message framing (headers, tuple counts) per transfer.
@@ -50,22 +49,34 @@ class DataMoverService:
         partitioner: Partitioner,
         num_clients: int,
         stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
     ) -> List[Delivery]:
         """Partition ``table`` and deliver one slice per client."""
-        indices = partitioner.partition(table, num_clients)
-        row_size = self.row_bytes(table)
-        deliveries: List[Delivery] = []
-        for client, idx in enumerate(indices):
-            slice_table = VirtualTable(
-                {n: table.column(n)[idx] for n in table.column_names},
-                order=list(table.column_names),
+        with tracer.span(
+            "partition",
+            scheme=type(partitioner).__name__,
+            rows=table.num_rows,
+            clients=num_clients,
+        ):
+            indices = partitioner.partition(table, num_clients, tracer)
+        with tracer.span("mover", clients=num_clients) as span:
+            row_size = self.row_bytes(table)
+            deliveries: List[Delivery] = []
+            for client, idx in enumerate(indices):
+                slice_table = VirtualTable(
+                    {n: table.column(n)[idx] for n in table.column_names},
+                    order=list(table.column_names),
+                )
+                payload = slice_table.num_rows * row_size
+                messages = max(
+                    1, -(-payload // self.message_bytes)
+                ) if slice_table.num_rows else 0
+                sent = payload + messages * MESSAGE_OVERHEAD
+                if stats is not None:
+                    stats.bytes_sent += sent
+                deliveries.append(Delivery(client, slice_table, sent, messages))
+            span.tag(
+                bytes_sent=sum(d.bytes_sent for d in deliveries),
+                messages=sum(d.messages for d in deliveries),
             )
-            payload = slice_table.num_rows * row_size
-            messages = max(
-                1, -(-payload // self.message_bytes)
-            ) if slice_table.num_rows else 0
-            sent = payload + messages * MESSAGE_OVERHEAD
-            if stats is not None:
-                stats.bytes_sent += sent
-            deliveries.append(Delivery(client, slice_table, sent, messages))
         return deliveries

@@ -17,12 +17,13 @@ Four schemes cover the client programs of the motivating applications:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from ..core.table import VirtualTable
 from ..errors import PartitionError
+from ..obs.tracer import NULL_TRACER
 
 
 class Partitioner:
@@ -33,14 +34,20 @@ class Partitioner:
         raise NotImplementedError
 
     def partition(
-        self, table: VirtualTable, num_clients: int
+        self, table: VirtualTable, num_clients: int, tracer=NULL_TRACER
     ) -> List[np.ndarray]:
         """Row indices per client, in table order."""
         if num_clients < 1:
             raise PartitionError("num_clients must be positive")
         if num_clients == 1:
             return [np.arange(table.num_rows)]
-        dest = np.asarray(self.assign(table, num_clients))
+        with tracer.span(
+            "partition_assign",
+            scheme=type(self).__name__,
+            rows=table.num_rows,
+            clients=num_clients,
+        ):
+            dest = np.asarray(self.assign(table, num_clients))
         if dest.shape != (table.num_rows,):
             raise PartitionError(
                 f"partitioner produced {dest.shape}, expected "

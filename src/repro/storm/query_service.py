@@ -11,14 +11,18 @@ and a deterministic simulated execution time from the cost model.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Union
 
-from ..core.afc import AlignedFileChunkSet, ExtractionPlan
+from ..core.afc import AlignedFileChunkSet
+from ..core.options import ExecOptions
 from ..core.planner import CompiledDataset
 from ..core.stats import IOStats
 from ..core.table import VirtualTable, concat_tables
+from ..obs.tracer import TraceContext, Tracer
 from ..sql.ast import Query
 from ..sql.functions import FunctionRegistry
 from .cluster import VirtualCluster
@@ -40,13 +44,22 @@ class QueryResult:
     simulated_seconds: float
     wall_seconds: float
     afc_count: int
+    #: The span trace of this execution, when submitted with tracing on
+    #: (``ExecOptions(trace=...)``); None otherwise.
+    trace: Optional[Tracer] = None
 
     @property
     def num_rows(self) -> int:
         return self.table.num_rows
 
-    @property
+    @cached_property
     def total_stats(self) -> IOStats:
+        """Merged per-node counters, computed once and cached.
+
+        ``summary()`` and the benchmarks read this in loops; per-node
+        stats are fully written before the result is constructed, so the
+        merge is safe to memoise.
+        """
         total = IOStats()
         for stats in self.per_node_stats.values():
             total.merge(stats)
@@ -60,6 +73,29 @@ class QueryResult:
             f"{stats.bytes_sent / 1e6:.2f} MB sent, "
             f"sim {self.simulated_seconds:.2f}s, wall {self.wall_seconds:.3f}s"
         )
+
+
+def _merge_legacy_kwargs(
+    options: Optional[ExecOptions],
+    **legacy,
+) -> ExecOptions:
+    """Fold deprecated per-call keywords into an :class:`ExecOptions`.
+
+    Each keyword that is not None overrides the matching options field and
+    emits a DeprecationWarning naming the replacement.
+    """
+    opts = options if options is not None else ExecOptions()
+    overrides = {k: v for k, v in legacy.items() if v is not None}
+    if overrides:
+        names = ", ".join(f"{name}=..." for name in sorted(overrides))
+        warnings.warn(
+            f"passing {names} to QueryService.submit is deprecated; "
+            f"use submit(sql, ExecOptions({names})) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        opts = opts.replace(**overrides)
+    return opts
 
 
 class QueryService:
@@ -115,74 +151,115 @@ class QueryService:
     def submit(
         self,
         sql: Union[Query, str],
-        num_clients: int = 1,
+        options: Optional[ExecOptions] = None,
+        *,
+        num_clients: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
-        remote: bool = True,
-        parallel: bool = True,
+        remote: Optional[bool] = None,
+        parallel: Optional[bool] = None,
     ) -> QueryResult:
         """Run a query end-to-end.
 
+        Execution knobs come from ``options`` (an :class:`ExecOptions`).
         ``remote=False`` models a client co-located with the server (no
         network transfer is charged); the paper's Query 5 uses
-        ``remote=True``.
+        ``remote=True``.  The per-method keywords (``num_clients``,
+        ``partitioner``, ``remote``, ``parallel``) are deprecated shims
+        that override the corresponding ``options`` fields.
         """
-        start = time.perf_counter()
-        plan = self.dataset.plan(sql)
-
-        by_node: Dict[str, List[AlignedFileChunkSet]] = {}
-        for afc in plan.afcs:
-            node = afc.chunks[0].node if afc.chunks else "local"
-            by_node.setdefault(node, []).append(afc)
-
-        per_node_stats: Dict[str, IOStats] = {
-            node: IOStats() for node in by_node
-        }
-
-        def run_node(node: str) -> VirtualTable:
-            return self._source(node).execute(
-                plan, by_node[node], per_node_stats[node]
-            )
-
-        nodes = list(by_node)
-        if parallel and len(nodes) > 1:
-            with ThreadPoolExecutor(
-                max_workers=self.max_workers or len(nodes)
-            ) as pool:
-                partials = list(pool.map(run_node, nodes))
-        else:
-            partials = [run_node(node) for node in nodes]
-
-        if partials:
-            table = concat_tables(partials)
-        else:
-            import numpy as np
-
-            table = VirtualTable(
-                {
-                    n: np.empty(0, dtype=plan.dtypes.get(n, np.float64))
-                    for n in plan.output
-                },
-                order=plan.output,
-            )
-
-        transfer_stats = IOStats()
-        if remote:
-            deliveries = self.mover.move(
-                table,
-                partitioner or RoundRobinPartitioner(),
-                num_clients,
-                transfer_stats,
-            )
-            messages = sum(d.messages for d in deliveries)
-        else:
-            deliveries = []
-            messages = 0
-
-        simulated = self.cost_model.makespan(
-            per_node_stats, transfer_stats.bytes_sent, messages
+        opts = _merge_legacy_kwargs(
+            options,
+            num_clients=num_clients,
+            partitioner=partitioner,
+            remote=remote,
+            parallel=parallel,
         )
+        tracer = opts.tracer()
+        start = time.perf_counter()
+
+        with tracer.span("query", sql=str(sql)[:200]) as query_span:
+            if tracer.enabled and getattr(self.dataset, "supports_tracing", False):
+                plan = self.dataset.plan(sql, tracer=tracer)
+            else:
+                plan = self.dataset.plan(sql)
+
+            by_node: Dict[str, List[AlignedFileChunkSet]] = {}
+            for afc in plan.afcs:
+                node = afc.chunks[0].node if afc.chunks else "local"
+                by_node.setdefault(node, []).append(afc)
+
+            per_node_stats: Dict[str, IOStats] = {
+                node: IOStats() for node in by_node
+            }
+            ctx = TraceContext(tracer, query_span)
+
+            def run_node(node: str) -> VirtualTable:
+                # Worker threads have an empty span stack; parent the
+                # per-node span under the query root via the context.
+                with ctx.span(
+                    "extract", node=node, afcs=len(by_node[node])
+                ) as span:
+                    partial = self._source(node).execute(
+                        plan, by_node[node], per_node_stats[node], tracer
+                    )
+                    span.tag(
+                        rows=partial.num_rows,
+                        bytes_read=per_node_stats[node].bytes_read,
+                    )
+                return partial
+
+            nodes = list(by_node)
+            if opts.parallel and len(nodes) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=self.max_workers or len(nodes)
+                ) as pool:
+                    partials = list(pool.map(run_node, nodes))
+            else:
+                partials = [run_node(node) for node in nodes]
+
+            if partials:
+                table = concat_tables(partials)
+            else:
+                import numpy as np
+
+                table = VirtualTable(
+                    {
+                        n: np.empty(0, dtype=plan.dtypes.get(n, np.float64))
+                        for n in plan.output
+                    },
+                    order=plan.output,
+                )
+
+            transfer_stats = IOStats()
+            if opts.remote:
+                deliveries = self.mover.move(
+                    table,
+                    opts.partitioner or RoundRobinPartitioner(),
+                    opts.num_clients,
+                    transfer_stats,
+                    tracer,
+                )
+                messages = sum(d.messages for d in deliveries)
+            else:
+                deliveries = []
+                messages = 0
+
+            simulated = self.cost_model.makespan(
+                per_node_stats, transfer_stats.bytes_sent, messages
+            )
+            per_node_stats.setdefault("_transfer", IOStats()).merge(
+                transfer_stats
+            )
+            query_span.tag(
+                rows=table.num_rows,
+                afcs=len(plan.afcs),
+                simulated_seconds=round(simulated, 6),
+            )
+            if tracer.enabled:
+                for node, stats in per_node_stats.items():
+                    tracer.metrics.record_stats(stats, prefix=f"io.{node}.")
+
         wall = time.perf_counter() - start
-        per_node_stats.setdefault("_transfer", IOStats()).merge(transfer_stats)
         return QueryResult(
             table=table,
             deliveries=deliveries,
@@ -190,6 +267,7 @@ class QueryService:
             simulated_seconds=simulated,
             wall_seconds=wall,
             afc_count=len(plan.afcs),
+            trace=tracer if tracer.enabled else None,
         )
 
     def close(self) -> None:

@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import MiniRowStore
-from repro.core import Virtualizer
+from repro.core import ExecOptions, Virtualizer
 
 ATTR_DOMAINS = {
     "REL": (0, 3),
@@ -91,7 +91,7 @@ def test_streaming_agrees_with_batch(engines, where):
     v, _ = engines
     sql = f"SELECT TIME, SGAS FROM IparsData WHERE {where}"
     whole = v.query(sql).canonical()
-    streamed = concat_tables(list(v.query_iter(sql, batch_rows=64)))
+    streamed = concat_tables(list(v.query_iter(sql, options=ExecOptions(batch_rows=64))))
     assert streamed.num_rows == whole.num_rows
     if whole.num_rows:
         c = streamed.canonical()

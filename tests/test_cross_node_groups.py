@@ -9,7 +9,12 @@ and cost model must account for that.
 import numpy as np
 import pytest
 
-from repro.core import CompiledDataset, GeneratedDataset, local_mount
+from repro.core import (
+    CompiledDataset,
+    ExecOptions,
+    GeneratedDataset,
+    local_mount,
+)
 from repro.datasets.writers import write_dataset
 from repro.storm import QueryService, VirtualCluster
 from repro.storm.cost import STORM_COST
@@ -69,7 +74,8 @@ class TestCrossNodeGroups:
     def test_results_are_correct(self, env):
         _, _, service = env
         result = service.submit(
-            "SELECT T, POS, VAL FROM D WHERE T = 5", remote=False
+            "SELECT T, POS, VAL FROM D WHERE T = 5",
+            ExecOptions(remote=False),
         )
         assert result.num_rows == 10
         np.testing.assert_allclose(
@@ -79,7 +85,7 @@ class TestCrossNodeGroups:
     def test_remote_bytes_counted(self, env):
         _, _, service = env
         service.drop_caches()
-        result = service.submit("SELECT POS, VAL FROM D", remote=False)
+        result = service.submit("SELECT POS, VAL FROM D", ExecOptions(remote=False))
         stats = result.total_stats
         # The AFC is processed on the coords node (first chunk); the VAL
         # chunks (8 x 10 x 4 bytes) are remote.
@@ -90,7 +96,7 @@ class TestCrossNodeGroups:
     def test_remote_reads_cost_network_time(self, env):
         _, _, service = env
         service.drop_caches()
-        result = service.submit("SELECT POS, VAL FROM D", remote=False)
+        result = service.submit("SELECT POS, VAL FROM D", ExecOptions(remote=False))
         stats = result.total_stats
         local_only = type(stats)()
         local_only.merge(stats)
@@ -100,5 +106,5 @@ class TestCrossNodeGroups:
     def test_projection_avoids_remote_reads(self, env):
         _, _, service = env
         service.drop_caches()
-        result = service.submit("SELECT POS FROM D WHERE T = 1", remote=False)
+        result = service.submit("SELECT POS FROM D WHERE T = 1", ExecOptions(remote=False))
         assert result.total_stats.remote_bytes_read == 0

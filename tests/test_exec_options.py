@@ -1,0 +1,162 @@
+"""Tests for the unified ExecOptions API and its deprecation shims."""
+
+import pathlib
+
+import pytest
+
+import repro
+from repro.core import ExecOptions, GeneratedDataset, Virtualizer, local_mount, open_dataset
+from repro.core.options import DEFAULT_OPTIONS
+from repro.obs import NULL_TRACER, Tracer
+from repro.storm import QueryService, RoundRobinPartitioner, VirtualCluster
+from repro.datasets import IparsConfig, ipars
+from tests.conftest import assert_tables_equal
+
+
+class TestExecOptions:
+    def test_defaults(self):
+        opts = ExecOptions()
+        assert opts.remote is True
+        assert opts.parallel is True
+        assert opts.num_clients == 1
+        assert opts.partitioner is None
+        assert opts.batch_rows == 65536
+        assert opts.trace is None
+        assert DEFAULT_OPTIONS == opts
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecOptions().remote = False
+
+    def test_replace(self):
+        base = ExecOptions()
+        changed = base.replace(remote=False, num_clients=4)
+        assert changed.remote is False and changed.num_clients == 4
+        assert base.remote is True  # original untouched
+
+    def test_tracer_resolution(self):
+        assert ExecOptions().tracer() is NULL_TRACER
+        assert ExecOptions(trace=False).tracer() is NULL_TRACER
+        assert isinstance(ExecOptions(trace=True).tracer(), Tracer)
+        mine = Tracer()
+        assert ExecOptions(trace=mine).tracer() is mine
+
+    def test_exported_from_top_level(self):
+        assert repro.ExecOptions is ExecOptions
+        assert hasattr(repro, "Tracer")
+        assert hasattr(repro, "Mount")
+
+
+@pytest.fixture(scope="module")
+def small_service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("exec_opts")
+    config = IparsConfig(num_rels=1, num_times=4, cells_per_node=10, num_nodes=2)
+    cluster = VirtualCluster.create(str(root), config.num_nodes)
+    text, _ = ipars.generate(config, "L0", cluster.mount())
+    service = QueryService(GeneratedDataset(text), cluster)
+    yield text, cluster, service
+    service.close()
+
+
+class TestSubmitOptions:
+    def test_options_accepted(self, small_service):
+        _, _, service = small_service
+        result = service.submit(
+            "SELECT X FROM IparsData",
+            ExecOptions(remote=True, num_clients=2,
+                        partitioner=RoundRobinPartitioner()),
+        )
+        assert len(result.deliveries) == 2
+
+    def test_legacy_kwargs_warn_and_still_work(self, small_service):
+        _, _, service = small_service
+        with pytest.warns(DeprecationWarning, match="ExecOptions"):
+            legacy = service.submit("SELECT X FROM IparsData", remote=False)
+        modern = service.submit(
+            "SELECT X FROM IparsData", ExecOptions(remote=False)
+        )
+        assert_tables_equal(legacy.table, modern.table)
+        assert legacy.deliveries == [] and modern.deliveries == []
+
+    def test_legacy_kwargs_override_options(self, small_service):
+        _, _, service = small_service
+        with pytest.warns(DeprecationWarning):
+            result = service.submit(
+                "SELECT X FROM IparsData",
+                ExecOptions(remote=True),
+                remote=False,
+            )
+        assert result.deliveries == []
+
+    def test_total_stats_computed_once(self, small_service):
+        _, _, service = small_service
+        result = service.submit(
+            "SELECT X FROM IparsData", ExecOptions(remote=False)
+        )
+        assert result.total_stats is result.total_stats  # cached, not rebuilt
+
+
+class TestVirtualizerOptions:
+    def test_query_iter_batch_rows_kwarg_warns(self, ipars_l0):
+        _, text, mount = ipars_l0
+        with Virtualizer(text, mount) as v:
+            with pytest.warns(DeprecationWarning, match="batch_rows"):
+                batches = list(
+                    v.query_iter("SELECT X FROM IparsData", batch_rows=100)
+                )
+            # Small batch size must actually take effect (multiple batches).
+            assert len(batches) > 1
+
+    def test_query_iter_options_no_warning(self, ipars_l0, recwarn):
+        _, text, mount = ipars_l0
+        with Virtualizer(text, mount) as v:
+            batches = list(
+                v.query_iter(
+                    "SELECT X FROM IparsData",
+                    options=ExecOptions(batch_rows=100),
+                )
+            )
+        assert len(batches) > 1
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_query_accepts_options(self, ipars_l0):
+        _, text, mount = ipars_l0
+        with Virtualizer(text, mount) as v:
+            plain = v.query("SELECT X FROM IparsData WHERE TIME = 1")
+            traced = v.query(
+                "SELECT X FROM IparsData WHERE TIME = 1",
+                options=ExecOptions(trace=True),
+            )
+        assert_tables_equal(plain, traced)
+
+
+class TestPathlibSupport:
+    def test_local_mount_accepts_path(self, tmp_path):
+        mount = local_mount(pathlib.Path(tmp_path))
+        assert isinstance(mount("osu0", "x"), str)
+
+    def test_open_dataset_accepts_path(self, ipars_l0, tmp_path):
+        _, text, _ = ipars_l0
+        # The ipars_l0 mount is rooted where generate() wrote; rebuild the
+        # same root as a Path through the mount callable's closure-free API.
+        config = IparsConfig(
+            num_rels=1, num_times=2, cells_per_node=5, num_nodes=1
+        )
+        mount = local_mount(str(tmp_path))
+        text2, _ = ipars.generate(config, "L0", mount)
+        v = open_dataset(text2, pathlib.Path(tmp_path))
+        try:
+            assert v.query("SELECT X FROM IparsData").num_rows > 0
+        finally:
+            v.close()
+
+    def test_codegen_path_accepts_path(self, tmp_path):
+        config = IparsConfig(
+            num_rels=1, num_times=2, cells_per_node=5, num_nodes=1
+        )
+        mount = local_mount(str(tmp_path))
+        text, _ = ipars.generate(config, "L0", mount)
+        out = pathlib.Path(tmp_path) / "gen.py"
+        with Virtualizer(text, mount, codegen_path=out) as v:
+            assert v.query("SELECT X FROM IparsData").num_rows > 0
+        assert out.exists()

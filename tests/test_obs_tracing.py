@@ -1,0 +1,268 @@
+"""Tests for the query-lifecycle observability subsystem (repro.obs)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import ExecOptions, GeneratedDataset, Virtualizer
+from repro.datasets import IparsConfig, ipars
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    TraceContext,
+    Tracer,
+    as_tracer,
+    chrome_trace,
+    read_chrome_trace,
+    spans_from_chrome,
+    tree_summary,
+    write_chrome_trace,
+)
+from repro.storm import QueryService, VirtualCluster
+
+
+# ---------------------------------------------------------------------------
+# Tracer and span mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("query") as outer:
+            with tracer.span("plan") as mid:
+                with tracer.span("index") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert mid.parent_id == outer.span_id
+        assert inner.parent_id == mid.span_id
+        assert [s.name for s in tracer.spans] == ["query", "plan", "index"]
+
+    def test_durations_and_cpu_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            sum(range(10000))
+        (span,) = tracer.spans
+        assert span.finished
+        assert span.duration > 0
+        assert span.cpu_seconds >= 0
+
+    def test_tags_merge(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.tag(b=2)
+        assert tracer.spans[0].tags == {"a": 1, "b": 2}
+
+    def test_events_are_zero_duration(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            tracer.event("cache_hit", path="f")
+        (event,) = tracer.find("cache_hit")
+        assert event.phase == "i"
+        assert event.duration == 0.0
+        assert event.parent_id == parent.span_id
+
+    def test_exception_tags_error_and_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (span,) = tracer.spans
+        assert span.finished
+        assert span.tags["error"].startswith("ValueError")
+
+    def test_stage_seconds_sums_by_name(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        stages = tracer.stage_seconds()
+        assert set(stages) == {"a", "b"}
+        assert stages["a"] >= 0
+
+    def test_cross_thread_parenting_via_context(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            ctx = TraceContext(tracer, root)
+
+            def work(i):
+                with ctx.span("worker", i=i):
+                    pass
+
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        workers = [s for s in tracer.spans if s.name == "worker"]
+        assert len(workers) == 3
+        assert all(s.parent_id == root.span_id for s in workers)
+
+
+class TestDisabledTracer:
+    def test_null_tracer_is_disabled_singleton(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_null_span_is_shared_and_inert(self):
+        a = NULL_TRACER.span("x", tag=1)
+        b = NULL_TRACER.span("y")
+        assert a is b  # one shared no-op instance, no allocation per span
+        with a as span:
+            span.tag(more=2)  # must not raise
+        NULL_TRACER.event("nothing")
+
+    def test_as_tracer_resolution(self):
+        assert as_tracer(None) is NULL_TRACER
+        assert as_tracer(False) is NULL_TRACER
+        assert isinstance(as_tracer(True), Tracer)
+        existing = Tracer()
+        assert as_tracer(existing) is existing
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("reads").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("bytes").observe(100)
+        reg.histogram("bytes").observe(5000)
+        out = reg.as_dict()
+        assert out["counters"]["reads"] == 3
+        assert out["gauges"]["depth"] == 7
+        assert out["histograms"]["bytes"]["count"] == 2
+
+    def test_record_stats_ingests_iostats(self):
+        from repro.core import IOStats
+
+        stats = IOStats()
+        stats.bytes_read = 1024
+        stats.files_opened = 2
+        reg = MetricsRegistry()
+        reg.record_stats(stats, prefix="io.")
+        counters = reg.as_dict()["counters"]
+        assert counters["io.bytes_read"] == 1024
+        assert counters["io.files_opened"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Export round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("query", sql="SELECT 1") as q:
+            with tracer.span("plan"):
+                tracer.event("cache_hit")
+        return tracer
+
+    def test_json_round_trip(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path)  # pathlib.Path accepted
+        payload = read_chrome_trace(path)
+        assert payload["displayTimeUnit"] == "ms"
+        json.dumps(payload)  # fully serialisable
+        spans = spans_from_chrome(payload)
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["plan"]["parent_id"] == by_name["query"]["span_id"]
+        assert by_name["cache_hit"]["phase"] == "i"
+        assert by_name["query"]["tags"]["sql"] == "SELECT 1"
+
+    def test_chrome_events_use_microseconds(self):
+        tracer = self._traced()
+        payload = chrome_trace(tracer)
+        x_events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in x_events)
+        assert {"query", "plan"} == {e["name"] for e in x_events}
+
+    def test_tree_summary_renders(self):
+        tracer = self._traced()
+        text = tree_summary(tracer)
+        assert "query" in text and "plan" in text
+        assert "cache_hit" in text
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: spans from a real pipeline run
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_storm(tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs_storm")
+    config = IparsConfig(num_rels=2, num_times=6, cells_per_node=20, num_nodes=2)
+    cluster = VirtualCluster.create(str(root), config.num_nodes)
+    text, _ = ipars.generate(config, "L0", cluster.mount())
+    service = QueryService(GeneratedDataset(text), cluster)
+    yield config, service
+    service.close()
+
+
+class TestPipelineTracing:
+    def test_submit_produces_stage_spans(self, traced_storm):
+        _, service = traced_storm
+        tracer = Tracer()
+        result = service.submit(
+            "SELECT X, SOIL FROM IparsData WHERE TIME <= 3 AND SOIL >= 0.0",
+            ExecOptions(trace=tracer, num_clients=2, remote=True),
+        )
+        assert result.trace is tracer
+        names = {s.name for s in tracer.spans}
+        assert {"query", "plan", "index", "extract", "filter",
+                "partition", "mover"} <= names
+        # One "extract" span per node, parented under the query root.
+        (root,) = tracer.find("query")
+        extracts = [s for s in tracer.spans if s.name == "extract"]
+        assert len(extracts) == 2
+        assert {s.tags["node"] for s in extracts} == {"osu0", "osu1"}
+        assert all(s.parent_id == root.span_id for s in extracts)
+        # Result rows surface as tags on the root span.
+        assert root.tags["rows"] == result.num_rows
+
+    def test_submit_records_io_metrics(self, traced_storm):
+        _, service = traced_storm
+        service.drop_caches()  # warm segment caches would zero bytes_read
+        tracer = Tracer()
+        service.submit(
+            "SELECT X FROM IparsData WHERE TIME = 1",
+            ExecOptions(trace=tracer, remote=False),
+        )
+        counters = tracer.metrics.as_dict()["counters"]
+        assert any(k.endswith("bytes_read") and v > 0
+                   for k, v in counters.items())
+
+    def test_untraced_submit_has_no_trace(self, traced_storm):
+        _, service = traced_storm
+        result = service.submit(
+            "SELECT X FROM IparsData WHERE TIME = 1",
+            ExecOptions(remote=False),
+        )
+        assert result.trace is None
+
+    def test_traced_equals_untraced_results(self, traced_storm):
+        from tests.conftest import assert_tables_equal
+
+        _, service = traced_storm
+        sql = "SELECT X, SOIL FROM IparsData WHERE TIME <= 2"
+        plain = service.submit(sql, ExecOptions(remote=False))
+        traced = service.submit(sql, ExecOptions(remote=False, trace=True))
+        assert_tables_equal(plain.table, traced.table)
+
+    def test_virtualizer_query_traces(self, ipars_l0):
+        _, text, mount = ipars_l0
+        tracer = Tracer()
+        with Virtualizer(text, mount) as v:
+            v.query(
+                "SELECT X FROM IparsData WHERE TIME = 1",
+                options=ExecOptions(trace=tracer),
+            )
+        names = {s.name for s in tracer.spans}
+        assert {"query", "plan", "index", "extract"} <= names

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import ExecOptions
 from repro.errors import QueryValidationError
 from repro.sql import parse_query
 from repro.sql.views import ViewRegistry
@@ -133,11 +134,12 @@ class TestCatalogViews:
                 "SELECT REL, TIME, X, SOIL FROM IparsData WHERE SOIL > 0.7",
             )
             through_view = catalog.query(
-                "SELECT SOIL FROM HighOil WHERE TIME <= 3", remote=False
+                "SELECT SOIL FROM HighOil WHERE TIME <= 3",
+                ExecOptions(remote=False),
             )
             direct = catalog.query(
                 "SELECT SOIL FROM IparsData WHERE SOIL > 0.7 AND TIME <= 3",
-                remote=False,
+                ExecOptions(remote=False),
             )
             assert through_view.num_rows == direct.num_rows
             np.testing.assert_array_equal(

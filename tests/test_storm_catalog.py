@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CompiledDataset, local_mount
+from repro.core import CompiledDataset, ExecOptions, local_mount
 from repro.datasets import IparsConfig, TitanConfig, ipars, titan
 from repro.errors import StormError
 from repro.index import build_summaries, summaries_path
@@ -40,10 +40,11 @@ class TestCatalog:
             assert catalog.table_names == ["IparsData", "TitanData"]
 
             r1 = catalog.query(
-                "SELECT REL FROM IparsData WHERE TIME = 1", remote=False
+                "SELECT REL FROM IparsData WHERE TIME = 1",
+                ExecOptions(remote=False),
             )
             assert r1.num_rows == ipars_cfg.num_rels * ipars_cfg.total_cells
-            r2 = catalog.query("SELECT S1 FROM TitanData", remote=False)
+            r2 = catalog.query("SELECT S1 FROM TitanData", ExecOptions(remote=False))
             assert r2.num_rows == titan_cfg.total_rows
 
     def test_summaries_auto_discovered(self, multi_env):
@@ -64,7 +65,8 @@ class TestCatalog:
             name = catalog.register(xml)
             assert name == "IparsData"
             result = catalog.query(
-                "SELECT TIME FROM IparsData WHERE TIME <= 2", remote=False
+                "SELECT TIME FROM IparsData WHERE TIME <= 2",
+                ExecOptions(remote=False),
             )
             assert result.num_rows == 2 * ipars_cfg.num_rels * ipars_cfg.total_cells
 
@@ -95,7 +97,8 @@ class TestCatalog:
             dataset = catalog.dataset("IparsData")
             assert type(dataset).__name__ == "CompiledDataset"
             assert catalog.query(
-                "SELECT X FROM IparsData WHERE TIME = 1", remote=False
+                "SELECT X FROM IparsData WHERE TIME = 1",
+                ExecOptions(remote=False),
             ).num_rows > 0
 
     def test_explain_routes(self, multi_env):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import ExecOptions
 from repro.core.stats import IOStats
 from repro.core.table import VirtualTable
 from repro.sql import DEFAULT_REGISTRY, parse_where
@@ -131,10 +132,10 @@ class TestConcurrentQueries:
             f"SELECT REL, TIME, SOIL FROM IparsData WHERE TIME = {t}"
             for t in range(1, 9)
         ]
-        expected = [service.submit(q, remote=False).num_rows for q in queries]
+        expected = [service.submit(q, ExecOptions(remote=False)).num_rows for q in queries]
         with ThreadPoolExecutor(max_workers=4) as pool:
             results = list(
-                pool.map(lambda q: service.submit(q, remote=False).num_rows,
+                pool.map(lambda q: service.submit(q, ExecOptions(remote=False)).num_rows,
                          queries)
             )
         assert results == expected

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CompiledDataset, GeneratedDataset
+from repro.core import CompiledDataset, ExecOptions, GeneratedDataset
 from repro.core.stats import IOStats
 from repro.datasets import IparsConfig, ipars
 from repro.storm import (
@@ -35,21 +35,21 @@ def storm(tmp_path_factory):
 class TestQueryService:
     def test_full_scan(self, storm):
         config, _, _, service = storm
-        result = service.submit("SELECT * FROM IparsData", remote=False)
+        result = service.submit("SELECT * FROM IparsData", ExecOptions(remote=False))
         assert result.num_rows == config.total_rows
         assert result.afc_count == config.num_nodes * config.num_rels * config.num_times
 
     def test_parallel_equals_serial(self, storm):
         _, _, _, service = storm
         sql = "SELECT X, SOIL FROM IparsData WHERE TIME > 3 AND SOIL > 0.4"
-        a = service.submit(sql, parallel=True, remote=False)
-        b = service.submit(sql, parallel=False, remote=False)
+        a = service.submit(sql, ExecOptions(parallel=True, remote=False))
+        b = service.submit(sql, ExecOptions(parallel=False, remote=False))
         assert_tables_equal(a.table.canonical(), b.table.canonical())
 
     def test_work_spread_across_nodes(self, storm):
         config, _, _, service = storm
         service.drop_caches()
-        result = service.submit("SELECT * FROM IparsData", remote=False)
+        result = service.submit("SELECT * FROM IparsData", ExecOptions(remote=False))
         nodes = [n for n in result.per_node_stats if n.startswith("osu")]
         assert len(nodes) == config.num_nodes
         reads = [result.per_node_stats[n].bytes_read for n in nodes]
@@ -59,9 +59,11 @@ class TestQueryService:
         _, _, _, service = storm
         result = service.submit(
             "SELECT REL, TIME FROM IparsData WHERE TIME <= 2",
-            num_clients=3,
-            partitioner=RoundRobinPartitioner(),
-            remote=True,
+            ExecOptions(
+                num_clients=3,
+                partitioner=RoundRobinPartitioner(),
+                remote=True,
+            ),
         )
         assert len(result.deliveries) == 3
         total = sum(d.table.num_rows for d in result.deliveries)
@@ -71,7 +73,8 @@ class TestQueryService:
     def test_local_query_sends_nothing(self, storm):
         _, _, _, service = storm
         result = service.submit(
-            "SELECT REL FROM IparsData WHERE TIME = 1", remote=False
+            "SELECT REL FROM IparsData WHERE TIME = 1",
+            ExecOptions(remote=False),
         )
         assert result.total_stats.bytes_sent == 0
         assert result.deliveries == []
@@ -80,15 +83,16 @@ class TestQueryService:
         _, _, _, service = storm
         sql = "SELECT * FROM IparsData WHERE TIME > 5"
         service.drop_caches()
-        a = service.submit(sql, remote=False).simulated_seconds
+        a = service.submit(sql, ExecOptions(remote=False)).simulated_seconds
         service.drop_caches()
-        b = service.submit(sql, remote=False).simulated_seconds
+        b = service.submit(sql, ExecOptions(remote=False)).simulated_seconds
         assert a == b > 0
 
     def test_empty_result(self, storm):
         _, _, _, service = storm
         result = service.submit(
-            "SELECT * FROM IparsData WHERE TIME > 500", remote=False
+            "SELECT * FROM IparsData WHERE TIME > 500",
+            ExecOptions(remote=False),
         )
         assert result.num_rows == 0
         assert result.table.column_names[0] == "REL"
@@ -123,8 +127,7 @@ class TestMover:
         _, _, _, service = storm
         result = service.submit(
             "SELECT REL, TIME FROM IparsData WHERE TIME <= 2",
-            num_clients=2,
-            remote=True,
+            ExecOptions(num_clients=2, remote=True),
         )
         mover = DataMoverService()
         row_bytes = 2 + 4  # REL short int + TIME int
@@ -136,9 +139,11 @@ class TestMover:
         _, _, _, service = storm
         result = service.submit(
             "SELECT TIME FROM IparsData WHERE TIME <= 4",
-            num_clients=2,
-            partitioner=BlockPartitioner(),
-            remote=True,
+            ExecOptions(
+                num_clients=2,
+                partitioner=BlockPartitioner(),
+                remote=True,
+            ),
         )
         first, second = result.deliveries
         # Block partitioning keeps row order: client 0 gets the first half.

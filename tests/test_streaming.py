@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Virtualizer
+from repro.core import ExecOptions, Virtualizer
 from repro.core.table import concat_tables
 from repro.errors import ExtractionError
 from tests.conftest import assert_tables_equal
@@ -21,7 +21,7 @@ class TestQueryIter:
     def test_batches_reassemble_to_full_result(self, v):
         sql = "SELECT REL, TIME, SOIL FROM IparsData WHERE SOIL > 0.3"
         whole = v.query(sql)
-        batches = list(v.query_iter(sql, batch_rows=100))
+        batches = list(v.query_iter(sql, options=ExecOptions(batch_rows=100)))
         assert len(batches) > 1
         assert_tables_equal(concat_tables(batches), whole)
 
@@ -29,7 +29,7 @@ class TestQueryIter:
         # Each AFC yields 10 rows; with batch_rows=25 batches flush at the
         # first AFC boundary at or past 25 rows.
         batches = list(
-            v.query_iter("SELECT X FROM IparsData", batch_rows=25)
+            v.query_iter("SELECT X FROM IparsData", options=ExecOptions(batch_rows=25))
         )
         assert all(25 <= b.num_rows <= 34 for b in batches[:-1])
         assert sum(b.num_rows for b in batches) == 3200
@@ -38,14 +38,14 @@ class TestQueryIter:
         text, mount = paper_dataset
         with Virtualizer(text, mount, chunk_row_cap=5) as capped:
             batches = list(
-                capped.query_iter("SELECT X FROM IparsData", batch_rows=5)
+                capped.query_iter("SELECT X FROM IparsData", options=ExecOptions(batch_rows=5))
             )
             assert all(b.num_rows == 5 for b in batches)
 
     def test_filtered_stream(self, v):
         sql = "SELECT SOIL FROM IparsData WHERE SOIL > 0.95"
         whole = v.query(sql)
-        batches = list(v.query_iter(sql, batch_rows=8))
+        batches = list(v.query_iter(sql, options=ExecOptions(batch_rows=8)))
         assert sum(b.num_rows for b in batches) == whole.num_rows
         for batch in batches:
             assert (batch["SOIL"] > 0.95).all()
@@ -58,14 +58,14 @@ class TestQueryIter:
 
     def test_single_batch_when_large(self, v):
         batches = list(
-            v.query_iter("SELECT X FROM IparsData", batch_rows=10**9)
+            v.query_iter("SELECT X FROM IparsData", options=ExecOptions(batch_rows=10**9))
         )
         assert len(batches) == 1
         assert batches[0].num_rows == 3200
 
     def test_invalid_batch_size(self, v):
         with pytest.raises(ExtractionError):
-            list(v.query_iter("SELECT X FROM IparsData", batch_rows=0))
+            list(v.query_iter("SELECT X FROM IparsData", options=ExecOptions(batch_rows=0)))
 
     def test_stats_accumulate_once(self, paper_dataset):
         from repro.core import IOStats
@@ -76,7 +76,9 @@ class TestQueryIter:
             total = sum(
                 b.num_rows
                 for b in fresh.query_iter(
-                    "SELECT X FROM IparsData", batch_rows=64, stats=stats
+                    "SELECT X FROM IparsData",
+                    stats=stats,
+                    options=ExecOptions(batch_rows=64),
                 )
             )
             assert stats.rows_output == total == 3200
