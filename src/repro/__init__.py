@@ -35,9 +35,13 @@ from .core.extractor import Mount
 from .errors import (
     CodegenError,
     ExtractionError,
+    FaultSpecError,
+    InjectedFault,
     MetadataError,
     MetadataSyntaxError,
     MetadataValidationError,
+    NodeFailureError,
+    NodeTimeoutError,
     PlanningError,
     QueryError,
     QuerySyntaxError,
@@ -47,6 +51,7 @@ from .errors import (
     SchemaError,
     StormError,
 )
+from .faults import FaultInjector, FaultRule
 from .metadata import Descriptor, Schema, parse_descriptor
 from .obs import (
     MetricsRegistry,
@@ -75,14 +80,20 @@ __all__ = [
     "ExtractionError",
     "ExtractionPlan",
     "Extractor",
+    "FaultInjector",
+    "FaultRule",
+    "FaultSpecError",
     "FunctionRegistry",
     "GeneratedDataset",
     "IOStats",
+    "InjectedFault",
     "MetadataError",
     "MetadataSyntaxError",
     "MetadataValidationError",
     "MetricsRegistry",
     "Mount",
+    "NodeFailureError",
+    "NodeTimeoutError",
     "PlanningError",
     "Query",
     "QueryError",

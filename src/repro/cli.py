@@ -10,6 +10,7 @@ workflow end to end::
     python -m repro index-build DESC.txt --root D # build chunk summaries
     python -m repro query     DESC.txt "SELECT ..." --root D --format csv
     python -m repro trace     DESC.txt "SELECT ..." --root D -o trace.json
+    python -m repro chaos     DESC.txt "SELECT ..." --root D --profile node-down
     python -m repro explain   DESC.txt "SELECT ..."
     python -m repro to-xml    DESC.txt            # XML embedding
     python -m repro from-xml  DESC.xml            # ...and back
@@ -250,6 +251,71 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a query under a named fault profile and report the degradation.
+
+    Exit codes: 0 = full result despite faults, 3 = degraded result
+    (some nodes lost), 1 = query failed outright.
+    """
+    from .core.options import ExecOptions
+    from .errors import NodeFailureError
+    from .faults import FaultInjector, parse_rule, profile_rules
+    from .obs import Tracer
+    from .storm.cluster import VirtualCluster
+    from .storm.query_service import QueryService
+
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    if args.interpreted:
+        dataset: CompiledDataset = CompiledDataset(descriptor)
+    else:
+        dataset = GeneratedDataset(descriptor)
+    cluster = VirtualCluster.for_storage(args.root, descriptor.storage)
+    rules = []
+    if args.profile:
+        rules.extend(profile_rules(args.profile, cluster.node_names))
+    for spec in args.rule or []:
+        rules.append(parse_rule(spec))
+    if not rules:
+        print("error: no fault rules; pass --profile and/or --rule",
+              file=sys.stderr)
+        return 2
+    injector = FaultInjector(rules, seed=args.seed)
+    tracer = Tracer("chaos")
+    options = ExecOptions(
+        remote=not args.local,
+        num_clients=args.clients,
+        retries=args.retries,
+        retry_backoff=args.backoff,
+        node_timeout=args.node_timeout,
+        allow_partial=not args.no_partial,
+        trace=tracer,
+    )
+    named = f" profile {args.profile!r}" if args.profile else ""
+    print(f"chaos:{named} {len(rules)} rule(s), seed {args.seed}, "
+          f"retries {args.retries}, backoff {args.backoff:g}s"
+          + (f", node timeout {args.node_timeout:g}s"
+             if args.node_timeout else ""))
+    try:
+        with QueryService(dataset, cluster, fault_injector=injector) as service:
+            result = service.submit(args.sql, options)
+    except NodeFailureError as exc:
+        print(injector.report())
+        print(f"query FAILED: {exc}", file=sys.stderr)
+        return 1
+    counters = tracer.metrics.as_dict()["counters"]
+    print(injector.report())
+    print(f"retries attempted: {counters.get('retries.attempted', 0)}; "
+          f"nodes failed: {counters.get('nodes.failed', 0)}")
+    if result.degraded:
+        print(f"DEGRADED result: lost {', '.join(result.failed_nodes)}; "
+              f"{result.num_rows} rows from the surviving nodes")
+    else:
+        print(f"full result survived the fault profile: "
+              f"{result.num_rows} rows")
+    print(result.summary())
+    return 3 if result.degraded else 0
+
+
 def cmd_explain(args) -> int:
     descriptor = _load_descriptor(args.descriptor, args.dataset)
     dataset = GeneratedDataset(descriptor)
@@ -347,6 +413,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interpreted", action="store_true",
                    help="use the interpreted planner instead of codegen")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a query under a fault profile and report the degradation",
+    )
+    common(p, root=True)
+    p.add_argument("sql", help="SELECT ... FROM ... [WHERE ...]")
+    p.add_argument("--profile",
+                   help="named fault profile (node-down, flaky-open, "
+                        "flaky-reads, slow-node, tail-failure)")
+    p.add_argument("--rule", action="append",
+                   help="extra fault rule kind[:node[:path[:key=val,...]]]; "
+                        "repeatable")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection RNG seed (default 0)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per failed node (default 2)")
+    p.add_argument("--backoff", type=float, default=0.01,
+                   help="base retry backoff seconds, doubling per retry "
+                        "(default 0.01)")
+    p.add_argument("--node-timeout", type=float,
+                   help="seconds before one extraction attempt is "
+                        "abandoned as hung")
+    p.add_argument("--no-partial", action="store_true",
+                   help="fail the query instead of returning a degraded "
+                        "result when a node is lost")
+    p.add_argument("--clients", type=int, default=1,
+                   help="number of destination clients for partitioning")
+    p.add_argument("--local", action="store_true",
+                   help="co-located client: skip partition/mover stages")
+    p.add_argument("--interpreted", action="store_true",
+                   help="use the interpreted planner instead of codegen")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("explain", help="show the plan for a query")
     common(p)

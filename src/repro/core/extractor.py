@@ -29,7 +29,7 @@ from ..obs.tracer import NULL_TRACER
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
 from .afc import AlignedFileChunkSet, ExtractionPlan
 from .stats import IOStats
-from .table import VirtualTable
+from .table import VirtualTable, own_column
 
 #: Resolves (node, dataset-relative path) to an absolute filesystem path.
 Mount = Callable[[str, str], str]
@@ -41,6 +41,9 @@ class _HandleCache:
     def __init__(self, capacity: int = 64):
         self.capacity = capacity
         self._handles: "OrderedDict[str, object]" = OrderedDict()
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._handles
 
     def get(self, path: str, stats: IOStats):
         handle = self._handles.get(path)
@@ -81,11 +84,14 @@ class _SegmentCache:
     def put(self, key: tuple, data: bytes) -> None:
         if len(data) > self.capacity:
             return
+        old = self._segments.pop(key, None)
+        if old is not None:
+            self.size -= len(old)
         self._segments[key] = data
         self.size += len(data)
         while self.size > self.capacity:
-            _, old = self._segments.popitem(last=False)
-            self.size -= len(old)
+            _, evicted = self._segments.popitem(last=False)
+            self.size -= len(evicted)
 
 
 class Extractor:
@@ -100,6 +106,9 @@ class Extractor:
     ):
         self.mount = mount
         self.functions = functions or DEFAULT_REGISTRY
+        #: A FaultyMount (repro.faults) carries its injector here; plain
+        #: mounts leave it None and the hot path pays one is-None check.
+        self._injector = getattr(mount, "injector", None)
         self._handles = _HandleCache(handle_cache)
         self._segments = _SegmentCache(segment_cache_bytes)
         #: Simulated disk-head position per node: (path, next offset).
@@ -146,6 +155,8 @@ class Extractor:
         if tracer.enabled:
             tracer.event("segment_cache_miss", node=node, path=path, bytes=nbytes)
         full_path = self.mount(node, path)
+        if self._injector is not None and full_path not in self._handles:
+            self._injector.on_open(node, path)
         handle = self._handles.get(full_path, stats)
         handle.seek(offset)
         if self._head.get(node) != (path, offset):
@@ -154,6 +165,8 @@ class Extractor:
         data = handle.read(nbytes)
         stats.read_calls += 1
         stats.bytes_read += len(data)
+        if self._injector is not None:
+            data = self._injector.on_read(node, path, offset, data)
         if len(data) != nbytes:
             raise ExtractionError(
                 f"short read from {path!r}: wanted {nbytes} bytes at "
@@ -251,7 +264,7 @@ class Extractor:
                 count = afc.num_rows
             stats.rows_output += count
             for name in plan.output:
-                pieces[name].append(np.ascontiguousarray(selected[name]))
+                pieces[name].append(own_column(selected[name]))
         final: Dict[str, np.ndarray] = {}
         for name in plan.output:
             if pieces[name]:
@@ -320,7 +333,7 @@ class Extractor:
                 selected = columns
             stats.rows_output += count
             for name in plan.output:
-                pieces[name].append(np.ascontiguousarray(selected[name]))
+                pieces[name].append(own_column(selected[name]))
             buffered += count
             if buffered >= batch_rows:
                 yield flush()

@@ -38,6 +38,21 @@ class ExecOptions:
     ``trace``       ``True`` for a fresh tracer, a :class:`Tracer` to
                     collect into, or ``None``/``False`` for the no-op
                     tracer (the near-zero-overhead default).
+
+    Resilience (see docs/architecture.md, "Failure model and degraded
+    execution"):
+
+    ``retries``       extra attempts per failed node extraction (and per
+                      failed result transfer) before giving up on it.
+    ``retry_backoff`` seconds slept before the first retry; doubles each
+                      further retry (exponential backoff).
+    ``node_timeout``  seconds one extraction attempt may run before it is
+                      abandoned as hung; timeouts count as failed
+                      attempts and are retried like any other failure.
+    ``allow_partial`` when a node is still failing after all retries,
+                      return a degraded result (``QueryResult.degraded``
+                      True, the node listed in ``failed_nodes``) instead
+                      of raising :class:`~repro.errors.NodeFailureError`.
     """
 
     remote: bool = True
@@ -46,6 +61,10 @@ class ExecOptions:
     partitioner: Optional["Partitioner"] = None
     batch_rows: int = 65536
     trace: Union[bool, Tracer, None] = None
+    retries: int = 0
+    retry_backoff: float = 0.0
+    node_timeout: Optional[float] = None
+    allow_partial: bool = False
 
     def replace(self, **changes) -> "ExecOptions":
         """A copy with the given fields changed."""

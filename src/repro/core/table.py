@@ -139,6 +139,22 @@ def _csv_cell(value) -> str:
     return str(value)
 
 
+def own_column(arr: np.ndarray) -> np.ndarray:
+    """A contiguous column that is safe to hand to callers.
+
+    ``np.frombuffer`` decodes over cached chunk payloads are read-only,
+    and for single-attribute strips ``np.ascontiguousarray`` passes such
+    views through unchanged — emitting them would hand out immutable
+    aliases of segment-cache memory.  This copies exactly when that
+    happens (the array is still read-only after the contiguity pass) and
+    is otherwise as cheap as ``np.ascontiguousarray``.
+    """
+    out = np.ascontiguousarray(arr)
+    if not out.flags.writeable:
+        out = out.copy()
+    return out
+
+
 def concat_tables(tables: Sequence[VirtualTable]) -> VirtualTable:
     """Concatenate tables with identical column sets, preserving order."""
     tables = [t for t in tables if t is not None]

@@ -82,12 +82,59 @@ class CodegenError(ReproError):
     """Generating or loading compiled index/extractor code failed."""
 
 
+class InjectedFault(ExtractionError):
+    """An artificial failure produced by the fault-injection harness.
+
+    Subclasses :class:`ExtractionError` so the runtime's retry machinery
+    treats injected faults exactly like real I/O failures — chaos tests
+    exercise the same recovery paths production errors would.
+    """
+
+
 class StormError(ReproError):
     """Base class for errors in the STORM runtime services."""
 
 
 class ClusterError(StormError):
     """A virtual cluster operation failed (unknown node, missing dir...)."""
+
+
+class NodeTimeoutError(StormError):
+    """One node's extraction exceeded ``ExecOptions.node_timeout``.
+
+    Raised per attempt and retryable; if every attempt times out the
+    query surfaces a :class:`NodeFailureError` instead.
+    """
+
+    def __init__(self, node: str, timeout: float):
+        self.node = node
+        self.timeout = timeout
+        super().__init__(
+            f"node {node!r} did not answer within {timeout:g}s"
+        )
+
+
+class NodeFailureError(StormError):
+    """A node kept failing after every configured retry.
+
+    Carries the failing ``node``, the number of ``attempts`` made, and the
+    last underlying ``cause``.  Raised by ``QueryService.submit`` when
+    ``ExecOptions.allow_partial`` is False; with ``allow_partial=True``
+    the query instead returns a degraded result that lists the node.
+    """
+
+    def __init__(self, node: str, attempts: int, cause: Exception = None):
+        self.node = node
+        self.attempts = attempts
+        self.cause = cause
+        message = f"node {node!r} failed after {attempts} attempt(s)"
+        if cause is not None:
+            message += f": {type(cause).__name__}: {cause}"
+        super().__init__(message)
+
+
+class FaultSpecError(StormError):
+    """A fault rule or chaos profile specification is invalid."""
 
 
 class PartitionError(StormError):

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the STORM runtime (``repro.faults``).
+
+The paper's STORM middleware is a distributed service suite; this package
+makes the virtual cluster misbehave on purpose — per-node/per-file rules
+for failed opens, short reads, stalls, mid-scan disk deaths, and dead
+nodes — so the retry/timeout/degraded-execution machinery in
+``QueryService`` can be exercised deterministically (fixed rules + seed
+replay the same fault sequence).
+
+Typical use::
+
+    from repro.faults import FaultInjector, FaultRule
+
+    injector = FaultInjector([FaultRule("node-down", node="osu1")], seed=7)
+    service = QueryService(dataset, cluster, fault_injector=injector)
+    result = service.submit(sql, ExecOptions(retries=2, allow_partial=True))
+    assert result.degraded and result.failed_nodes == ["osu1"]
+
+See also the ``repro chaos`` CLI command and docs/architecture.md,
+"Failure model and degraded execution".
+"""
+
+from .injector import FaultInjector, FaultyMount
+from .rules import KINDS, PROFILES, FaultRule, parse_rule, profile_rules
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "FaultyMount",
+    "KINDS",
+    "PROFILES",
+    "parse_rule",
+    "profile_rules",
+]

@@ -1,0 +1,197 @@
+"""The fault injector: deterministic, seedable failure injection.
+
+The injector plugs in at the ``Mount`` boundary — :meth:`FaultInjector.
+wrap` turns any mount function into a :class:`FaultyMount` that the
+extractor recognises — and at the data mover (transfer faults).  All
+firing state (per-rule counters, the RNG) lives here, guarded by one
+lock, so a fixed ``(rules, seed)`` pair replays the same fault sequence
+for the same workload: chaos tests are regular deterministic tests.
+
+Injection points, in the order a chunk read hits them:
+
+1. ``on_mount``     — path resolution; ``node-down`` rules fire here, so a
+                      dead node fails before any file is touched.
+2. ``on_open``      — called only when the extractor actually opens a file
+                      (handle-cache misses); ``raise-on-open`` rules.
+3. ``on_read``      — after the real read; ``slow-read`` stalls,
+                      ``short-read`` truncates the payload (surfacing
+                      through the extractor's real short-read check), and
+                      ``fail-after-chunks`` counts successes then raises.
+4. ``on_transfer``  — the data mover checks the pseudo-node
+                      ``client:<i>`` per delivery; ``node-down`` rules
+                      against it model an unreachable destination.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import InjectedFault
+from .rules import FaultRule
+
+
+class FaultInjector:
+    """Applies a rule set to extraction and transfer operations."""
+
+    def __init__(
+        self,
+        rules: Sequence[FaultRule],
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._fired = [0] * len(self.rules)
+        self._chunks_seen = [0] * len(self.rules)
+        #: Total faults injected so far (all rules).
+        self.injected = 0
+        #: One dict per injected fault: kind/node/path/op, in firing order.
+        self.log: List[Dict[str, str]] = []
+
+    # -- firing state (all called under self._lock) ---------------------------
+
+    def _armed(self, index: int, rule: FaultRule) -> bool:
+        """Whether the rule may still fire, consuming a probability roll."""
+        if rule.times is not None and self._fired[index] >= rule.times:
+            return False
+        if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+            return False
+        return True
+
+    def _fire(self, index: int, rule: FaultRule, node: str, path: str, op: str):
+        self._fired[index] += 1
+        self.injected += 1
+        self.log.append(
+            {"kind": rule.kind, "node": node, "path": path, "op": op}
+        )
+
+    # -- injection points ------------------------------------------------------
+
+    def on_mount(self, node: str, path: str) -> None:
+        """Path resolution: a down node fails every operation here."""
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if rule.kind != "node-down" or not rule.matches(node, path):
+                    continue
+                if self._armed(i, rule):
+                    self._fire(i, rule, node, path, "mount")
+                    raise InjectedFault(
+                        f"injected node-down: node {node!r} is unreachable"
+                    )
+
+    def on_open(self, node: str, path: str) -> None:
+        """An actual file open (handle-cache miss)."""
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if rule.kind != "raise-on-open" or not rule.matches(node, path):
+                    continue
+                if self._armed(i, rule):
+                    self._fire(i, rule, node, path, "open")
+                    raise InjectedFault(
+                        f"injected raise-on-open: cannot open {node}:{path}"
+                    )
+
+    def on_read(self, node: str, path: str, offset: int, data: bytes) -> bytes:
+        """Read post-processing: stall, truncate, or fail the payload."""
+        delay = 0.0
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if not rule.matches(node, path):
+                    continue
+                if rule.kind == "fail-after-chunks":
+                    if rule.times is not None and self._fired[i] >= rule.times:
+                        continue
+                    self._chunks_seen[i] += 1
+                    if self._chunks_seen[i] > rule.after_chunks and self._armed(
+                        i, rule
+                    ):
+                        self._fire(i, rule, node, path, "read")
+                        raise InjectedFault(
+                            f"injected fail-after-chunks: {node}:{path} failed "
+                            f"after {rule.after_chunks} chunk(s)"
+                        )
+                elif rule.kind == "slow-read":
+                    if self._armed(i, rule):
+                        self._fire(i, rule, node, path, "read")
+                        delay += rule.delay
+                elif rule.kind == "short-read":
+                    if self._armed(i, rule):
+                        self._fire(i, rule, node, path, "read")
+                        data = data[: max(0, len(data) - rule.short_by)]
+        if delay:
+            # Sleep outside the lock so a stalled node cannot block faults
+            # (or reads) on its healthy peers.
+            self._sleep(delay)
+        return data
+
+    def on_transfer(self, client: int) -> None:
+        """One delivery leaving the data mover for a client processor."""
+        target = f"client:{client}"
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if rule.kind != "node-down" or not rule.matches(target, "*"):
+                    continue
+                if self._armed(i, rule):
+                    self._fire(i, rule, target, "*", "transfer")
+                    raise InjectedFault(
+                        f"injected node-down: destination {target!r} is "
+                        "unreachable"
+                    )
+
+    # -- wiring ----------------------------------------------------------------
+
+    def wrap(self, mount) -> "FaultyMount":
+        """A mount that injects this rule set (the extractor detects it)."""
+        return FaultyMount(mount, self)
+
+    # -- reporting -------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Injected-fault totals by kind, for degradation reports."""
+        out: Dict[str, int] = {}
+        with self._lock:
+            for entry in self.log:
+                out[entry["kind"]] = out.get(entry["kind"], 0) + 1
+        return out
+
+    def report(self) -> str:
+        """Human-readable summary of every fault injected so far."""
+        counts = self.counts()
+        if not counts:
+            return "no faults injected"
+        parts = [f"{kind} x{n}" for kind, n in sorted(counts.items())]
+        return f"{self.injected} fault(s) injected: " + ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector {len(self.rules)} rule(s), seed {self.seed}, "
+            f"{self.injected} injected>"
+        )
+
+
+class FaultyMount:
+    """A mount function with an attached :class:`FaultInjector`.
+
+    Callable like any ``Mount``; resolution consults the injector first
+    (``node-down``), and the extractor picks up the ``injector`` attribute
+    to route opens and reads through the remaining rules.
+    """
+
+    __slots__ = ("_inner", "injector")
+
+    def __init__(self, inner, injector: FaultInjector):
+        self._inner = inner
+        self.injector: Optional[FaultInjector] = injector
+
+    def __call__(self, node: str, path: str) -> str:
+        self.injector.on_mount(node, path)
+        return self._inner(node, path)
+
+    def __repr__(self) -> str:
+        return f"FaultyMount({self._inner!r}, {self.injector!r})"

@@ -1,0 +1,152 @@
+"""Fault rules and named chaos profiles.
+
+A :class:`FaultRule` describes one way the virtual cluster misbehaves:
+which nodes and files it hits (glob patterns), how often (``times`` cap,
+``probability`` with a seeded RNG), and the failure mode:
+
+``raise-on-open``      opening the file fails (permissions, missing file);
+``short-read``         the read returns fewer bytes than requested;
+``slow-read``          the read stalls for ``delay`` seconds;
+``fail-after-chunks``  the first ``after_chunks`` chunk reads matching the
+                       rule succeed, then every further read fails (a disk
+                       dying mid-scan);
+``node-down``          every operation touching the node fails (the
+                       machine is unreachable).
+
+Rules are declarative and immutable; the :class:`~repro.faults.injector.
+FaultInjector` owns all firing state, so one rule set can be replayed
+deterministically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import List, Optional, Sequence
+
+from ..errors import FaultSpecError
+
+#: The failure modes a rule can inject.
+KINDS = (
+    "raise-on-open",
+    "short-read",
+    "slow-read",
+    "fail-after-chunks",
+    "node-down",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative failure rule, matched per node and per file."""
+
+    kind: str
+    #: Glob over node names ("osu1", "osu*", "*").  Transfer faults match
+    #: this against the pseudo-node "client:<i>".
+    node: str = "*"
+    #: Glob over dataset-relative file paths.
+    path: str = "*"
+    #: Fire at most this many times (None = unlimited).
+    times: Optional[int] = None
+    #: Chance each matching opportunity actually fires (seeded RNG).
+    probability: float = 1.0
+    #: fail-after-chunks: matching chunk reads that succeed before failing.
+    after_chunks: int = 0
+    #: short-read: bytes truncated from the payload.
+    short_by: int = 1
+    #: slow-read: seconds each matching read stalls.
+    delay: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; have {', '.join(KINDS)}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise FaultSpecError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.times is not None and self.times < 1:
+            raise FaultSpecError(f"times must be positive, got {self.times}")
+
+    def matches(self, node: str, path: str) -> bool:
+        return fnmatchcase(node, self.node) and fnmatchcase(path, self.path)
+
+
+def parse_rule(spec: str) -> FaultRule:
+    """Parse a CLI rule spec: ``kind[:node[:path[:key=val,...]]]``.
+
+    Examples::
+
+        node-down:osu1
+        short-read:osu*:*.bin:times=2
+        slow-read:osu0:*:delay=0.1,p=0.5
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    node = parts[1] if len(parts) > 1 and parts[1] else "*"
+    path = parts[2] if len(parts) > 2 and parts[2] else "*"
+    kwargs = {}
+    if len(parts) > 3 and parts[3]:
+        names = {
+            "times": ("times", int),
+            "p": ("probability", float),
+            "probability": ("probability", float),
+            "after": ("after_chunks", int),
+            "short": ("short_by", int),
+            "delay": ("delay", float),
+        }
+        for item in parts[3].split(","):
+            if "=" not in item:
+                raise FaultSpecError(
+                    f"bad rule option {item!r} in {spec!r} (want key=value)"
+                )
+            key, _, value = item.partition("=")
+            if key not in names:
+                raise FaultSpecError(
+                    f"unknown rule option {key!r}; have {', '.join(names)}"
+                )
+            field, cast = names[key]
+            try:
+                kwargs[field] = cast(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad value {value!r} for rule option {key!r}"
+                ) from None
+    return FaultRule(kind, node=node, path=path, **kwargs)
+
+
+#: Named chaos profiles for ``repro chaos --profile``.
+PROFILES = (
+    "node-down",
+    "flaky-open",
+    "flaky-reads",
+    "slow-node",
+    "tail-failure",
+)
+
+
+def profile_rules(name: str, nodes: Sequence[str]) -> List[FaultRule]:
+    """The rule set of a named profile, specialised to a node list."""
+    if not nodes:
+        raise FaultSpecError("cannot build a chaos profile for zero nodes")
+    first, last = nodes[0], nodes[-1]
+    if name == "node-down":
+        # One node permanently unreachable: retries cannot save it, so the
+        # query either degrades (allow_partial) or fails typed.
+        return [FaultRule("node-down", node=first)]
+    if name == "flaky-open":
+        # The first two opens anywhere fail; retries recover fully.
+        return [FaultRule("raise-on-open", times=2)]
+    if name == "flaky-reads":
+        # One read in five comes back short, everywhere.
+        return [FaultRule("short-read", probability=0.2)]
+    if name == "slow-node":
+        # One straggler node: pair with node_timeout to exercise timeouts.
+        return [FaultRule("slow-read", node=last, delay=0.05)]
+    if name == "tail-failure":
+        # One node's disk dies three chunks into the scan.
+        return [FaultRule("fail-after-chunks", node=last, after_chunks=3)]
+    raise FaultSpecError(
+        f"unknown chaos profile {name!r}; have {', '.join(PROFILES)}"
+    )

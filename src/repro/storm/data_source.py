@@ -18,7 +18,7 @@ import numpy as np
 from ..core.afc import AlignedFileChunkSet, ExtractionPlan
 from ..core.extractor import Extractor, Mount
 from ..core.stats import IOStats
-from ..core.table import VirtualTable
+from ..core.table import VirtualTable, own_column
 from ..obs.tracer import NULL_TRACER
 from .filtering import FilteringService
 
@@ -97,7 +97,7 @@ class DataSourceService:
             if selected is None:
                 continue
             for name in plan.output:
-                pieces[name].append(np.ascontiguousarray(selected[name]))
+                pieces[name].append(own_column(selected[name]))
         final: Dict[str, np.ndarray] = {}
         for name in plan.output:
             if pieces[name]:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.stats import IOStats
+from ..core.table import own_column
 from ..obs.tracer import NULL_TRACER
 from ..sql.ast import Node
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
@@ -57,22 +58,24 @@ class FilteringService:
         num_rows: int,
         stats: Optional[IOStats] = None,
     ) -> Optional[Dict[str, np.ndarray]]:
+        # own_column: extracted columns can be read-only zero-copy views
+        # over segment-cache payloads; never emit those to callers.
         if where is None:
-            selected = {name: columns[name] for name in output}
+            selected = {name: own_column(columns[name]) for name in output}
             count = num_rows
         else:
             mask = np.asarray(where.evaluate(columns, self.functions))
             if mask.ndim == 0:
                 if not bool(mask):
                     return None
-                selected = {name: columns[name] for name in output}
+                selected = {name: own_column(columns[name]) for name in output}
                 count = num_rows
             else:
                 count = int(mask.sum())
                 if count == 0:
                     return None
                 selected = {
-                    name: np.ascontiguousarray(columns[name][mask])
+                    name: own_column(columns[name][mask])
                     for name in output
                 }
         if stats is not None:

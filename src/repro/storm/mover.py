@@ -35,9 +35,12 @@ class Delivery:
 class DataMoverService:
     """Moves partitioned results to clients, tracking transfer volume."""
 
-    def __init__(self, message_bytes: int = 1 << 20):
+    def __init__(self, message_bytes: int = 1 << 20, injector=None):
         #: Maximum payload bytes per message (transfer is chunked).
         self.message_bytes = message_bytes
+        #: Optional repro.faults.FaultInjector; ``node-down`` rules
+        #: matching the pseudo-node ``client:<i>`` fail that delivery.
+        self.injector = injector
 
     def row_bytes(self, table: VirtualTable) -> int:
         """Wire size of one row (packed binary, as STORM ships tuples)."""
@@ -63,6 +66,8 @@ class DataMoverService:
             row_size = self.row_bytes(table)
             deliveries: List[Delivery] = []
             for client, idx in enumerate(indices):
+                if self.injector is not None:
+                    self.injector.on_transfer(client)
                 slice_table = VirtualTable(
                     {n: table.column(n)[idx] for n in table.column_names},
                     order=list(table.column_names),

@@ -6,14 +6,27 @@ pipeline: plan (generated or interpreted index function) -> per-node
 parallel extraction (data source + filtering services) -> partition
 generation -> data mover -> merged result, with per-node operation counts
 and a deterministic simulated execution time from the cost model.
+
+Extraction is failure-aware: each node's work is retried with exponential
+backoff (``ExecOptions.retries`` / ``retry_backoff``), an attempt that
+exceeds ``node_timeout`` is abandoned as hung, and a node that is still
+failing after every retry either fails the query with a typed
+:class:`~repro.errors.NodeFailureError` or — under ``allow_partial`` —
+is dropped from the result, which comes back flagged ``degraded`` with
+the node listed in ``failed_nodes``.  Every retry, timeout, and
+degradation is recorded through the tracer (spans ``retry`` and
+``node_failure``; counters ``retries.attempted``, ``nodes.failed``,
+``faults.injected``).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, List, Optional, Union
 
@@ -22,6 +35,12 @@ from ..core.options import ExecOptions
 from ..core.planner import CompiledDataset
 from ..core.stats import IOStats
 from ..core.table import VirtualTable, concat_tables
+from ..errors import (
+    ExtractionError,
+    InjectedFault,
+    NodeFailureError,
+    NodeTimeoutError,
+)
 from ..obs.tracer import TraceContext, Tracer
 from ..sql.ast import Query
 from ..sql.functions import FunctionRegistry
@@ -32,6 +51,13 @@ from .filtering import FilteringService
 from .indexing_service import IndexingService
 from .mover import DataMoverService, Delivery
 from .partition import Partitioner, RoundRobinPartitioner
+
+#: Failures worth retrying: real or injected I/O errors and per-attempt
+#: timeouts.  Programming errors (planning bugs, bad SQL) propagate.
+_RETRYABLE = (ExtractionError, NodeTimeoutError, OSError)
+
+#: Pseudo-node name under which result-transfer failures are reported.
+TRANSFER_NODE = "_transfer"
 
 
 @dataclass
@@ -47,6 +73,12 @@ class QueryResult:
     #: The span trace of this execution, when submitted with tracing on
     #: (``ExecOptions(trace=...)``); None otherwise.
     trace: Optional[Tracer] = None
+    #: True when ``allow_partial`` dropped failing work: the table holds
+    #: only the rows of the surviving nodes.
+    degraded: bool = False
+    #: Nodes whose extraction (or ``"_transfer"`` whose delivery) kept
+    #: failing after every retry; empty for a full result.
+    failed_nodes: List[str] = field(default_factory=list)
 
     @property
     def num_rows(self) -> int:
@@ -67,12 +99,15 @@ class QueryResult:
 
     def summary(self) -> str:
         stats = self.total_stats
-        return (
+        text = (
             f"{self.num_rows} rows, {self.afc_count} AFCs, "
             f"{stats.bytes_read / 1e6:.1f} MB read, "
             f"{stats.bytes_sent / 1e6:.2f} MB sent, "
             f"sim {self.simulated_seconds:.2f}s, wall {self.wall_seconds:.3f}s"
         )
+        if self.degraded:
+            text += f" [DEGRADED: lost {', '.join(self.failed_nodes)}]"
+        return text
 
 
 def _merge_legacy_kwargs(
@@ -110,6 +145,7 @@ class QueryService:
         max_workers: Optional[int] = None,
         segment_cache_bytes: int = 32 * 1024 * 1024,
         handle_cache: int = 64,
+        fault_injector=None,
     ):
         self.dataset = dataset
         self.cluster = cluster
@@ -118,8 +154,16 @@ class QueryService:
         #: only a .plan()) can run through the same service pipeline.
         self._indexing: Optional[IndexingService] = None
         self.filtering = FilteringService(functions)
-        self.mover = DataMoverService()
+        #: Optional repro.faults.FaultInjector: wraps every node mount
+        #: and gates mover deliveries (chaos testing).
+        self.fault_injector = fault_injector
+        self.mover = DataMoverService(injector=fault_injector)
         self.sources: Dict[str, DataSourceService] = {}
+        #: Concurrent submits race to build per-node services; without
+        #: this lock two threads can construct two DataSourceService
+        #: instances for one node, doubling file handles and splitting
+        #: the per-node cache/lock in two.
+        self._sources_lock = threading.Lock()
         self.max_workers = max_workers
         self.segment_cache_bytes = segment_cache_bytes
         self.handle_cache = handle_cache
@@ -131,19 +175,27 @@ class QueryService:
         return self._indexing
 
     def _source(self, node: str) -> DataSourceService:
-        if node not in self.sources:
-            self.sources[node] = DataSourceService(
-                node,
-                self.cluster.mount(),
-                self.filtering,
-                segment_cache_bytes=self.segment_cache_bytes,
-                handle_cache=self.handle_cache,
-            )
-        return self.sources[node]
+        with self._sources_lock:
+            source = self.sources.get(node)
+            if source is None:
+                mount = self.cluster.mount()
+                if self.fault_injector is not None:
+                    mount = self.fault_injector.wrap(mount)
+                source = DataSourceService(
+                    node,
+                    mount,
+                    self.filtering,
+                    segment_cache_bytes=self.segment_cache_bytes,
+                    handle_cache=self.handle_cache,
+                )
+                self.sources[node] = source
+            return source
 
     def drop_caches(self) -> None:
         """Cold-cache mode: benchmarks call this between measured queries."""
-        for source in self.sources.values():
+        with self._sources_lock:
+            sources = list(self.sources.values())
+        for source in sources:
             source.drop_caches()
 
     # -- execution ------------------------------------------------------------
@@ -163,9 +215,12 @@ class QueryService:
         Execution knobs come from ``options`` (an :class:`ExecOptions`).
         ``remote=False`` models a client co-located with the server (no
         network transfer is charged); the paper's Query 5 uses
-        ``remote=True``.  The per-method keywords (``num_clients``,
-        ``partitioner``, ``remote``, ``parallel``) are deprecated shims
-        that override the corresponding ``options`` fields.
+        ``remote=True``.  Failure handling is governed by the options'
+        ``retries`` / ``retry_backoff`` / ``node_timeout`` /
+        ``allow_partial`` fields.  The per-method keywords
+        (``num_clients``, ``partitioner``, ``remote``, ``parallel``) are
+        deprecated shims that override the corresponding ``options``
+        fields.
         """
         opts = _merge_legacy_kwargs(
             options,
@@ -175,6 +230,9 @@ class QueryService:
             parallel=parallel,
         )
         tracer = opts.tracer()
+        injector = self.fault_injector
+        faults_before = injector.injected if injector is not None else 0
+        attempts_allowed = max(0, opts.retries) + 1
         start = time.perf_counter()
 
         with tracer.span("query", sql=str(sql)[:200]) as query_span:
@@ -192,6 +250,35 @@ class QueryService:
                 node: IOStats() for node in by_node
             }
             ctx = TraceContext(tracer, query_span)
+            #: node -> terminal failure; distinct keys per worker thread.
+            failures: Dict[str, NodeFailureError] = {}
+
+            def attempt_node(node: str, attempt_stats: IOStats) -> VirtualTable:
+                """One extraction attempt, bounded by node_timeout."""
+                if opts.node_timeout is None:
+                    return self._source(node).execute(
+                        plan, by_node[node], attempt_stats, tracer
+                    )
+                # A hung attempt cannot be interrupted from outside, so it
+                # runs on a sacrificial thread we abandon on timeout (it
+                # ends when its blocking read does; its stats and its
+                # node's cache lock are released then).
+                pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"extract-{node}"
+                )
+                future = pool.submit(
+                    self._source(node).execute,
+                    plan,
+                    by_node[node],
+                    attempt_stats,
+                    tracer,
+                )
+                pool.shutdown(wait=False)
+                try:
+                    return future.result(opts.node_timeout)
+                except FuturesTimeout:
+                    future.cancel()
+                    raise NodeTimeoutError(node, opts.node_timeout) from None
 
             def run_node(node: str) -> VirtualTable:
                 # Worker threads have an empty span stack; parent the
@@ -199,23 +286,66 @@ class QueryService:
                 with ctx.span(
                     "extract", node=node, afcs=len(by_node[node])
                 ) as span:
-                    partial = self._source(node).execute(
-                        plan, by_node[node], per_node_stats[node], tracer
+                    node_ctx = ctx.child(span)
+                    last_exc: Optional[Exception] = None
+                    for attempt in range(attempts_allowed):
+                        attempt_stats = IOStats()
+                        try:
+                            if attempt == 0:
+                                partial = attempt_node(node, attempt_stats)
+                            else:
+                                backoff = opts.retry_backoff * (2 ** (attempt - 1))
+                                with node_ctx.span(
+                                    "retry",
+                                    node=node,
+                                    attempt=attempt,
+                                    backoff=round(backoff, 6),
+                                    error=f"{type(last_exc).__name__}: {last_exc}",
+                                ):
+                                    tracer.metrics.record("retries.attempted")
+                                    if backoff > 0:
+                                        time.sleep(backoff)
+                                    partial = attempt_node(node, attempt_stats)
+                        except _RETRYABLE as exc:
+                            per_node_stats[node].merge(attempt_stats)
+                            last_exc = exc
+                            continue
+                        per_node_stats[node].merge(attempt_stats)
+                        span.tag(
+                            rows=partial.num_rows,
+                            bytes_read=per_node_stats[node].bytes_read,
+                            attempts=attempt + 1,
+                        )
+                        return partial
+                    tracer.metrics.record("nodes.failed")
+                    node_ctx.event(
+                        "node_failure",
+                        node=node,
+                        attempts=attempts_allowed,
+                        error=f"{type(last_exc).__name__}: {last_exc}",
                     )
-                    span.tag(
-                        rows=partial.num_rows,
-                        bytes_read=per_node_stats[node].bytes_read,
-                    )
-                return partial
+                    raise NodeFailureError(node, attempts_allowed, last_exc)
+
+            def guarded(node: str) -> Optional[VirtualTable]:
+                try:
+                    return run_node(node)
+                except NodeFailureError as exc:
+                    failures[node] = exc
+                    return None
 
             nodes = list(by_node)
             if opts.parallel and len(nodes) > 1:
                 with ThreadPoolExecutor(
                     max_workers=self.max_workers or len(nodes)
                 ) as pool:
-                    partials = list(pool.map(run_node, nodes))
+                    maybe_partials = list(pool.map(guarded, nodes))
             else:
-                partials = [run_node(node) for node in nodes]
+                maybe_partials = [guarded(node) for node in nodes]
+
+            failed_nodes = [node for node in nodes if node in failures]
+            if failed_nodes and not opts.allow_partial:
+                raise failures[failed_nodes[0]]
+            partials = [p for p in maybe_partials if p is not None]
 
             if partials:
                 table = concat_tables(partials)
@@ -231,23 +361,22 @@ class QueryService:
                 )
 
             transfer_stats = IOStats()
+            deliveries: List[Delivery] = []
+            messages = 0
             if opts.remote:
-                deliveries = self.mover.move(
-                    table,
-                    opts.partitioner or RoundRobinPartitioner(),
-                    opts.num_clients,
-                    transfer_stats,
-                    tracer,
+                deliveries, transfer_stats, transfer_exc = self._move_resilient(
+                    table, opts, ctx, tracer, attempts_allowed
                 )
+                if transfer_exc is not None:
+                    if not opts.allow_partial:
+                        raise transfer_exc
+                    failed_nodes.append(TRANSFER_NODE)
                 messages = sum(d.messages for d in deliveries)
-            else:
-                deliveries = []
-                messages = 0
 
             simulated = self.cost_model.makespan(
                 per_node_stats, transfer_stats.bytes_sent, messages
             )
-            per_node_stats.setdefault("_transfer", IOStats()).merge(
+            per_node_stats.setdefault(TRANSFER_NODE, IOStats()).merge(
                 transfer_stats
             )
             query_span.tag(
@@ -255,9 +384,15 @@ class QueryService:
                 afcs=len(plan.afcs),
                 simulated_seconds=round(simulated, 6),
             )
+            if failed_nodes:
+                query_span.tag(degraded=True, failed_nodes=list(failed_nodes))
             if tracer.enabled:
                 for node, stats in per_node_stats.items():
                     tracer.metrics.record_stats(stats, prefix=f"io.{node}.")
+                if injector is not None:
+                    tracer.metrics.record(
+                        "faults.injected", injector.injected - faults_before
+                    )
 
         wall = time.perf_counter() - start
         return QueryResult(
@@ -268,10 +403,69 @@ class QueryService:
             wall_seconds=wall,
             afc_count=len(plan.afcs),
             trace=tracer if tracer.enabled else None,
+            degraded=bool(failed_nodes),
+            failed_nodes=failed_nodes,
+        )
+
+    def _move_resilient(
+        self,
+        table: VirtualTable,
+        opts: ExecOptions,
+        ctx: TraceContext,
+        tracer,
+        attempts_allowed: int,
+    ):
+        """Run the data mover with the same retry policy as extraction.
+
+        Returns ``(deliveries, transfer_stats, failure)``; on exhausted
+        retries the failure is a :class:`NodeFailureError` for the
+        pseudo-node ``"_transfer"`` and the deliveries are empty.
+        """
+        partitioner = opts.partitioner or RoundRobinPartitioner()
+        last_exc: Optional[Exception] = None
+        for attempt in range(attempts_allowed):
+            transfer_stats = IOStats()
+            try:
+                if attempt == 0:
+                    deliveries = self.mover.move(
+                        table, partitioner, opts.num_clients,
+                        transfer_stats, tracer,
+                    )
+                else:
+                    backoff = opts.retry_backoff * (2 ** (attempt - 1))
+                    with ctx.span(
+                        "retry",
+                        node=TRANSFER_NODE,
+                        attempt=attempt,
+                        backoff=round(backoff, 6),
+                        error=f"{type(last_exc).__name__}: {last_exc}",
+                    ):
+                        tracer.metrics.record("retries.attempted")
+                        if backoff > 0:
+                            time.sleep(backoff)
+                        deliveries = self.mover.move(
+                            table, partitioner, opts.num_clients,
+                            transfer_stats, tracer,
+                        )
+            except InjectedFault as exc:
+                last_exc = exc
+                continue
+            return deliveries, transfer_stats, None
+        tracer.metrics.record("nodes.failed")
+        ctx.event(
+            "node_failure",
+            node=TRANSFER_NODE,
+            attempts=attempts_allowed,
+            error=f"{type(last_exc).__name__}: {last_exc}",
+        )
+        return [], IOStats(), NodeFailureError(
+            TRANSFER_NODE, attempts_allowed, last_exc
         )
 
     def close(self) -> None:
-        for source in self.sources.values():
+        with self._sources_lock:
+            sources = list(self.sources.values())
+        for source in sources:
             source.close()
 
     def __enter__(self) -> "QueryService":

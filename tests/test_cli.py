@@ -140,6 +140,55 @@ class TestQuery:
         assert "error:" in err
 
 
+class TestChaos:
+    SQL = "SELECT REL, TIME, SOIL FROM IparsData"
+
+    def test_node_down_profile_degrades(self, capsys, desc_file, data_root):
+        code, out, _ = run(
+            capsys, "chaos", desc_file, self.SQL, "--root", data_root,
+            "--profile", "node-down", "--local", "--backoff", "0",
+        )
+        assert code == 3
+        assert "DEGRADED result: lost osu0" in out
+        assert "node-down x" in out
+        assert "retries attempted: 2" in out
+
+    def test_flaky_open_profile_recovers(self, capsys, desc_file, data_root):
+        code, out, _ = run(
+            capsys, "chaos", desc_file, self.SQL, "--root", data_root,
+            "--profile", "flaky-open", "--local", "--backoff", "0",
+        )
+        assert code == 0
+        assert "full result survived" in out
+        assert "raise-on-open x2" in out
+
+    def test_rule_spec_and_no_partial_fails(self, capsys, desc_file,
+                                            data_root):
+        code, out, err = run(
+            capsys, "chaos", desc_file, self.SQL, "--root", data_root,
+            "--rule", "node-down:osu1", "--no-partial", "--local",
+            "--retries", "1", "--backoff", "0",
+        )
+        assert code == 1
+        assert "query FAILED" in err
+        assert "osu1" in err
+
+    def test_no_rules_is_usage_error(self, capsys, desc_file, data_root):
+        code, _, err = run(
+            capsys, "chaos", desc_file, self.SQL, "--root", data_root,
+        )
+        assert code == 2
+        assert "no fault rules" in err
+
+    def test_bad_rule_spec_reports_error(self, capsys, desc_file, data_root):
+        code, _, err = run(
+            capsys, "chaos", desc_file, self.SQL, "--root", data_root,
+            "--rule", "disk-melt",
+        )
+        assert code == 1
+        assert "unknown fault kind" in err
+
+
 class TestExplain:
     def test_plan_summary(self, capsys, desc_file):
         code, out, _ = run(

@@ -1,0 +1,86 @@
+"""Concurrency: racing submits share one service graph and agree with serial."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import ExecOptions, GeneratedDataset
+from repro.datasets import IparsConfig, ipars
+from repro.storm import QueryService, VirtualCluster
+from repro.storm.data_source import DataSourceService
+from tests.conftest import assert_tables_equal
+
+CONFIG = IparsConfig(num_rels=2, num_times=8, cells_per_node=24, num_nodes=3)
+LOCAL = ExecOptions(remote=False)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("concurrent")
+    cluster = VirtualCluster.create(str(root), CONFIG.num_nodes)
+    text, _ = ipars.generate(CONFIG, "L0", cluster.mount())
+    with QueryService(GeneratedDataset(text), cluster) as svc:
+        yield svc
+
+
+class TestSourceRace:
+    def test_concurrent_source_builds_single_instance(self, service, monkeypatch):
+        # Widen the construction window: without the lock in _source two
+        # threads both miss the dict and build duplicate services.
+        created = []
+        real_init = DataSourceService.__init__
+
+        def slow_init(self, *args, **kwargs):
+            created.append(self)
+            time.sleep(0.02)
+            real_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(DataSourceService, "__init__", slow_init)
+        service.sources.pop("osu0", None)
+
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+
+        def build():
+            barrier.wait()
+            return service._source("osu0")
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            sources = list(pool.map(lambda _: build(), range(num_threads)))
+
+        assert len(created) == 1
+        assert all(s is sources[0] for s in sources)
+        assert service.sources["osu0"] is sources[0]
+
+
+class TestConcurrentSubmits:
+    QUERIES = [
+        "SELECT REL, TIME, X, SOIL FROM IparsData",
+        "SELECT REL, TIME, POIL FROM IparsData WHERE TIME <= 4",
+        "SELECT X, Y, Z FROM IparsData WHERE REL = 1",
+        "SELECT TIME, SGAS FROM IparsData WHERE SOIL > 0.5",
+    ]
+
+    def test_parallel_submits_match_serial(self, service):
+        jobs = self.QUERIES * 3  # 12 submits over 6 workers
+        serial = [service.submit(sql, LOCAL) for sql in jobs]
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            parallel = list(pool.map(lambda sql: service.submit(sql, LOCAL), jobs))
+
+        for got, want in zip(parallel, serial):
+            assert_tables_equal(got.table, want.table)
+            assert not got.degraded
+            assert got.afc_count == want.afc_count
+            totals = got.total_stats
+            want_totals = want.total_stats
+            assert totals.rows_output == want_totals.rows_output
+            assert totals.rows_extracted == want_totals.rows_extracted
+
+        # The service graph did not duplicate under contention: one
+        # DataSourceService (hence one extractor + cache) per node.
+        assert len(service.sources) == CONFIG.num_nodes
+        extractors = {id(s.extractor) for s in service.sources.values()}
+        assert len(extractors) == CONFIG.num_nodes

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import CompiledDataset, Extractor, IOStats, local_mount
+from repro.core.extractor import _SegmentCache
 from repro.errors import ExtractionError
 from tests.conftest import PAPER_DESCRIPTOR, paper_value_fn
 
@@ -156,3 +157,83 @@ class TestFailures:
         with Extractor(mount, handle_cache=1, segment_cache_bytes=0) as ex:
             ex.execute(dataset.plan("SELECT * FROM IparsData"), stats)
         assert stats.files_opened > 20
+
+
+class TestSegmentCache:
+    def test_overwrite_does_not_double_count(self):
+        cache = _SegmentCache(capacity_bytes=100)
+        cache.put(("n", "f", 0, 40), b"x" * 40)
+        cache.put(("n", "f", 0, 40), b"y" * 40)  # same key, re-inserted
+        assert cache.size == 40
+
+    def test_overwrite_does_not_starve_capacity(self):
+        cache = _SegmentCache(capacity_bytes=100)
+        for _ in range(3):
+            cache.put(("n", "f", 0, 40), b"z" * 40)
+        # A phantom size of 120 would evict entries that still fit.
+        cache.put(("n", "g", 0, 30), b"a" * 30)
+        cache.put(("n", "h", 0, 30), b"b" * 30)
+        assert cache.size == 100
+        assert cache.get(("n", "f", 0, 40)) is not None
+        assert cache.get(("n", "g", 0, 30)) is not None
+        assert cache.get(("n", "h", 0, 30)) is not None
+
+    def test_eviction_still_honours_lru(self):
+        cache = _SegmentCache(capacity_bytes=100)
+        cache.put(("a",), b"1" * 40)
+        cache.put(("b",), b"2" * 40)
+        assert cache.get(("a",)) is not None  # refresh "a"
+        cache.put(("c",), b"3" * 40)  # evicts "b", the least recent
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.get(("c",)) is not None
+
+
+class TestResultOwnership:
+    """Emitted columns must own their memory, never alias cache segments."""
+
+    def _columns(self, env):
+        from repro.storm.filtering import FilteringService
+
+        dataset, mount, _ = env
+        extractor = Extractor(mount)
+        plan = dataset.plan("SELECT REL, TIME, X, SOIL FROM IparsData")
+        stats = IOStats()
+        afc = plan.afcs[0]
+        raw = extractor.extract_afc(afc, plan.needed, stats, plan.dtypes)
+        selected = FilteringService().apply(
+            plan.where, raw, plan.output, afc.num_rows, stats
+        )
+        return extractor, selected
+
+    def test_unfiltered_columns_are_writable(self, env):
+        extractor, selected = self._columns(env)
+        try:
+            for name, column in selected.items():
+                assert column.flags.writeable, name
+                column[0] = column[0]  # mutation must not raise
+        finally:
+            extractor.close()
+
+    def test_columns_do_not_alias_cache_segments(self, env):
+        extractor, selected = self._columns(env)
+        try:
+            segments = [
+                np.frombuffer(payload, dtype=np.uint8)
+                for payload in extractor._segments._segments.values()
+            ]
+            assert segments
+            for name, column in selected.items():
+                for segment in segments:
+                    assert not np.shares_memory(column, segment), name
+        finally:
+            extractor.close()
+
+    def test_mutating_a_result_does_not_poison_the_cache(self, env):
+        dataset, mount, _ = env
+        plan = dataset.plan("SELECT SOIL FROM IparsData WHERE TIME = 1")
+        with Extractor(mount) as extractor:
+            first = extractor.execute(plan)
+            first["SOIL"][:] = -1.0
+            second = extractor.execute(plan)  # served from the segment cache
+        assert not (second["SOIL"] == -1.0).any()

@@ -1,0 +1,344 @@
+"""Fault injection (repro.faults) and degraded execution in QueryService."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecOptions, GeneratedDataset
+from repro.datasets import IparsConfig, ipars
+from repro.errors import (
+    FaultSpecError,
+    InjectedFault,
+    NodeFailureError,
+    StormError,
+)
+from repro.faults import (
+    PROFILES,
+    FaultInjector,
+    FaultRule,
+    parse_rule,
+    profile_rules,
+)
+from repro.storm import QueryService, VirtualCluster
+from tests.conftest import assert_tables_equal
+
+# ---------------------------------------------------------------------------
+# Rules and injector mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            FaultRule("disk-melt")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultSpecError, match="probability"):
+            FaultRule("node-down", probability=0.0)
+        with pytest.raises(FaultSpecError, match="probability"):
+            FaultRule("node-down", probability=1.5)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(FaultSpecError, match="times"):
+            FaultRule("node-down", times=0)
+
+    def test_glob_matching(self):
+        rule = FaultRule("node-down", node="osu*", path="*/soil.bin")
+        assert rule.matches("osu3", "rel0/soil.bin")
+        assert not rule.matches("titan0", "rel0/soil.bin")
+        assert not rule.matches("osu3", "rel0/coords.bin")
+
+    def test_parse_rule_full_spec(self):
+        rule = parse_rule("short-read:osu0:*.bin:times=2,p=0.5,short=8")
+        assert rule.kind == "short-read"
+        assert rule.node == "osu0"
+        assert rule.path == "*.bin"
+        assert rule.times == 2
+        assert rule.probability == 0.5
+        assert rule.short_by == 8
+
+    def test_parse_rule_defaults(self):
+        rule = parse_rule("node-down")
+        assert rule.node == "*" and rule.path == "*" and rule.times is None
+
+    def test_parse_rule_bad_option(self):
+        with pytest.raises(FaultSpecError, match="unknown rule option"):
+            parse_rule("node-down:osu0:*:frequency=2")
+        with pytest.raises(FaultSpecError, match="bad value"):
+            parse_rule("node-down:osu0:*:times=lots")
+
+    def test_profiles_all_construct(self):
+        nodes = ["osu0", "osu1"]
+        for name in PROFILES:
+            assert profile_rules(name, nodes)
+
+    def test_unknown_profile(self):
+        with pytest.raises(FaultSpecError, match="unknown chaos profile"):
+            profile_rules("meteor-strike", ["osu0"])
+
+
+class TestFaultInjector:
+    def test_times_caps_firing(self):
+        inj = FaultInjector([FaultRule("raise-on-open", times=2)])
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                inj.on_open("osu0", "a.bin")
+        inj.on_open("osu0", "a.bin")  # exhausted: no raise
+        assert inj.injected == 2
+
+    def test_seeded_probability_is_deterministic(self):
+        def pattern(seed):
+            inj = FaultInjector(
+                [FaultRule("short-read", probability=0.5)], seed=seed
+            )
+            return [
+                len(inj.on_read("osu0", "a.bin", 0, b"abcd"))
+                for _ in range(64)
+            ]
+
+        assert pattern(3) == pattern(3)
+        assert pattern(3) != pattern(4)
+
+    def test_short_read_truncates(self):
+        inj = FaultInjector([FaultRule("short-read", short_by=3)])
+        assert inj.on_read("osu0", "a.bin", 0, b"abcdef") == b"abc"
+
+    def test_slow_read_sleeps_outside_lock(self):
+        slept = []
+        inj = FaultInjector(
+            [FaultRule("slow-read", delay=0.25)], sleep=slept.append
+        )
+        data = inj.on_read("osu0", "a.bin", 0, b"xy")
+        assert data == b"xy"
+        assert slept == [0.25]
+
+    def test_fail_after_chunks(self):
+        inj = FaultInjector([FaultRule("fail-after-chunks", after_chunks=2)])
+        inj.on_read("osu0", "a.bin", 0, b"x")
+        inj.on_read("osu0", "b.bin", 0, b"y")
+        with pytest.raises(InjectedFault, match="fail-after-chunks"):
+            inj.on_read("osu0", "c.bin", 0, b"z")
+
+    def test_node_down_fires_at_mount(self):
+        inj = FaultInjector([FaultRule("node-down", node="osu1")])
+        mount = inj.wrap(lambda node, path: f"/{node}/{path}")
+        assert mount("osu0", "a.bin") == "/osu0/a.bin"
+        with pytest.raises(InjectedFault, match="unreachable"):
+            mount("osu1", "a.bin")
+        assert inj.log == [
+            {"kind": "node-down", "node": "osu1", "path": "a.bin", "op": "mount"}
+        ]
+
+    def test_transfer_faults_match_client_pseudo_node(self):
+        inj = FaultInjector([FaultRule("node-down", node="client:1")])
+        inj.on_transfer(0)
+        with pytest.raises(InjectedFault, match="client:1"):
+            inj.on_transfer(1)
+
+    def test_report_counts_by_kind(self):
+        inj = FaultInjector([FaultRule("short-read", times=2)])
+        inj.on_read("osu0", "a.bin", 0, b"abcd")
+        inj.on_read("osu0", "a.bin", 0, b"abcd")
+        assert inj.counts() == {"short-read": 2}
+        assert "short-read x2" in inj.report()
+
+
+# ---------------------------------------------------------------------------
+# Degraded execution through QueryService
+# ---------------------------------------------------------------------------
+
+CHAOS_CONFIG = IparsConfig(
+    num_rels=2, num_times=6, cells_per_node=20, num_nodes=4
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_env(tmp_path_factory):
+    root = tmp_path_factory.mktemp("chaos")
+    cluster = VirtualCluster.create(str(root), CHAOS_CONFIG.num_nodes)
+    text, _ = ipars.generate(CHAOS_CONFIG, "L0", cluster.mount())
+    dataset = GeneratedDataset(text)
+    clean = QueryService(dataset, cluster)
+    yield cluster, dataset, clean
+    clean.close()
+
+
+def chaos_service(chaos_env, rules, seed=7):
+    cluster, dataset, _ = chaos_env
+    return QueryService(
+        dataset, cluster, fault_injector=FaultInjector(rules, seed=seed)
+    )
+
+
+LOCAL = ExecOptions(remote=False)
+
+
+def rows_subset(small, big):
+    """Every row of ``small`` appears in ``big`` (as multisets)."""
+    a = small.to_structured()
+    b = big.to_structured()
+    a.sort()
+    b.sort()
+    return bool(np.isin(a, b).all())
+
+
+class TestDegradedExecution:
+    SQL = "SELECT REL, TIME, X, SOIL FROM IparsData"
+
+    def test_node_down_degrades_with_surviving_rows(self, chaos_env):
+        _, _, clean_service = chaos_env
+        clean = clean_service.submit(self.SQL, LOCAL)
+        lost_rows = clean.per_node_stats["osu1"].rows_output
+        assert lost_rows > 0
+
+        with chaos_service(
+            chaos_env, [FaultRule("node-down", node="osu1")]
+        ) as service:
+            result = service.submit(
+                self.SQL,
+                LOCAL.replace(
+                    retries=2, retry_backoff=0.001, allow_partial=True,
+                    trace=True,
+                ),
+            )
+        assert result.degraded
+        assert result.failed_nodes == ["osu1"]
+        assert result.num_rows == clean.num_rows - lost_rows
+        # The surviving rows are correct, not merely the right count.
+        assert rows_subset(result.table, clean.table)
+        assert "DEGRADED" in result.summary()
+
+        # (a) retries with backoff recorded as tracer spans.
+        retries = result.trace.find("retry")
+        assert [s.tags["attempt"] for s in retries] == [1, 2]
+        assert [s.tags["backoff"] for s in retries] == [0.001, 0.002]
+        (failure,) = result.trace.find("node_failure")
+        assert failure.tags["node"] == "osu1"
+        counters = result.trace.metrics.as_dict()["counters"]
+        assert counters["retries.attempted"] == 2
+        assert counters["nodes.failed"] == 1
+        assert counters["faults.injected"] == 3  # one per attempt
+
+    def test_chaos_run_is_deterministic(self, chaos_env):
+        rules = [FaultRule("short-read", node="osu2", probability=0.5)]
+        options = LOCAL.replace(
+            retries=3, retry_backoff=0.0, allow_partial=True
+        )
+        outcomes = []
+        for _ in range(2):
+            with chaos_service(chaos_env, rules, seed=11) as service:
+                result = service.submit(self.SQL, options)
+                outcomes.append(
+                    (
+                        result.num_rows,
+                        result.failed_nodes,
+                        service.fault_injector.log,
+                    )
+                )
+        assert outcomes[0] == outcomes[1]
+
+    def test_allow_partial_false_raises_typed_error(self, chaos_env):
+        with chaos_service(
+            chaos_env, [FaultRule("node-down", node="osu1")]
+        ) as service:
+            with pytest.raises(NodeFailureError) as info:
+                service.submit(self.SQL, LOCAL.replace(retries=1))
+        assert isinstance(info.value, StormError)
+        assert info.value.node == "osu1"
+        assert info.value.attempts == 2
+        assert isinstance(info.value.cause, InjectedFault)
+
+    def test_serial_execution_degrades_too(self, chaos_env):
+        with chaos_service(
+            chaos_env, [FaultRule("node-down", node="osu0")]
+        ) as service:
+            result = service.submit(
+                self.SQL, LOCAL.replace(parallel=False, allow_partial=True)
+            )
+        assert result.degraded and result.failed_nodes == ["osu0"]
+
+    def test_flaky_open_recovers_fully(self, chaos_env):
+        _, _, clean_service = chaos_env
+        clean = clean_service.submit(self.SQL, LOCAL)
+        with chaos_service(
+            chaos_env, [FaultRule("raise-on-open", node="osu0", times=1)]
+        ) as service:
+            result = service.submit(
+                self.SQL, LOCAL.replace(retries=1, trace=True)
+            )
+        assert not result.degraded and result.failed_nodes == []
+        assert_tables_equal(
+            result.table.canonical(), clean.table.canonical()
+        )
+        assert len(result.trace.find("retry")) == 1
+        assert result.trace.metrics.as_dict()["counters"]["faults.injected"] == 1
+
+    def test_short_read_surfaces_and_recovers(self, chaos_env):
+        _, _, clean_service = chaos_env
+        clean = clean_service.submit(self.SQL, LOCAL)
+        with chaos_service(
+            chaos_env, [FaultRule("short-read", node="osu3", times=1)]
+        ) as service:
+            result = service.submit(self.SQL, LOCAL.replace(retries=1))
+        assert not result.degraded
+        assert result.num_rows == clean.num_rows
+
+    def test_node_timeout_abandons_hung_node(self, chaos_env):
+        with chaos_service(
+            chaos_env, [FaultRule("slow-read", node="osu2", delay=0.4)]
+        ) as service:
+            result = service.submit(
+                self.SQL,
+                LOCAL.replace(node_timeout=0.05, allow_partial=True),
+            )
+        assert result.degraded
+        assert result.failed_nodes == ["osu2"]
+
+    def test_exhausted_fault_budget_leaves_service_usable(self, chaos_env):
+        _, _, clean_service = chaos_env
+        clean = clean_service.submit(self.SQL, LOCAL)
+        with chaos_service(
+            chaos_env, [FaultRule("node-down", node="osu1", times=1)]
+        ) as service:
+            first = service.submit(self.SQL, LOCAL.replace(allow_partial=True))
+            assert first.degraded
+            second = service.submit(self.SQL, LOCAL)
+            assert not second.degraded
+            assert second.num_rows == clean.num_rows
+
+
+class TestTransferFaults:
+    SQL = "SELECT REL, TIME FROM IparsData WHERE TIME <= 2"
+
+    def test_transfer_retry_recovers(self, chaos_env):
+        with chaos_service(
+            chaos_env, [FaultRule("node-down", node="client:0", times=1)]
+        ) as service:
+            result = service.submit(
+                self.SQL,
+                ExecOptions(num_clients=2, retries=1, trace=True),
+            )
+        assert not result.degraded
+        assert len(result.deliveries) == 2
+        (retry,) = result.trace.find("retry")
+        assert retry.tags["node"] == "_transfer"
+
+    def test_transfer_failure_degrades(self, chaos_env):
+        with chaos_service(
+            chaos_env, [FaultRule("node-down", node="client:1")]
+        ) as service:
+            result = service.submit(
+                self.SQL,
+                ExecOptions(num_clients=2, allow_partial=True, trace=True),
+            )
+        assert result.degraded
+        assert result.failed_nodes == ["_transfer"]
+        assert result.deliveries == []
+        # Extraction itself succeeded: the merged table is intact.
+        assert result.num_rows > 0
+
+    def test_transfer_failure_raises_without_partial(self, chaos_env):
+        with chaos_service(
+            chaos_env, [FaultRule("node-down", node="client:1")]
+        ) as service:
+            with pytest.raises(NodeFailureError, match="_transfer"):
+                service.submit(self.SQL, ExecOptions(num_clients=2))
