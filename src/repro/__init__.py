@@ -32,6 +32,15 @@ from .core import (
     open_dataset,
 )
 from .core.extractor import Mount
+from .diag import (
+    Collector,
+    Diagnostic,
+    Severity,
+    Span,
+    analyze_query,
+    lint_descriptor,
+    lint_text,
+)
 from .errors import (
     CodegenError,
     ExtractionError,
@@ -73,9 +82,11 @@ __all__ = [
     "AlignedFileChunkSet",
     "ChunkRef",
     "CodegenError",
+    "Collector",
     "CompiledDataset",
     "CostModel",
     "Descriptor",
+    "Diagnostic",
     "ExecOptions",
     "ExtractionError",
     "ExtractionPlan",
@@ -105,12 +116,17 @@ __all__ = [
     "RowStoreError",
     "Schema",
     "SchemaError",
+    "Severity",
+    "Span",
     "StormError",
     "Tracer",
     "VirtualCluster",
     "VirtualTable",
     "Virtualizer",
+    "analyze_query",
     "filter_function",
+    "lint_descriptor",
+    "lint_text",
     "local_mount",
     "open_dataset",
     "parse_descriptor",

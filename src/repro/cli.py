@@ -5,6 +5,7 @@ descriptor and standing up data services from it.  This CLI covers that
 workflow end to end::
 
     python -m repro validate  DESC.txt            # parse + semantic checks
+    python -m repro check     DESC.txt --query "SELECT ..." --strict  # linter
     python -m repro inventory DESC.txt --root D --check   # files vs disk
     python -m repro codegen   DESC.txt -o gen.py  # inspect generated code
     python -m repro index-build DESC.txt --root D # build chunk summaries
@@ -67,6 +68,52 @@ def cmd_validate(args) -> int:
     print(f"  expected data size: {dataset.total_data_bytes:,} bytes")
     for warning in dataset.warnings:
         print(f"  warning: {warning}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    """Static analysis: every descriptor (and query) finding at once.
+
+    Exit codes: 0 clean, 1 any error, 3 warnings-only under ``--strict``
+    (without ``--strict`` a warnings-only run still exits 0).
+    """
+    from .diag import Collector, analyze_query, lint_descriptor, lint_text
+    from .metadata.xml_io import xml_to_descriptor as _from_xml
+
+    text = _read_text(args.descriptor)
+    source = args.descriptor if args.descriptor != "-" else "<stdin>"
+    if text.lstrip().startswith("<"):
+        # XML embedding: no source spans, but all semantic analyzers run.
+        descriptor = _from_xml(text, args.dataset)
+        collector = lint_descriptor(descriptor, Collector(source=source))
+    else:
+        collector = lint_text(text, args.dataset, source=source)
+        descriptor = None
+        if not collector.has_errors:
+            descriptor = parse_descriptor(text, args.dataset, validate=False)
+
+    for sql in args.query or []:
+        if descriptor is None:
+            print(
+                f"note: skipping query analysis of {sql!r} "
+                "(descriptor has errors)",
+                file=sys.stderr,
+            )
+            continue
+        query_collector = analyze_query(descriptor, sql)
+        collector.extend(query_collector)
+
+    if args.format == "json":
+        print(collector.to_json())
+    else:
+        for diag in collector.sorted():
+            print(diag.format())
+        print(collector.summary())
+
+    if collector.has_errors:
+        return 1
+    if args.strict and collector.warnings:
+        return 3
     return 0
 
 
@@ -356,6 +403,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="parse and validate a descriptor")
     common(p)
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "check",
+        help="lint a descriptor (and optionally queries) with the "
+        "static analyzers",
+    )
+    common(p)
+    p.add_argument("--query", action="append", metavar="SQL",
+                   help="also analyze this query against the descriptor; "
+                        "repeatable")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 3 when there are warnings (errors always "
+                        "exit 1)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="diagnostic output format (default text)")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("inventory", help="list the descriptor's physical files")
     common(p)

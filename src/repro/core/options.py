@@ -53,6 +53,14 @@ class ExecOptions:
                       return a degraded result (``QueryResult.degraded``
                       True, the node listed in ``failed_nodes``) instead
                       of raising :class:`~repro.errors.NodeFailureError`.
+
+    Static analysis (see docs/diagnostics.md):
+
+    ``strict``        run the ``repro.diag`` analyzers before executing and
+                      refuse the query when the descriptor or the query has
+                      any finding — warnings are escalated to errors.  Off
+                      by default: warnings then only flow to the tracer
+                      (``diag`` events, ``diag.warnings`` counter).
     """
 
     remote: bool = True
@@ -65,6 +73,7 @@ class ExecOptions:
     retry_backoff: float = 0.0
     node_timeout: Optional[float] = None
     allow_partial: bool = False
+    strict: bool = False
 
     def replace(self, **changes) -> "ExecOptions":
         """A copy with the given fields changed."""

@@ -16,7 +16,10 @@ against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (diag imports sql)
+    from ..diag.core import Collector
 
 from ..errors import PlanningError, QueryValidationError
 from ..metadata.descriptor import Descriptor, parse_descriptor
@@ -81,6 +84,7 @@ class CompiledDataset:
         self.stored_index_leaves = self._stored_index_leaves()
         self._groups: Optional[List[StaticGroup]] = None
         self._warnings: Optional[List[str]] = None
+        self._diagnostics = None
         if not lazy_groups:
             _ = self.groups  # surface group/alignment errors at load time
 
@@ -99,6 +103,19 @@ class CompiledDataset:
         if self._warnings is None:
             self._warnings = self._collect_warnings()
         return self._warnings
+
+    @property
+    def diagnostics(self) -> "Collector":
+        """Static-analysis findings for the descriptor (a
+        :class:`repro.diag.Collector`), computed lazily.  The descriptor
+        already validated at load, so these are warnings/infos in
+        practice; ``ExecOptions(strict=True)`` refuses queries when any
+        are present."""
+        if self._diagnostics is None:
+            from ..diag.linter import lint_descriptor
+
+            self._diagnostics = lint_descriptor(self.descriptor)
+        return self._diagnostics
 
     # -- compile-time -----------------------------------------------------------
 

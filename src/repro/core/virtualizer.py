@@ -21,7 +21,8 @@ import warnings
 from typing import Optional, Union
 
 from ..metadata.descriptor import Descriptor, parse_descriptor
-from ..obs.tracer import NULL_TRACER
+from ..metadata.schema import Schema
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..sql.ast import Query
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
 from .afc import ExtractionPlan
@@ -74,7 +75,48 @@ class Virtualizer:
     ) -> ExtractionPlan:
         """Plan a query without executing it."""
         tracer = options.tracer() if options is not None else NULL_TRACER
+        self._run_diagnostics(sql, options, tracer)
         return self.dataset.plan(sql, tracer=tracer)
+
+    def _run_diagnostics(
+        self,
+        sql: Union[Query, str],
+        options: Optional[ExecOptions],
+        tracer: "Tracer",
+    ) -> None:
+        """Same strict/observability contract as ``QueryService.submit``:
+        findings flow to the tracer (``diag`` events, ``diag.warnings``
+        counter); strict mode refuses queries with errors or warnings."""
+        strict = options is not None and options.strict
+        if not (strict or tracer.enabled):
+            return
+        from ..diag.query import analyze_query
+        from ..errors import QueryValidationError
+
+        findings = list(self.dataset.diagnostics)
+        findings.extend(
+            analyze_query(self.dataset.descriptor, sql, self.functions)
+        )
+        if tracer.enabled:
+            for diag in findings:
+                tracer.event(
+                    "diag",
+                    code=diag.code,
+                    severity=str(diag.severity),
+                    message=diag.message,
+                )
+                if str(diag.severity) == "warning":
+                    tracer.metrics.record("diag.warnings")
+        if strict:
+            blocking = [
+                d for d in findings if str(d.severity) in ("error", "warning")
+            ]
+            if blocking:
+                details = "; ".join(d.format(show_source=False) for d in blocking)
+                raise QueryValidationError(
+                    f"strict mode: {len(blocking)} static-analysis finding(s) "
+                    f"block execution: {details}"
+                )
 
     def query(
         self,
@@ -89,6 +131,7 @@ class Virtualizer:
         options belong to ``QueryService.submit``).
         """
         tracer = options.tracer() if options is not None else NULL_TRACER
+        self._run_diagnostics(sql, options, tracer)
         with tracer.span("query", sql=_sql_tag(sql)):
             plan = self.dataset.plan(sql, tracer=tracer)
             return self.extractor.execute(
@@ -117,6 +160,7 @@ class Virtualizer:
             options = (options or ExecOptions()).replace(batch_rows=batch_rows)
         opts = options or ExecOptions()
         tracer = opts.tracer()
+        self._run_diagnostics(sql, opts, tracer)
         plan = self.dataset.plan(sql, tracer=tracer)
         return self.extractor.execute_iter(
             plan,
@@ -131,7 +175,7 @@ class Virtualizer:
     # -- introspection -----------------------------------------------------------
 
     @property
-    def schema(self):
+    def schema(self) -> "Schema":
         return self.dataset.schema
 
     @property

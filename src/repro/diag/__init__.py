@@ -1,0 +1,26 @@
+"""Static analysis of descriptors and queries (``repro check``).
+
+Public surface:
+
+* :class:`Diagnostic`, :class:`Severity`, :class:`Collector`, and the
+  :data:`CODES` registry — the reporting vocabulary,
+* :func:`lint_descriptor` / :func:`lint_text` — the descriptor linter,
+* :func:`analyze_query` — query-vs-descriptor analysis,
+* :class:`Span` — re-exported source positions.
+"""
+
+from ..metadata.spans import Span
+from .core import CODES, Collector, Diagnostic, Severity
+from .linter import lint_descriptor, lint_text
+from .query import analyze_query
+
+__all__ = [
+    "CODES",
+    "Collector",
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "analyze_query",
+    "lint_descriptor",
+    "lint_text",
+]

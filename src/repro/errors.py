@@ -7,6 +7,8 @@ diagnostics can point at the offending token in a descriptor or query.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -41,6 +43,27 @@ class MetadataValidationError(MetadataError):
     Examples: a layout references an undefined schema, a loop bound uses an
     unbound variable, a DATA clause enumerates zero files.
     """
+
+
+class MetadataEvaluationError(MetadataValidationError):
+    """Evaluating a descriptor expression failed at runtime.
+
+    Raised when a LOOP-bound or file-enumeration expression divides by
+    zero (or otherwise cannot produce a value) while being evaluated
+    against concrete binding values.  Subclasses
+    :class:`MetadataValidationError` so existing ``except`` clauses keep
+    working; additionally carries the source ``span`` of the offending
+    range expression when the descriptor was parsed from text.
+    """
+
+    def __init__(self, message: str, span=None):
+        #: :class:`repro.metadata.spans.Span` of the expression, or None.
+        self.span = span
+        #: The message without the position prefix (diagnostics re-wrap it).
+        self.bare_message = message
+        if span is not None:
+            message = f"line {span.line}, col {span.column}: {message}"
+        super().__init__(message)
 
 
 class SchemaError(MetadataError):
@@ -123,7 +146,7 @@ class NodeFailureError(StormError):
     the query instead returns a degraded result that lists the node.
     """
 
-    def __init__(self, node: str, attempts: int, cause: Exception = None):
+    def __init__(self, node: str, attempts: int, cause: "Optional[Exception]" = None):
         self.node = node
         self.attempts = attempts
         self.cause = cause

@@ -64,6 +64,7 @@ class Descriptor:
 def parse_descriptor(
     text: str,
     dataset_name: Optional[str] = None,
+    validate: bool = True,
 ) -> Descriptor:
     """Parse a combined descriptor text into a validated :class:`Descriptor`.
 
@@ -75,11 +76,15 @@ def parse_descriptor(
     dataset_name:
         Which dataset to build, when the text declares several storage
         sections.  Defaults to the only one.
+    validate:
+        Run semantic validation (the default).  The ``repro.diag`` linter
+        passes ``False`` so it can collect every finding itself instead of
+        stopping at the first error.
     """
     schemas = parse_schemas(text)
     storages = parse_storage(text)
     layouts = parse_layout(text)
-    return build_descriptor(schemas, storages, layouts, dataset_name)
+    return build_descriptor(schemas, storages, layouts, dataset_name, validate)
 
 
 def build_descriptor(
@@ -87,6 +92,7 @@ def build_descriptor(
     storages: Dict[str, StorageDescriptor],
     layouts: Dict[str, DatasetNode],
     dataset_name: Optional[str] = None,
+    validate: bool = True,
 ) -> Descriptor:
     """Assemble and validate a Descriptor from parsed components."""
     if not storages:
@@ -124,7 +130,8 @@ def build_descriptor(
     descriptor = Descriptor(
         schema=schema, storage=storage, layout=root, all_schemas=dict(schemas)
     )
-    descriptor.validate()
+    if validate:
+        descriptor.validate()
     return descriptor
 
 

@@ -22,10 +22,15 @@ any query runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple, Union
 
-from ..errors import MetadataSyntaxError, MetadataValidationError
+from ..errors import (
+    MetadataEvaluationError,
+    MetadataSyntaxError,
+    MetadataValidationError,
+)
+from .spans import Span
 
 Env = Dict[str, int]
 
@@ -114,7 +119,10 @@ class BinOp(Expr):
         left = self.left.evaluate(env)
         right = self.right.evaluate(env)
         if self.op in ("/", "%") and right == 0:
-            raise MetadataValidationError(
+            # Typed (and span-carrying once RangeExpr re-raises it) instead
+            # of a bare ZeroDivisionError; still a MetadataValidationError
+            # subclass so existing handlers keep working.
+            raise MetadataEvaluationError(
                 f"division by zero evaluating {self}"
             )
         return _OPS[self.op](left, right)
@@ -287,15 +295,25 @@ class RangeExpr:
     lo: Expr
     hi: Expr
     stride: Expr
+    #: Source span of the range text, when parsed from a descriptor file
+    #: (excluded from equality/hashing; programmatic ranges have None).
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> FrozenSet[str]:
         return self.lo.free_vars() | self.hi.free_vars() | self.stride.free_vars()
 
     def evaluate(self, env: Env) -> range:
         """Evaluate to a concrete :class:`range` (inclusive upper bound)."""
-        lo = self.lo.evaluate(env)
-        hi = self.hi.evaluate(env)
-        stride = self.stride.evaluate(env)
+        try:
+            lo = self.lo.evaluate(env)
+            hi = self.hi.evaluate(env)
+            stride = self.stride.evaluate(env)
+        except MetadataEvaluationError as exc:
+            if self.span is not None and exc.span is None:
+                raise MetadataEvaluationError(
+                    exc.bare_message, span=self.span
+                ) from None
+            raise
         if stride <= 0:
             raise MetadataValidationError(
                 f"range stride must be positive, got {stride} in {self}"
@@ -314,7 +332,7 @@ class RangeExpr:
         return f"{self.lo}:{self.hi}:{self.stride}"
 
 
-def parse_range(text: str) -> RangeExpr:
+def parse_range(text: str, span: Optional[Span] = None) -> RangeExpr:
     """Parse ``lo:hi:stride`` (stride optional, default 1).
 
     The bounds may be arbitrary expressions; ``:`` at expression top level
@@ -326,7 +344,21 @@ def parse_range(text: str) -> RangeExpr:
         parts.append("1")
     if len(parts) != 3:
         raise MetadataSyntaxError(f"range must be lo:hi[:stride], got {text!r}")
-    return RangeExpr(parse_expr(parts[0]), parse_expr(parts[1]), parse_expr(parts[2]))
+    return RangeExpr(
+        parse_expr(parts[0]), parse_expr(parts[1]), parse_expr(parts[2]), span
+    )
+
+
+def const_fold(expr: Expr) -> Optional[int]:
+    """Value of a variable-free expression, or None when it has free vars.
+
+    Evaluation errors (division by zero) propagate as
+    :class:`~repro.errors.MetadataEvaluationError` — the linter turns them
+    into diagnostics.
+    """
+    if expr.free_vars():
+        return None
+    return expr.evaluate({})
 
 
 def _split_top_level(text: str, sep: str) -> list:

@@ -40,11 +40,12 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import MetadataSyntaxError, MetadataValidationError
 from .expressions import Env, Expr, RangeExpr, parse_expr, parse_range
 from .schema import Attribute
+from .spans import Span
 from .tokens import Scanner
 from .types import parse_type
 
@@ -63,6 +64,18 @@ class AttrGroup:
     """A packed record of attributes stored once per innermost iteration."""
 
     names: Tuple[str, ...]
+    #: Source span of the whole group / of each name (parse-time only;
+    #: excluded from equality so programmatic ASTs compare as before).
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+    name_spans: Optional[Tuple[Span, ...]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def name_span(self, index: int) -> Optional[Span]:
+        """Span of ``names[index]``, or the group span when unknown."""
+        if self.name_spans is not None and index < len(self.name_spans):
+            return self.name_spans[index]
+        return self.span
 
     def free_vars(self) -> FrozenSet[str]:
         return frozenset()
@@ -78,6 +91,8 @@ class LoopNode:
     var: str
     range: RangeExpr
     body: Tuple["SpaceItem", ...]
+    #: Span of the ``LOOP var lo:hi:stride`` header (parse-time only).
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> FrozenSet[str]:
         out = self.range.free_vars()
@@ -125,6 +140,8 @@ class FilePattern:
 
     dir_expr: Expr
     template: str
+    #: Span of the pattern text in the DATA clause (parse-time only).
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> FrozenSet[str]:
         vars_ = set(self.dir_expr.free_vars())
@@ -155,6 +172,8 @@ class Binding:
 
     var: str
     range: RangeExpr
+    #: Span of the whole binding in the DATA clause (parse-time only).
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.var} = {self.range}"
@@ -172,7 +191,7 @@ class DataClause:
     def is_leaf(self) -> bool:
         return bool(self.patterns)
 
-    def binding_env_iter(self):
+    def binding_env_iter(self) -> Iterator[Dict[str, int]]:
         """Iterate all binding environments (cartesian product, row-major
         in declaration order — deterministic file enumeration order)."""
         names = [b.var for b in self.bindings]
@@ -209,6 +228,13 @@ class DatasetNode:
     data: DataClause = field(default_factory=DataClause)
     children: List["DatasetNode"] = field(default_factory=list)
     parent: Optional["DatasetNode"] = None
+    #: Spans recorded by the parser: the ``DATASET name`` header, the
+    #: schema reference inside DATATYPE, and each DATAINDEX attribute.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+    schema_span: Optional[Span] = field(default=None, compare=False, repr=False)
+    index_attr_spans: Tuple[Span, ...] = field(
+        default=(), compare=False, repr=False
+    )
 
     @property
     def is_leaf(self) -> bool:
@@ -256,7 +282,7 @@ class DatasetNode:
             out.extend(child.leaves())
         return out
 
-    def walk(self):
+    def walk(self) -> Iterator["DatasetNode"]:
         yield self
         for child in self.children:
             yield from child.walk()
@@ -320,11 +346,12 @@ def _skip_ini_section(scanner: Scanner) -> None:
 
 
 def _parse_dataset(scanner: Scanner) -> DatasetNode:
+    header_start = scanner.mark()
     keyword = scanner.read_ident()
     if keyword.upper() != "DATASET":
         raise scanner.error(f"expected DATASET, got {keyword!r}")
     name = scanner.read_name()
-    node = DatasetNode(name=name)
+    node = DatasetNode(name=name, span=scanner.span(header_start))
     scanner.expect("{")
     while True:
         if scanner.try_consume("}"):
@@ -336,7 +363,9 @@ def _parse_dataset(scanner: Scanner) -> DatasetNode:
             _parse_datatype(scanner, node)
         elif upper == "DATAINDEX":
             scanner.read_ident()
-            node.index_attrs = tuple(_parse_ident_list(scanner))
+            names, spans = _parse_ident_list(scanner)
+            node.index_attrs = tuple(names)
+            node.index_attr_spans = tuple(spans)
         elif upper == "DATASPACE":
             scanner.read_ident()
             scanner.expect("{")
@@ -363,22 +392,27 @@ def _parse_dataset(scanner: Scanner) -> DatasetNode:
 def _parse_datatype(scanner: Scanner, node: DatasetNode) -> None:
     """DATATYPE { SchemaName }  or  DATATYPE { NAME = type ... }."""
     scanner.expect("{")
+    first_start = scanner.mark()
     first = scanner.read_ident("schema name or attribute")
+    first_span = scanner.span(first_start)
     if scanner.peek_char() == "=":
         # Inline attribute definitions: NAME = typename, repeated.
         attrs: List[Attribute] = []
-        name = first
+        name, name_span = first, first_span
         while True:
             scanner.expect("=")
-            attrs.append(Attribute(name, _read_type(scanner)))
+            attrs.append(Attribute(name, _read_type(scanner), span=name_span))
             if scanner.try_consume("}"):
                 break
+            name_start = scanner.mark()
             name = scanner.read_ident("attribute name")
+            name_span = scanner.span(name_start)
             if scanner.peek_char() != "=":
                 raise scanner.error(f"expected '=' after attribute {name!r}")
         node.extra_attrs.extend(attrs)
     else:
         node.schema_name = first
+        node.schema_span = first_span
         scanner.expect("}")
 
 
@@ -397,43 +431,57 @@ def _read_type(scanner: Scanner):
     return parse_type(first)
 
 
-def _parse_ident_list(scanner: Scanner) -> List[str]:
+def _parse_ident_list(scanner: Scanner) -> Tuple[List[str], List[Span]]:
     scanner.expect("{")
     names: List[str] = []
+    spans: List[Span] = []
     while not scanner.try_consume("}"):
+        start = scanner.mark()
         names.append(scanner.read_ident())
-    return names
+        spans.append(scanner.span(start))
+    return names, spans
 
 
 def _parse_space_items(scanner: Scanner) -> List[SpaceItem]:
     """Parse dataspace items until the closing '}' (consumed)."""
     items: List[SpaceItem] = []
     pending: List[str] = []
+    pending_spans: List[Span] = []
 
     def flush() -> None:
         if pending:
-            items.append(AttrGroup(tuple(pending)))
+            group_span = pending_spans[0].merge(pending_spans[-1])
+            items.append(
+                AttrGroup(tuple(pending), group_span, tuple(pending_spans))
+            )
             pending.clear()
+            pending_spans.clear()
 
     while True:
         if scanner.try_consume("}"):
             flush()
             return items
+        word_start = scanner.mark()
         word = scanner.read_ident("attribute or LOOP")
+        word_span = scanner.span(word_start)
         if word.upper() == "LOOP":
             flush()
             var = scanner.read_ident("loop variable")
+            range_start = scanner.mark()
             range_text = scanner.read_balanced_until("{")
-            loop_range = parse_range(range_text)
+            range_span = scanner.span(range_start)
+            loop_range = parse_range(range_text, span=range_span)
+            header_span = scanner.span(word_start)
             scanner.expect("{")
             body = _parse_space_items(scanner)
             if not body:
                 raise MetadataValidationError(
                     f"LOOP {var} has an empty body"
                 )
-            items.append(LoopNode(var, loop_range, tuple(body)))
+            items.append(LoopNode(var, loop_range, tuple(body), header_span))
         else:
             pending.append(word)
+            pending_spans.append(word_span)
 
 
 def _parse_data_clause(scanner: Scanner) -> DataClause:
@@ -448,17 +496,27 @@ def _parse_data_clause(scanner: Scanner) -> DataClause:
             child_refs.append(scanner.read_name())
             continue
         # Either "VAR = range" binding or a file pattern.
+        start = scanner.mark()
         saved = scanner.pos
         if word and word.upper() != "DIR":
             ident = scanner.read_ident()
             if scanner.peek_char() == "=":
                 scanner.expect("=")
+                range_start = scanner.mark()
                 range_text = scanner.read_until_whitespace()
-                bindings.append(Binding(ident, parse_range(range_text)))
+                range_span = scanner.span(range_start)
+                binding_span = scanner.span(start)
+                bindings.append(
+                    Binding(
+                        ident,
+                        parse_range(range_text, span=range_span),
+                        binding_span,
+                    )
+                )
                 continue
             scanner.pos = saved
         raw = scanner.read_until_whitespace()
-        patterns.append(parse_file_pattern(raw))
+        patterns.append(parse_file_pattern(raw, span=scanner.span(start)))
     if child_refs and (patterns or bindings):
         raise MetadataValidationError(
             "a DATA clause cannot mix DATASET references with file patterns"
@@ -473,7 +531,7 @@ def _parse_data_clause(scanner: Scanner) -> DataClause:
     return DataClause(tuple(child_refs), tuple(patterns), tuple(bindings))
 
 
-def parse_file_pattern(raw: str) -> FilePattern:
+def parse_file_pattern(raw: str, span: Optional[Span] = None) -> FilePattern:
     """Parse ``DIR[expr]/template`` (the only supported pattern form)."""
     if not raw.upper().startswith("DIR["):
         raise MetadataSyntaxError(
@@ -491,7 +549,7 @@ def parse_file_pattern(raw: str) -> FilePattern:
     template = rest[1:]
     if not template:
         raise MetadataSyntaxError(f"empty file name in pattern {raw!r}")
-    return FilePattern(dir_expr, template)
+    return FilePattern(dir_expr, template, span)
 
 
 def _resolve_children(datasets: Dict[str, DatasetNode]) -> None:

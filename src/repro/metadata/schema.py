@@ -17,11 +17,12 @@ section header.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SchemaError
+from .spans import Span
 from .types import ScalarType, parse_type
 
 
@@ -31,6 +32,9 @@ class Attribute:
 
     name: str
     type: ScalarType
+    #: Source span of the declaration, when parsed from descriptor text
+    #: (excluded from equality/hashing, like all parse-time spans).
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def size(self) -> int:
@@ -131,34 +135,46 @@ def parse_schemas(text: str) -> Dict[str, Schema]:
         if _looks_like_storage(entries):
             continue
         attributes = []
-        for key, value in entries:
-            attributes.append(Attribute(key, parse_type(value)))
+        for entry in entries:
+            attributes.append(
+                Attribute(entry.key, parse_type(entry.value), span=entry.span)
+            )
         if name in schemas:
             raise SchemaError(f"schema {name!r} declared twice")
         schemas[name] = Schema(name, attributes)
     return schemas
 
 
-def _looks_like_storage(entries: List[Tuple[str, str]]) -> bool:
+class SectionEntry(NamedTuple):
+    """One ``key = value`` line of an INI-style descriptor section."""
+
+    key: str
+    value: str
+    span: Optional[Span] = None
+
+
+def _looks_like_storage(entries: List[SectionEntry]) -> bool:
     return any(
-        key == "DatasetDescription" or key.startswith("DIR[") for key, _ in entries
+        e.key == "DatasetDescription" or e.key.startswith("DIR[") for e in entries
     )
 
 
-def iter_sections(text: str) -> Iterator[Tuple[str, List[Tuple[str, str]]]]:
+def iter_sections(text: str) -> Iterator[Tuple[str, List[SectionEntry]]]:
     """Iterate ``[Name]`` sections with their ``key = value`` entries.
 
     Shared between the schema and storage parsers.  Lines outside any
     section (e.g. the layout component in a combined descriptor file) end
     the current section; layout ``DATASET`` blocks are detected by their
-    opening keyword and skipped wholesale using brace counting.
+    opening keyword and skipped wholesale using brace counting.  Each
+    entry carries the source span of its key for diagnostics.
     """
     current_name = None
-    current_entries: List[Tuple[str, str]] = []
+    current_entries: List[SectionEntry] = []
     lines = text.splitlines()
     i = 0
     while i < len(lines):
-        line = _strip_comment(lines[i])
+        raw = lines[i]
+        line = _strip_comment(raw)
         i += 1
         if not line:
             continue
@@ -190,7 +206,10 @@ def iter_sections(text: str) -> Iterator[Tuple[str, List[Tuple[str, str]]]]:
                 f"expected 'name = value' in section [{current_name}], got {line!r}"
             )
         key, _, value = line.partition("=")
-        current_entries.append((key.strip(), value.strip()))
+        key = key.strip()
+        column = raw.find(key) + 1
+        span = Span(i, column, i, column + len(key))
+        current_entries.append(SectionEntry(key, value.strip(), span))
     if current_name is not None:
         yield current_name, current_entries
 

@@ -1,0 +1,63 @@
+"""Source spans: line/column ranges inside descriptor (and query) text.
+
+A :class:`Span` names the region of source text a parsed construct came
+from, so static analysis (:mod:`repro.diag`) can point diagnostics at the
+offending token instead of just naming it.  Spans are recorded by the
+descriptor parsers (:mod:`repro.metadata.tokens` builds them from scanner
+positions; the INI-style schema/storage parsers build them from line
+numbers) and ride along on AST nodes as non-comparing dataclass fields,
+so adding them changed no equality or hashing semantics.
+
+This module has no imports from the rest of the package; anything may
+depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, 1-based lines and columns.
+
+    ``end_line``/``end_column`` point one past the last character of the
+    construct when known; a point span (``end == start``) is legal and
+    means "at this position".
+    """
+
+    line: int
+    column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line == 0:
+            object.__setattr__(self, "end_line", self.line)
+            object.__setattr__(self, "end_column", self.column)
+
+    @staticmethod
+    def point(line: int, column: int) -> "Span":
+        return Span(line, column, line, column)
+
+    def merge(self, other: Optional["Span"]) -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other is None:
+            return self
+        lo = min((self.line, self.column), (other.line, other.column))
+        hi = max(
+            (self.end_line, self.end_column), (other.end_line, other.end_column)
+        )
+        return Span(lo[0], lo[1], hi[0], hi[1])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"

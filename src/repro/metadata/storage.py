@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import MetadataValidationError
 from .schema import _looks_like_storage, iter_sections
+from .spans import Span
 
 _DIR_KEY = re.compile(r"^DIR\[(\d+)\]$")
 
@@ -34,6 +35,8 @@ class DirEntry:
     index: int
     node: str
     path: str
+    #: Source span of the ``DIR[i]`` key (parse-time only, non-comparing).
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def spec(self) -> str:
@@ -107,7 +110,7 @@ def parse_storage(text: str) -> Dict[str, StorageDescriptor]:
             continue
         schema_name = None
         dirs: List[DirEntry] = []
-        for key, value in entries:
+        for key, value, span in entries:
             if key == "DatasetDescription":
                 if schema_name is not None:
                     raise MetadataValidationError(
@@ -117,7 +120,7 @@ def parse_storage(text: str) -> Dict[str, StorageDescriptor]:
                 continue
             match = _DIR_KEY.match(key)
             if match:
-                dirs.append(_parse_dir_entry(int(match.group(1)), value))
+                dirs.append(_parse_dir_entry(int(match.group(1)), value, span))
                 continue
             raise MetadataValidationError(
                 f"unknown storage key {key!r} in dataset {name!r}"
@@ -136,9 +139,11 @@ def parse_storage(text: str) -> Dict[str, StorageDescriptor]:
     return out
 
 
-def _parse_dir_entry(index: int, value: str) -> DirEntry:
+def _parse_dir_entry(
+    index: int, value: str, span: Optional[Span] = None
+) -> DirEntry:
     value = value.strip()
     if not value:
         raise MetadataValidationError(f"DIR[{index}] entry is empty")
     node, _, path = value.partition("/")
-    return DirEntry(index, node, path)
+    return DirEntry(index, node, path, span)

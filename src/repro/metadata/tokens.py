@@ -11,7 +11,11 @@ Figure 4).
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from typing import List, Optional, Tuple
+
 from ..errors import MetadataSyntaxError
+from .spans import Span
 
 #: Characters permitted inside identifiers.
 _IDENT_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
@@ -24,17 +28,43 @@ class Scanner:
         self.text = text
         self.pos = 0
         self.length = len(text)
+        #: Offsets of line starts, built lazily on the first ``location``
+        #: call.  The text is immutable, so the table never invalidates;
+        #: it turns position lookups into a bisect instead of a rescan of
+        #: the whole text (diagnostics-heavy parses used to be O(n^2)).
+        self._line_starts: Optional[List[int]] = None
 
     # -- position / diagnostics -------------------------------------------
 
-    def location(self, pos: int = -1) -> tuple:
+    def location(self, pos: int = -1) -> Tuple[int, int]:
         """(line, column), both 1-based, of ``pos`` (default: current)."""
         if pos < 0:
             pos = self.pos
-        line = self.text.count("\n", 0, pos) + 1
-        last_nl = self.text.rfind("\n", 0, pos)
-        column = pos - last_nl
+        starts = self._line_starts
+        if starts is None:
+            starts = [0]
+            find = self.text.find
+            nl = find("\n")
+            while nl >= 0:
+                starts.append(nl + 1)
+                nl = find("\n", nl + 1)
+            self._line_starts = starts
+        line = bisect_right(starts, pos)
+        column = pos - starts[line - 1] + 1
         return line, column
+
+    def mark(self) -> int:
+        """Position of the next significant character (for span starts)."""
+        self.skip_trivia()
+        return self.pos
+
+    def span(self, start: int, end: int = -1) -> Span:
+        """A :class:`Span` covering ``[start, end)`` (default: to here)."""
+        if end < 0:
+            end = self.pos
+        line, column = self.location(start)
+        end_line, end_column = self.location(end)
+        return Span(line, column, end_line, end_column)
 
     def error(self, message: str) -> MetadataSyntaxError:
         line, column = self.location()

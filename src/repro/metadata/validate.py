@@ -2,22 +2,22 @@
 
 Validation runs once at descriptor load time, before any code generation,
 so that layout mistakes surface as clear errors instead of as garbage
-query results.  The checks enforce the semantic rules documented in
-:mod:`repro.metadata.layout`.
+query results.
+
+The checks themselves live in :mod:`repro.diag.linter`, which collects
+*every* finding with source spans instead of stopping at the first one
+(``repro check`` exposes the full list).  This module keeps the historical
+fail-fast contract: :func:`validate_descriptor` runs the linter and raises
+a :class:`~repro.errors.MetadataValidationError` carrying the first
+error's message — the linter mirrors the original check order, so which
+error surfaces first (and its text) is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Set
+from typing import TYPE_CHECKING
 
 from ..errors import MetadataValidationError
-from .layout import (
-    AttrGroup,
-    DatasetNode,
-    LoopNode,
-    iter_attr_names,
-    iter_loop_vars,
-)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .descriptor import Descriptor
@@ -25,172 +25,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def validate_descriptor(descriptor: "Descriptor") -> None:
     """Run every check; raise :class:`MetadataValidationError` on failure."""
-    leaves = descriptor.layout.leaves()
-    if not leaves:
-        raise MetadataValidationError(
-            f"dataset {descriptor.name!r} has no leaf DATASET with a DATASPACE"
-        )
-    _check_tree_shape(descriptor.layout)
-    attr_owner: Dict[str, str] = {}
-    for leaf in leaves:
-        _check_leaf(descriptor, leaf, attr_owner)
-    _check_schema_coverage(descriptor, leaves)
-    _check_index_attrs(descriptor)
+    from ..diag.linter import lint_descriptor
 
-
-def _check_tree_shape(root: DatasetNode) -> None:
-    for node in root.walk():
-        if node.is_leaf:
-            if not node.data.is_leaf:
-                raise MetadataValidationError(
-                    f"leaf dataset {node.name!r} has a DATASPACE but its "
-                    "DATA clause lists no files"
-                )
-        else:
-            if not node.children:
-                raise MetadataValidationError(
-                    f"dataset {node.name!r} has neither a DATASPACE nor "
-                    "nested DATASETs"
-                )
-            if node.data.patterns:
-                raise MetadataValidationError(
-                    f"non-leaf dataset {node.name!r} lists file patterns"
-                )
-
-
-def _check_leaf(
-    descriptor: "Descriptor", leaf: DatasetNode, attr_owner: Dict[str, str]
-) -> None:
-    schema = descriptor.schema
-    schema_name = leaf.effective_schema_name()
-    if schema_name is not None and schema_name != descriptor.storage.schema_name:
-        if schema_name not in descriptor.all_schemas:
-            raise MetadataValidationError(
-                f"leaf {leaf.name!r} references undefined schema {schema_name!r}"
-            )
-
-    binding_vars = {b.var for b in leaf.data.bindings}
-    _check_bindings_unique(leaf)
-
-    # Dataspace attribute names must be schema attributes and must not be
-    # stored twice (within this leaf or by another leaf).
-    seen_here: Set[str] = set()
-    for name in iter_attr_names(leaf.dataspace):
-        if name not in schema:
-            raise MetadataValidationError(
-                f"leaf {leaf.name!r} stores {name!r}, which is not an "
-                f"attribute of schema {schema.name!r}"
-            )
-        if name in seen_here:
-            raise MetadataValidationError(
-                f"leaf {leaf.name!r} stores attribute {name!r} twice"
-            )
-        seen_here.add(name)
-        if name in attr_owner:
-            raise MetadataValidationError(
-                f"attribute {name!r} is stored by both {attr_owner[name]!r} "
-                f"and {leaf.name!r}; each attribute must live in one leaf"
-            )
-        attr_owner[name] = leaf.name
-
-    _check_loops(leaf, binding_vars)
-
-    # File pattern variables must all be bound.
-    for pattern in leaf.data.patterns:
-        unbound = pattern.free_vars() - binding_vars
-        if unbound:
-            raise MetadataValidationError(
-                f"file pattern {pattern} in leaf {leaf.name!r} uses unbound "
-                f"variables {sorted(unbound)}"
-            )
-
-    # Every enumerated directory index must exist in the storage component.
-    valid_dirs = {e.index for e in descriptor.storage.dirs}
-    for env in leaf.data.binding_env_iter():
-        for pattern in leaf.data.patterns:
-            dir_index, relpath = pattern.expand(env)
-            if dir_index not in valid_dirs:
-                raise MetadataValidationError(
-                    f"pattern {pattern} in leaf {leaf.name!r} evaluates to "
-                    f"DIR[{dir_index}] under {env}, but the storage section "
-                    f"only declares indices {sorted(valid_dirs)}"
-                )
-            if not relpath or relpath.startswith("/"):
-                raise MetadataValidationError(
-                    f"pattern {pattern} expands to invalid path {relpath!r}"
-                )
-
-
-def _check_bindings_unique(leaf: DatasetNode) -> None:
-    seen: Set[str] = set()
-    for binding in leaf.data.bindings:
-        if binding.var in seen:
-            raise MetadataValidationError(
-                f"leaf {leaf.name!r} binds variable {binding.var!r} twice"
-            )
-        seen.add(binding.var)
-
-
-def _check_loops(leaf: DatasetNode, binding_vars: Set[str]) -> None:
-    """Loop variables must not shadow; bounds may only use binding vars."""
-
-    def recurse(items, path_vars: List[str]) -> None:
-        for item in items:
-            if isinstance(item, AttrGroup):
-                continue
-            assert isinstance(item, LoopNode)
-            if item.var in path_vars:
-                raise MetadataValidationError(
-                    f"leaf {leaf.name!r}: LOOP variable {item.var!r} shadows "
-                    "an enclosing loop with the same name"
-                )
-            if item.var in binding_vars:
-                raise MetadataValidationError(
-                    f"leaf {leaf.name!r}: LOOP variable {item.var!r} collides "
-                    "with a DATA binding variable"
-                )
-            bad = item.range.free_vars() - binding_vars
-            if bad:
-                raise MetadataValidationError(
-                    f"leaf {leaf.name!r}: bounds of LOOP {item.var} use "
-                    f"{sorted(bad)}; only DATA binding variables may appear "
-                    "in loop bounds (chunk sizes must be per-file constants)"
-                )
-            recurse(item.body, path_vars + [item.var])
-
-    recurse(leaf.dataspace, [])
-
-
-def _check_schema_coverage(descriptor: "Descriptor", leaves: List[DatasetNode]) -> None:
-    """Every schema attribute must be stored somewhere or implicit."""
-    stored: Set[str] = set()
-    implicit: Set[str] = set()
-    for leaf in leaves:
-        stored.update(iter_attr_names(leaf.dataspace))
-        implicit.update(iter_loop_vars(leaf.dataspace))
-        implicit.update(b.var for b in leaf.data.bindings)
-    for attr in descriptor.schema:
-        if attr.name in stored:
-            continue
-        if attr.name in implicit:
-            if not attr.type.is_integer:
-                raise MetadataValidationError(
-                    f"attribute {attr.name!r} is implicit (a loop or binding "
-                    f"variable) and must have an integer type, not "
-                    f"{attr.type.name!r}"
-                )
-            continue
-        raise MetadataValidationError(
-            f"schema attribute {attr.name!r} is neither stored in any leaf "
-            "nor supplied implicitly by a loop or binding variable"
-        )
-
-
-def _check_index_attrs(descriptor: "Descriptor") -> None:
-    for node in descriptor.layout.walk():
-        for attr in node.index_attrs:
-            if attr not in descriptor.schema:
-                raise MetadataValidationError(
-                    f"DATAINDEX attribute {attr!r} in dataset {node.name!r} "
-                    f"is not in schema {descriptor.schema.name!r}"
-                )
+    collector = lint_descriptor(descriptor)
+    first = collector.first_error()
+    if first is not None:
+        raise MetadataValidationError(first.message)

@@ -13,7 +13,7 @@ evaluation; applications register their own with
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +53,33 @@ class FunctionRegistry:
             return True
         except QueryValidationError:
             return False
+
+    def arity(self, name: str) -> "Tuple[int, Optional[int]]":
+        """(min, max) positional argument count of a registered function.
+
+        ``max`` is None for variadic functions (``*args``).  Used by the
+        static query analyzer to flag arity mismatches before execution.
+        """
+        import inspect
+
+        func = self.get(name)
+        try:
+            signature = inspect.signature(func)
+        except (TypeError, ValueError):  # builtins without introspection
+            return 0, None
+        minimum, maximum = 0, 0
+        variadic = False
+        for param in signature.parameters.values():
+            if param.kind in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            ):
+                maximum += 1
+                if param.default is inspect.Parameter.empty:
+                    minimum += 1
+            elif param.kind is inspect.Parameter.VAR_POSITIONAL:
+                variadic = True
+        return minimum, (None if variadic else maximum)
 
     def names(self) -> Iterator[str]:
         registry: Optional[FunctionRegistry] = self

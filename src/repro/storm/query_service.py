@@ -230,6 +230,7 @@ class QueryService:
             parallel=parallel,
         )
         tracer = opts.tracer()
+        self._run_diagnostics(sql, opts, tracer)
         injector = self.fault_injector
         faults_before = injector.injected if injector is not None else 0
         attempts_allowed = max(0, opts.retries) + 1
@@ -406,6 +407,58 @@ class QueryService:
             degraded=bool(failed_nodes),
             failed_nodes=failed_nodes,
         )
+
+    def _run_diagnostics(
+        self,
+        sql: Union[Query, str],
+        opts: ExecOptions,
+        tracer,
+    ) -> None:
+        """Static analysis at submit time.
+
+        With tracing on, descriptor and query findings become ``diag``
+        events plus a ``diag.warnings`` counter.  Under
+        ``ExecOptions(strict=True)`` any error *or warning* refuses the
+        query with a :class:`~repro.errors.QueryValidationError` — the
+        strict mode escalation.  Datasets without a descriptor
+        (hand-written planners) only get query analysis, and only when a
+        descriptor is reachable.
+        """
+        if not (opts.strict or tracer.enabled):
+            return
+        findings = []
+        collector = getattr(self.dataset, "diagnostics", None)
+        if collector is not None:
+            findings.extend(collector)
+        descriptor = getattr(self.dataset, "descriptor", None)
+        if descriptor is not None:
+            from ..diag.query import analyze_query
+
+            findings.extend(
+                analyze_query(descriptor, sql, self.filtering.functions)
+            )
+        if tracer.enabled:
+            for diag in findings:
+                tracer.event(
+                    "diag",
+                    code=diag.code,
+                    severity=str(diag.severity),
+                    message=diag.message,
+                )
+                if str(diag.severity) == "warning":
+                    tracer.metrics.record("diag.warnings")
+        if opts.strict:
+            blocking = [
+                d for d in findings if str(d.severity) in ("error", "warning")
+            ]
+            if blocking:
+                from ..errors import QueryValidationError
+
+                details = "; ".join(d.format(show_source=False) for d in blocking)
+                raise QueryValidationError(
+                    f"strict mode: {len(blocking)} static-analysis finding(s) "
+                    f"block execution: {details}"
+                )
 
     def _move_resilient(
         self,

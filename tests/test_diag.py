@@ -1,0 +1,729 @@
+"""Tests for the repro.diag static-analysis subsystem.
+
+One fixture descriptor (or query) per diagnostic code, span assertions,
+the validate_descriptor shim contract, strict-mode escalation, tracer
+integration, and the `repro check` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import CompiledDataset, ExecOptions, Virtualizer, local_mount
+from repro.diag import (
+    CODES,
+    Collector,
+    Diagnostic,
+    Severity,
+    analyze_query,
+    lint_descriptor,
+    lint_text,
+)
+from repro.errors import MetadataValidationError, QueryValidationError
+from repro.metadata import parse_descriptor
+from repro.obs import Tracer
+from tests.conftest import PAPER_DESCRIPTOR
+
+
+def minimal(layout_body: str, schema_extra: str = "", dirs: int = 1) -> str:
+    """A tiny descriptor wrapper (same shape as the validation tests)."""
+    dir_lines = "\n".join(f"DIR[{i}] = n{i}/d" for i in range(dirs))
+    return f"""
+[S]
+T = int
+X = float
+{schema_extra}
+
+[D]
+DatasetDescription = S
+{dir_lines}
+
+{layout_body}
+"""
+
+
+GOOD = minimal(
+    'DATASET "D" { DATAINDEX { T } '
+    "DATASPACE { LOOP T 1:4:1 { X } } DATA { DIR[0]/f } }"
+)
+
+
+def codes_of(collector: Collector):
+    return collector.codes()
+
+
+def the(collector: Collector, code: str) -> Diagnostic:
+    matches = [d for d in collector if d.code == code]
+    assert matches, f"expected {code} in {[d.code for d in collector]}"
+    return matches[0]
+
+
+# ---------------------------------------------------------------------------
+# Core vocabulary
+# ---------------------------------------------------------------------------
+
+
+class TestCore:
+    def test_emit_uses_registered_severity(self):
+        c = Collector(source="t")
+        d = c.emit("RV126", "no index")
+        assert d.severity is Severity.INFO
+        assert d.source == "t"
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(KeyError, match="RV999"):
+            Collector().emit("RV999", "nope")
+
+    def test_counts_and_first_error(self):
+        c = Collector()
+        c.emit("RV126", "info first")
+        c.emit("RV122", "warn")
+        c.emit("RV101", "err")
+        assert len(c.errors) == 1 and len(c.warnings) == 1 and len(c.infos) == 1
+        assert c.first_error().code == "RV101"
+        assert c.has_errors
+
+    def test_sorted_puts_spanless_last(self):
+        from repro.metadata.spans import Span
+
+        c = Collector()
+        c.emit("RV101", "no span")
+        c.emit("RV102", "spanned", span=Span(3, 1))
+        c.emit("RV103", "earlier", span=Span(1, 5))
+        assert [d.code for d in c.sorted()] == ["RV103", "RV102", "RV101"]
+
+    def test_format_includes_position_and_code(self):
+        from repro.metadata.spans import Span
+
+        d = Diagnostic("RV119", Severity.ERROR, "empty", Span(4, 7), None, "f.desc")
+        assert d.format() == "f.desc:4:7: error[RV119]: empty"
+
+    def test_to_json_roundtrips(self):
+        c = Collector(source="s")
+        c.emit("RV122", "unused", fix="remove it")
+        payload = json.loads(c.to_json())
+        assert payload["warnings"] == 1
+        [entry] = payload["diagnostics"]
+        assert entry["code"] == "RV122"
+        assert entry["fix"] == "remove it"
+        assert entry["title"] == CODES["RV122"][1]
+
+
+# ---------------------------------------------------------------------------
+# Descriptor linter: one fixture per code
+# ---------------------------------------------------------------------------
+
+
+class TestDescriptorCodes:
+    def test_clean_descriptor_has_no_findings(self):
+        assert len(lint_text(GOOD)) == 0
+
+    def test_rv001_syntax_error_with_span(self):
+        c = lint_text('DATASET "D" { DATASPACE {')
+        d = the(c, "RV001")
+        assert d.severity is Severity.ERROR
+        assert d.span is not None and d.span.line >= 1
+
+    def test_rv002_assembly_error(self):
+        text = """
+[D]
+DatasetDescription = GHOST
+DIR[0] = n/d
+
+DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }
+"""
+        d = the(lint_text(text), "RV002")
+        assert "GHOST" in d.message
+
+    def test_rv101_no_leaf(self):
+        text = minimal('DATASET "D" { DATAINDEX { T } }')
+        d = the(lint_text(text), "RV101")
+        assert "no leaf" in d.message
+        assert d.span is not None
+
+    def test_rv102_leaf_without_files(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { } }'
+        )
+        d = the(lint_text(text), "RV102")
+        assert d.span is not None
+
+    def test_rv103_empty_dataset(self):
+        text = minimal(
+            'DATASET "D" { DATA { DATASET C1 DATASET C2 } }\n'
+            'DATASET "C1" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }\n'
+            'DATASET "C2" { }'
+        )
+        d = the(lint_text(text), "RV103")
+        assert "C2" in d.message and d.span is not None
+
+    def test_rv104_patterns_on_non_leaf(self):
+        text = minimal(
+            'DATASET "D" { '
+            'DATASET "C" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } } '
+            "DATA { DIR[0]/g } }"
+        )
+        d = the(lint_text(text), "RV104")
+        assert d.span is not None
+
+    def test_rv105_undefined_schema_reference(self):
+        text = minimal(
+            'DATASET "D" { DATATYPE { GHOST } '
+            "DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }"
+        )
+        d = the(lint_text(text), "RV105")
+        assert "GHOST" in d.message and d.span is not None
+
+    def test_rv106_stored_attr_not_in_schema(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X NOPE } } '
+            "DATA { DIR[0]/f } }"
+        )
+        d = the(lint_text(text), "RV106")
+        assert "NOPE" in d.message
+        # The span points at the NOPE token itself.
+        line = text.splitlines()[d.span.line - 1]
+        assert line[d.span.column - 1 :].startswith("NOPE")
+
+    def test_rv107_stored_twice_in_leaf(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X X } } '
+            "DATA { DIR[0]/f } }"
+        )
+        d = the(lint_text(text), "RV107")
+        assert d.span is not None
+
+    def test_rv108_stored_by_two_leaves(self):
+        text = minimal(
+            'DATASET "D" { DATA { DATASET C1 DATASET C2 } }\n'
+            'DATASET "C1" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/a } }\n'
+            'DATASET "C2" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/b } }'
+        )
+        d = the(lint_text(text), "RV108")
+        assert "C1" in d.message and "C2" in d.message
+
+    def test_rv109_binding_bound_twice(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } '
+            "DATA { DIR[0]/f$I I=0:1:1 I=0:1:1 } }"
+        )
+        d = the(lint_text(text), "RV109")
+        assert d.span is not None
+
+    def test_rv110_loop_shadowing(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { LOOP T 1:2:1 { X } } } '
+            "DATA { DIR[0]/f } }"
+        )
+        d = the(lint_text(text), "RV110")
+        assert "shadows" in d.message and d.span is not None
+
+    def test_rv111_loop_collides_with_binding(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 0:1:1 { X } } '
+            "DATA { DIR[0]/f$T T=0:1:1 } }"
+        )
+        d = the(lint_text(text), "RV111")
+        assert d.span is not None
+
+    def test_rv112_loop_bound_nonbinding_var(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:N:1 { X } } DATA { DIR[0]/f } }'
+        )
+        d = the(lint_text(text), "RV112")
+        assert "'N'" in d.message or "N" in d.message
+        assert d.span is not None
+
+    def test_rv113_pattern_unbound_variable(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f$Q } }'
+        )
+        d = the(lint_text(text), "RV113")
+        assert "Q" in d.message and d.span is not None
+
+    def test_rv114_undeclared_dir_index(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[7]/f } }'
+        )
+        d = the(lint_text(text), "RV114")
+        assert "DIR[7]" in d.message and d.span is not None
+
+    def test_rv115_invalid_expanded_path(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]//f } }'
+        )
+        d = the(lint_text(text), "RV115")
+        assert d.span is not None
+
+    def test_rv116_attr_neither_stored_nor_implicit(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }',
+            schema_extra="Y = float",
+        )
+        d = the(lint_text(text), "RV116")
+        assert "'Y'" in d.message
+        # Span points at the schema declaration line of Y.
+        line = text.splitlines()[d.span.line - 1]
+        assert line.startswith("Y")
+
+    def test_rv117_implicit_attr_not_integer(self):
+        text = """
+[S]
+T = float
+X = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }
+"""
+        d = the(lint_text(text), "RV117")
+        assert "integer" in d.message and d.span is not None
+
+    def test_rv118_dataindex_not_in_schema(self):
+        text = minimal(
+            'DATASET "D" { DATAINDEX { GHOST } '
+            "DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }"
+        )
+        d = the(lint_text(text), "RV118")
+        assert "GHOST" in d.message and d.span is not None
+
+    def test_rv119_empty_binding_range(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } '
+            "DATA { DIR[0]/f$I I=5:1:1 } }"
+        )
+        d = the(lint_text(text), "RV119")
+        assert d.severity is Severity.ERROR and d.span is not None
+
+    def test_rv119_empty_constant_loop_range(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 5:1:1 { X } } DATA { DIR[0]/f } }'
+        )
+        d = the(lint_text(text), "RV119")
+        assert "empty" in d.message.lower()
+
+    def test_rv120_nonpositive_loop_stride(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:4:0 { X } } DATA { DIR[0]/f } }'
+        )
+        d = the(lint_text(text), "RV120")
+        assert "stride" in d.message and d.span is not None
+
+    def test_rv121_division_by_zero_in_loop_bound(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:(4/0):1 { X } } '
+            "DATA { DIR[0]/f } }"
+        )
+        d = the(lint_text(text), "RV121")
+        assert "zero" in d.message and d.span is not None
+
+    def test_rv122_unused_binding_variable(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } '
+            "DATA { DIR[0]/f$I I=0:1:1 J=0:1:1 } }"
+        )
+        d = the(lint_text(text), "RV122")
+        assert d.severity is Severity.WARNING
+        assert "'J'" in d.message and d.span is not None
+
+    def test_rv123_duplicate_file_across_leaves(self):
+        text = minimal(
+            'DATASET "D" { DATA { DATASET C1 DATASET C2 } }\n'
+            'DATASET "C1" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/same } }\n'
+            'DATASET "C2" { DATASPACE { LOOP T 1:2:1 { T } } DATA { DIR[0]/same } }'
+        )
+        d = the(lint_text(text), "RV123")
+        assert "same" in d.message and d.span is not None
+
+    def test_rv124_implicit_type_too_narrow(self):
+        text = """
+[S]
+T = char
+X = float
+
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+
+DATASET "D" { DATASPACE { LOOP T 1:300:1 { X } } DATA { DIR[0]/f } }
+"""
+        d = the(lint_text(text), "RV124")
+        assert d.severity is Severity.WARNING
+        assert "300" in d.message and d.span is not None
+
+    def test_rv125_stride_overshoots_upper_bound(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 0:5:2 { X } } DATA { DIR[0]/f } }'
+        )
+        d = the(lint_text(text), "RV125")
+        assert d.severity is Severity.INFO
+        assert "4" in d.message  # last reached value
+
+    def test_rv126_no_dataindex(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }'
+        )
+        d = the(lint_text(text), "RV126")
+        assert d.severity is Severity.INFO
+
+    def test_rv127_unreferenced_storage_dir(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } DATA { DIR[0]/f } }',
+            dirs=2,
+        )
+        d = the(lint_text(text), "RV127")
+        assert "DIR[1]" in d.message and d.span is not None
+
+    def test_collects_many_findings_at_once(self):
+        text = minimal(
+            'DATASET "D" { DATAINDEX { GHOST } '
+            "DATASPACE { LOOP T 1:2:1 { X NOPE } } DATA { DIR[7]/f$Q } }",
+            schema_extra="Y = float",
+        )
+        c = lint_text(text)
+        got = set(codes_of(c))
+        assert {"RV106", "RV113", "RV116", "RV118"} <= got
+
+    def test_paper_descriptor_is_clean(self):
+        assert not lint_text(PAPER_DESCRIPTOR).has_errors
+
+
+# ---------------------------------------------------------------------------
+# Query analyzer: one fixture per code
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def good_descriptor():
+    return parse_descriptor(GOOD)
+
+
+class TestQueryCodes:
+    def test_clean_query(self, good_descriptor):
+        c = analyze_query(good_descriptor, "SELECT X FROM D WHERE T > 2")
+        assert len(c) == 0
+
+    def test_rq200_syntax_error(self, good_descriptor):
+        d = the(analyze_query(good_descriptor, "SELEC X FROM D"), "RQ200")
+        assert d.severity is Severity.ERROR
+
+    def test_rq201_wrong_table(self, good_descriptor):
+        d = the(analyze_query(good_descriptor, "SELECT X FROM Other"), "RQ201")
+        assert "Other" in d.message and d.span is not None
+
+    def test_rq202_unknown_select_attr(self, good_descriptor):
+        d = the(analyze_query(good_descriptor, "SELECT NOPE FROM D"), "RQ202")
+        assert "NOPE" in d.message
+        assert d.span is not None and d.span.column == len("SELECT ") + 1
+
+    def test_rq203_unknown_where_attr(self, good_descriptor):
+        d = the(
+            analyze_query(good_descriptor, "SELECT X FROM D WHERE NOPE > 1"),
+            "RQ203",
+        )
+        assert d.span is not None
+
+    def test_rq204_unknown_function(self, good_descriptor):
+        d = the(
+            analyze_query(good_descriptor, "SELECT X FROM D WHERE NOFUNC(X) > 1"),
+            "RQ204",
+        )
+        assert "NOFUNC" in d.message and d.span is not None
+
+    def test_rq205_arity_mismatch(self, good_descriptor):
+        d = the(
+            analyze_query(good_descriptor, "SELECT X FROM D WHERE SPEED(X) > 1"),
+            "RQ205",
+        )
+        assert "3" in d.message and "1" in d.message
+
+    def test_rq206_string_vs_numeric(self, good_descriptor):
+        d = the(
+            analyze_query(good_descriptor, "SELECT X FROM D WHERE T = 'abc'"),
+            "RQ206",
+        )
+        assert "'abc'" in d.message and d.span is not None
+
+    def test_rq207_contradictory_where(self, good_descriptor):
+        d = the(
+            analyze_query(
+                good_descriptor, "SELECT X FROM D WHERE T > 5 AND T < 2"
+            ),
+            "RQ207",
+        )
+        assert d.severity is Severity.WARNING and d.span is not None
+
+    def test_rq208_outside_declared_bounds(self, good_descriptor):
+        # The descriptor's LOOP declares T in [1, 4].
+        d = the(
+            analyze_query(good_descriptor, "SELECT X FROM D WHERE T > 100"),
+            "RQ208",
+        )
+        assert "[1, 4]" in d.message and d.span is not None
+
+    def test_rq209_index_pruning_defeated(self, good_descriptor):
+        d = the(
+            analyze_query(
+                good_descriptor,
+                "SELECT X FROM D WHERE SPEED(T, X, X) > 1",
+            ),
+            "RQ209",
+        )
+        assert "'T'" in d.message and d.span is not None
+
+    def test_rq209_or_with_unconstrained_branch(self, good_descriptor):
+        d = the(
+            analyze_query(
+                good_descriptor,
+                "SELECT X FROM D WHERE T > 2 OR X > 0.5",
+            ),
+            "RQ209",
+        )
+        assert d.severity is Severity.WARNING
+
+    def test_rq210_duplicate_select(self, good_descriptor):
+        d = the(analyze_query(good_descriptor, "SELECT X, X FROM D"), "RQ210")
+        assert d.span is not None
+
+    def test_accepts_parsed_query_objects(self, good_descriptor):
+        from repro.sql import parse_query
+
+        q = parse_query("SELECT NOPE FROM D")
+        c = analyze_query(good_descriptor, q)
+        assert "RQ202" in codes_of(c)
+
+
+# ---------------------------------------------------------------------------
+# validate_descriptor shim contract
+# ---------------------------------------------------------------------------
+
+
+class TestValidateShim:
+    def test_first_error_message_preserved(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X NOPE } } '
+            "DATA { DIR[7]/f } }"
+        )
+        with pytest.raises(MetadataValidationError, match="NOPE"):
+            parse_descriptor(text)
+
+    def test_validate_false_skips_checks(self):
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X NOPE } } '
+            "DATA { DIR[0]/f } }"
+        )
+        descriptor = parse_descriptor(text, validate=False)
+        assert descriptor.name == "D"
+        with pytest.raises(MetadataValidationError):
+            descriptor.validate()
+
+    def test_warnings_do_not_raise(self):
+        # RV122/RV126/RV127 are warnings/infos: load must still succeed.
+        text = minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } '
+            "DATA { DIR[0]/f$I I=0:1:1 J=0:0:1 } }",
+            dirs=2,
+        )
+        descriptor = parse_descriptor(text)
+        collector = lint_descriptor(descriptor)
+        assert not collector.has_errors
+        assert "RV122" in codes_of(collector)
+        assert "RV127" in codes_of(collector)
+
+
+# ---------------------------------------------------------------------------
+# Execution wiring: strict mode and tracer events
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionWiring:
+    def test_compiled_dataset_diagnostics_cached(self):
+        dataset = CompiledDataset(parse_descriptor(GOOD))
+        assert dataset.diagnostics is dataset.diagnostics
+        assert not dataset.diagnostics.has_errors
+
+    def test_strict_blocks_warning_query(self, paper_dataset):
+        text, mount = paper_dataset
+        with Virtualizer(text, mount, use_codegen=False) as v:
+            with pytest.raises(QueryValidationError, match="strict mode"):
+                v.query(
+                    "SELECT X FROM IparsData WHERE TIME > 5 AND TIME < 2",
+                    options=ExecOptions(strict=True),
+                )
+
+    def test_strict_allows_clean_query(self, paper_dataset):
+        text, mount = paper_dataset
+        with Virtualizer(text, mount, use_codegen=False) as v:
+            table = v.query(
+                "SELECT X FROM IparsData WHERE TIME > 5",
+                options=ExecOptions(strict=True),
+            )
+            assert table.num_rows > 0
+
+    def test_non_strict_still_executes(self, paper_dataset):
+        text, mount = paper_dataset
+        with Virtualizer(text, mount, use_codegen=False) as v:
+            table = v.query(
+                "SELECT X FROM IparsData WHERE TIME > 1000 AND TIME < 5"
+            )
+            assert table.num_rows == 0
+
+    def test_tracer_records_diag_warnings(self, paper_dataset):
+        text, mount = paper_dataset
+        tracer = Tracer()
+        with Virtualizer(text, mount, use_codegen=False) as v:
+            v.query(
+                "SELECT X FROM IparsData WHERE TIME > 5 AND TIME < 2",
+                options=ExecOptions(trace=tracer),
+            )
+        counters = tracer.metrics.as_dict()["counters"]
+        assert counters.get("diag.warnings", 0) >= 1
+
+    def test_query_service_strict(self, paper_dataset):
+        from repro.storm import QueryService, VirtualCluster
+
+        text, mount = paper_dataset
+        dataset = CompiledDataset(text)
+        root = mount("", "").rstrip("/")
+        cluster = VirtualCluster(root, list(dataset.descriptor.storage.nodes))
+        with QueryService(dataset, cluster) as service:
+            with pytest.raises(QueryValidationError, match="strict mode"):
+                service.submit(
+                    "SELECT X FROM IparsData WHERE TIME > 5 AND TIME < 2",
+                    ExecOptions(remote=False, strict=True),
+                )
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro check
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def good_file(tmp_path):
+    path = tmp_path / "good.desc"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture()
+def bad_file(tmp_path):
+    path = tmp_path / "bad.desc"
+    path.write_text(
+        minimal(
+            'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X NOPE } } '
+            "DATA { DIR[0]/f } }"
+        )
+    )
+    return str(path)
+
+
+class TestCheckCli:
+    def test_clean_exits_zero(self, good_file, capsys):
+        assert cli_main(["check", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_errors_exit_one(self, bad_file, capsys):
+        assert cli_main(["check", bad_file]) == 1
+        assert "RV106" in capsys.readouterr().out
+
+    def test_warnings_only_strict_exits_three(self, tmp_path, capsys):
+        path = tmp_path / "warn.desc"
+        path.write_text(
+            minimal(
+                'DATASET "D" { DATASPACE { LOOP T 1:2:1 { X } } '
+                "DATA { DIR[0]/f$I I=0:1:1 J=0:0:1 } }"
+            )
+        )
+        assert cli_main(["check", str(path)]) == 0
+        assert cli_main(["check", str(path), "--strict"]) == 3
+        assert "RV122" in capsys.readouterr().out
+
+    def test_query_analysis_merged(self, good_file, capsys):
+        code = cli_main(
+            ["check", good_file, "--query", "SELECT NOPE FROM D"]
+        )
+        assert code == 1
+        assert "RQ202" in capsys.readouterr().out
+
+    def test_json_format(self, bad_file, capsys):
+        assert cli_main(["check", bad_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert "RV106" in codes
+        entry = next(d for d in payload["diagnostics"] if d["code"] == "RV106")
+        assert entry["span"]["line"] >= 1 and entry["span"]["column"] >= 1
+
+    def test_text_output_has_line_and_column(self, bad_file, capsys):
+        cli_main(["check", bad_file])
+        out = capsys.readouterr().out
+        assert "error[RV106]" in out
+        # source:line:col prefix present
+        assert any(
+            part.count(":") >= 2 for part in out.splitlines() if "RV106" in part
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry / docs consistency
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_at_least_twelve_distinct_emittable_codes(self):
+        """The acceptance bar: ≥12 distinct codes across the fixtures."""
+        texts = [
+            'DATASET "D" { DATASPACE {',
+            minimal('DATASET "D" { DATAINDEX { T } }'),
+            minimal(
+                'DATASET "D" { DATAINDEX { GHOST } DATASPACE '
+                "{ LOOP T 1:2:1 { X NOPE } } DATA { DIR[7]/f$Q } }",
+                schema_extra="Y = float",
+            ),
+            minimal(
+                'DATASET "D" { DATASPACE { LOOP T 5:1:1 '
+                "{ LOOP T 1:2:0 { X } } } DATA { DIR[0]/f$I I=0:1:1 J=0:0:1 } }",
+                dirs=2,
+            ),
+            minimal(
+                'DATASET "D" { DATASPACE { LOOP T 1:(4/0):1 { X } } '
+                "DATA { DIR[0]/f } }"
+            ),
+        ]
+        seen = set()
+        for text in texts:
+            seen.update(codes_of(lint_text(text)))
+        good = parse_descriptor(GOOD)
+        for sql in [
+            "SELEC",
+            "SELECT NOPE, X, X FROM Other WHERE ALSO > 1",
+            "SELECT X FROM D WHERE SPEED(X) > 1 AND NOFUNC(X) > 2",
+            "SELECT X FROM D WHERE T = 'abc'",
+            "SELECT X FROM D WHERE T > 5 AND T < 2",
+            "SELECT X FROM D WHERE T > 100",
+            "SELECT X FROM D WHERE T > 2 OR X > 0.5",
+        ]:
+            seen.update(codes_of(analyze_query(good, sql)))
+        assert len(seen) >= 12, sorted(seen)
+        assert seen <= set(CODES), sorted(seen - set(CODES))
+
+    def test_docs_catalogue_every_code(self):
+        import os
+
+        docs = os.path.join(
+            os.path.dirname(__file__), "..", "docs", "diagnostics.md"
+        )
+        content = open(docs).read()
+        missing = [code for code in CODES if code not in content]
+        assert not missing, f"codes missing from docs/diagnostics.md: {missing}"
+
+    def test_every_code_has_severity_and_title(self):
+        for code, (severity, title) in CODES.items():
+            assert isinstance(severity, Severity)
+            assert title

@@ -62,6 +62,28 @@ class TestParseExpr:
         with pytest.raises(MetadataValidationError, match="division by zero"):
             parse_expr("1/($A-$A)").evaluate({"A": 1})
 
+    def test_division_by_zero_is_typed_with_bare_message(self):
+        from repro.errors import MetadataEvaluationError
+
+        with pytest.raises(MetadataEvaluationError) as info:
+            parse_expr("4/0").evaluate({})
+        assert "division by zero" in info.value.bare_message
+        assert info.value.span is None
+
+    def test_range_eval_error_carries_parse_span(self):
+        # Regression: a LOOP bound that divides by zero during
+        # evaluation must surface the range's source position, not a
+        # bare arithmetic error (see docs/diagnostics.md, RV121).
+        from repro.errors import MetadataEvaluationError
+        from repro.metadata.spans import Span
+
+        rng = parse_range("1:(4/$A):1", span=Span(7, 23))
+        with pytest.raises(MetadataEvaluationError) as info:
+            list(rng.evaluate({"A": 0}))
+        assert info.value.span == Span(7, 23)
+        assert "division by zero" in info.value.bare_message
+        assert str(info.value).startswith("line 7, col 23:")
+
     @pytest.mark.parametrize("bad", ["", "1+", "(1", "1)", "$", "1 2", "a..b"])
     def test_syntax_errors(self, bad):
         with pytest.raises(MetadataSyntaxError):

@@ -91,3 +91,30 @@ class TestReaders:
         s = Scanner("ab\ncd")
         s.pos = 4  # the 'd'
         assert s.location() == (2, 2)
+
+    def test_location_matches_naive_scan_at_every_position(self):
+        # The cached line-offset table must agree with a character-level
+        # rescan at every position, including line starts, newlines, and
+        # one past the end.
+        text = "a\nbb\n\nccc\nd"
+        s = Scanner(text)
+        for pos in range(len(text) + 1):
+            line = text.count("\n", 0, pos) + 1
+            last_nl = text.rfind("\n", 0, pos)
+            column = pos - (last_nl + 1) + 1
+            assert s.location(pos) == (line, column), pos
+
+    def test_location_cache_reused_across_calls(self):
+        s = Scanner("x\n" * 50)
+        assert s._line_starts is None
+        assert s.location(0) == (1, 1)
+        table = s._line_starts
+        assert table is not None and len(table) == 51
+        assert s.location(99) == (50, 2)
+        assert s._line_starts is table  # built once, reused
+
+    def test_span_covers_start_and_end(self):
+        s = Scanner("ab\ncd\nef")
+        sp = s.span(1, 7)
+        assert (sp.line, sp.column) == (1, 2)
+        assert (sp.end_line, sp.end_column) == (3, 2)

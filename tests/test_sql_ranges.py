@@ -182,6 +182,53 @@ class TestExtractRanges:
         r = extract_ranges(parse_where("FALSE"))
         assert query_is_unsatisfiable(r)
 
+    def test_double_negation(self):
+        r = extract_ranges(parse_where("NOT (NOT T > 5)"))
+        assert r["T"].contains(6)
+        assert not r["T"].contains(5)
+
+    def test_not_between_leaves_gap_uncovered(self):
+        # The complement of [5, 9] is two open rays; the extracted set
+        # must cover both rays and may not cover the gap.
+        r = extract_ranges(parse_where("T NOT BETWEEN 5 AND 9"))
+        assert r["T"].contains(-1e9) and r["T"].contains(1e9)
+        assert not r["T"].contains(5) and not r["T"].contains(9)
+
+    def test_not_over_in_over_approximates(self):
+        # Excluded points are a measure-zero restriction: dropping the
+        # attr entirely (full range) is a sound over-approximation.
+        r = extract_ranges(parse_where("T NOT IN (1, 2) AND T > 0"))
+        # The conjunct T > 0 must survive even though NOT IN is dropped.
+        assert not r["T"].contains(0)
+        assert r["T"].contains(1)  # over-approximation keeps excluded point
+
+    def test_not_over_or_with_unconstrained_branch(self):
+        # NOT (T < 5 OR SPEED(..) > 3) == T >= 5 AND NOT SPEED(..) > 3.
+        # The function branch is unconstrainable; the T bound must be kept.
+        r = extract_ranges(parse_where("NOT (T < 5 OR SPEED(A, B, C) > 3)"))
+        assert r["T"].contains(5)
+        assert not r["T"].contains(4.9)
+
+    def test_not_over_and_with_unconstrained_branch(self):
+        # NOT (T < 5 AND SPEED(..) > 3) == T >= 5 OR NOT SPEED(..) > 3.
+        # The OR's function branch admits any T, so T must be unconstrained.
+        r = extract_ranges(parse_where("NOT (T < 5 AND SPEED(A, B, C) > 3)"))
+        assert "T" not in r or r["T"].contains(4)
+
+    def test_not_never_tightens_beyond_complement(self):
+        # Over-approximation safety: every value satisfying the original
+        # predicate lies inside the extracted range.
+        node = parse_where("NOT (A BETWEEN 2 AND 4 OR A IN (7, 8))")
+        r = extract_ranges(node)
+        for probe in (-3.0, 0.0, 1.9, 4.1, 6.0, 9.0, 100.0):
+            sat = bool(
+                np.asarray(
+                    node.evaluate({"A": np.array([probe])}, DEFAULT_REGISTRY)
+                ).all()
+            )
+            if sat and "A" in r:
+                assert r["A"].contains(probe), probe
+
     def test_paper_figure1_ranges(self):
         r = extract_ranges(parse_where(
             "RID in (0,6,26,27) AND TIME >= 1000 AND TIME <= 1100 AND "
