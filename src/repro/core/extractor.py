@@ -14,13 +14,26 @@ semantics:
 * an LRU of chunk payloads keyed by (path, offset, length), which pays off
   when one chunk participates in many AFCs (the COORDS file of the paper's
   example appears in all 500 TIME chunks).
+
+Both caches are thread safe and all chunk I/O uses positional reads
+(``pread``), so one extractor can serve several query threads — and
+several intra-node worker threads of one query — concurrently.
+
+On top of the caches sits **I/O coalescing**: chunk reads against one
+file that are adjacent, or separated by at most a configurable gap, are
+merged into a single ``read()`` call whose payload is sliced back into
+per-chunk segments (:meth:`Extractor.plan_coalesce`).  Interleaved
+layouts like the paper's L0 otherwise pay a read call and a simulated
+seek per chunk; coalescing restores near-sequential I/O at the cost of
+reading the gap bytes (charged as ``readahead_waste_bytes``).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,68 +47,245 @@ from .table import VirtualTable, own_column
 #: Resolves (node, dataset-relative path) to an absolute filesystem path.
 Mount = Callable[[str, str], str]
 
+#: A chunk read request: (node, path, offset, nbytes) — the segment-cache key.
+ReadKey = Tuple[str, str, int, int]
+
+#: Upper bound on one coalesced read's span.  Merging an entire file into
+#: one read would be ideal for the read_calls count but holds the whole
+#: payload in memory at once; 8 MiB keeps buffers bounded while still
+#: folding thousands of KB-scale chunks into few syscalls.
+MAX_COALESCED_BYTES = 8 * 1024 * 1024
+
+_HAS_PREAD = hasattr(os, "pread")
+
+
+class _Handle:
+    """One cached open file, pinned while a read is in flight."""
+
+    __slots__ = ("file", "pins", "dropped", "lock")
+
+    def __init__(self, file):
+        self.file = file
+        self.pins = 0
+        #: Evicted/dropped while pinned: the last unpin closes the file.
+        self.dropped = False
+        #: Serialises seek+read on platforms without ``os.pread``.
+        self.lock = threading.Lock()
+
+
+def _positional_read(entry: _Handle, nbytes: int, offset: int) -> bytes:
+    """Read up to ``nbytes`` at ``offset`` without a shared file position.
+
+    Two threads reading one handle never race each other's ``seek``:
+    ``pread`` is positionless by construction, and the seek+read fallback
+    holds the handle's own lock.
+    """
+    if _HAS_PREAD:
+        fd = entry.file.fileno()
+        pieces = []
+        remaining, pos = nbytes, offset
+        while remaining > 0:
+            block = os.pread(fd, remaining, pos)
+            if not block:
+                break
+            pieces.append(block)
+            pos += len(block)
+            remaining -= len(block)
+        return pieces[0] if len(pieces) == 1 else b"".join(pieces)
+    with entry.lock:
+        entry.file.seek(offset)
+        return entry.file.read(nbytes)
+
 
 class _HandleCache:
-    """LRU cache of open binary file handles."""
+    """LRU cache of open binary file handles; thread safe.
+
+    ``pin``/``unpin`` bracket every read.  A pinned handle is never closed
+    out from under a reader: eviction skips pinned entries, and
+    ``close``/``drop_caches`` mark them dropped so the last unpin closes
+    them instead.
+    """
 
     def __init__(self, capacity: int = 64):
         self.capacity = capacity
-        self._handles: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._handles: "OrderedDict[str, _Handle]" = OrderedDict()
 
     def __contains__(self, path: str) -> bool:
-        return path in self._handles
+        with self._lock:
+            return path in self._handles
 
-    def get(self, path: str, stats: IOStats):
-        handle = self._handles.get(path)
-        if handle is not None:
-            self._handles.move_to_end(path)
-            return handle
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._handles)
+
+    def pin(self, path: str, stats: IOStats) -> _Handle:
+        with self._lock:
+            entry = self._handles.get(path)
+            if entry is not None:
+                self._handles.move_to_end(path)
+                entry.pins += 1
+                return entry
+        # Open outside the lock: disk latency must not serialise other
+        # threads' cache hits.
         try:
-            handle = open(path, "rb")
+            file = open(path, "rb")
         except OSError as exc:
             raise ExtractionError(f"cannot open {path!r}: {exc}") from exc
-        stats.files_opened += 1
-        self._handles[path] = handle
-        if len(self._handles) > self.capacity:
-            _, old = self._handles.popitem(last=False)
-            old.close()
-        return handle
+        victims: List[_Handle] = []
+        with self._lock:
+            entry = self._handles.get(path)
+            if entry is not None:
+                # Lost an open race; adopt the winner's handle.
+                file.close()
+                self._handles.move_to_end(path)
+                entry.pins += 1
+                return entry
+            stats.files_opened += 1
+            entry = _Handle(file)
+            entry.pins = 1
+            self._handles[path] = entry
+            while len(self._handles) > self.capacity:
+                victim = next(
+                    (p for p, e in self._handles.items() if e.pins == 0), None
+                )
+                if victim is None:  # everything pinned: run over capacity
+                    break
+                victims.append(self._handles.pop(victim))
+        for v in victims:
+            v.file.close()
+        return entry
+
+    def unpin(self, entry: _Handle) -> None:
+        with self._lock:
+            entry.pins -= 1
+            close_it = entry.dropped and entry.pins == 0
+        if close_it:
+            entry.file.close()
 
     def close(self) -> None:
-        for handle in self._handles.values():
-            handle.close()
-        self._handles.clear()
+        victims: List[_Handle] = []
+        with self._lock:
+            for entry in self._handles.values():
+                if entry.pins == 0:
+                    victims.append(entry)
+                else:
+                    entry.dropped = True
+            self._handles.clear()
+        for v in victims:
+            v.file.close()
 
 
 class _SegmentCache:
-    """LRU cache of chunk payload bytes, bounded by total size."""
+    """LRU cache of chunk payload bytes, bounded by total size; thread safe."""
 
     def __init__(self, capacity_bytes: int = 32 * 1024 * 1024):
         self.capacity = capacity_bytes
         self.size = 0
+        self._lock = threading.Lock()
         self._segments: "OrderedDict[tuple, bytes]" = OrderedDict()
 
     def get(self, key: tuple) -> Optional[bytes]:
-        data = self._segments.get(key)
-        if data is not None:
-            self._segments.move_to_end(key)
-        return data
+        with self._lock:
+            data = self._segments.get(key)
+            if data is not None:
+                self._segments.move_to_end(key)
+            return data
+
+    def contains(self, key: tuple) -> bool:
+        """Presence check without LRU promotion (coalesce planning)."""
+        with self._lock:
+            return key in self._segments
 
     def put(self, key: tuple, data: bytes) -> None:
         if len(data) > self.capacity:
             return
-        old = self._segments.pop(key, None)
-        if old is not None:
-            self.size -= len(old)
-        self._segments[key] = data
-        self.size += len(data)
-        while self.size > self.capacity:
-            _, evicted = self._segments.popitem(last=False)
-            self.size -= len(evicted)
+        with self._lock:
+            old = self._segments.pop(key, None)
+            if old is not None:
+                self.size -= len(old)
+            self._segments[key] = data
+            self.size += len(data)
+            while self.size > self.capacity:
+                _, evicted = self._segments.popitem(last=False)
+                self.size -= len(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._segments.clear()
+            self.size = 0
+
+
+class _CoalesceRun:
+    """One merged read: a contiguous span of a file covering ≥2 chunks."""
+
+    __slots__ = ("node", "path", "start", "end", "members", "lock", "results",
+                 "failed")
+
+    def __init__(
+        self,
+        node: str,
+        path: str,
+        start: int,
+        end: int,
+        members: Tuple[Tuple[int, int], ...],
+    ):
+        self.node = node
+        self.path = path
+        self.start = start
+        self.end = end
+        #: (offset, nbytes) per member chunk, sorted by offset.
+        self.members = members
+        self.lock = threading.Lock()
+        #: key -> payload once the merged read happened; members pop
+        #: their slice exactly once (the segment cache serves repeats).
+        self.results: Optional[Dict[ReadKey, bytes]] = None
+        self.failed = False
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+    def covered_bytes(self) -> int:
+        """Bytes of the span belonging to at least one member chunk."""
+        total = 0
+        end = self.start
+        for off, nb in self.members:
+            hi = off + nb
+            lo = max(off, end)
+            if hi > lo:
+                total += hi - lo
+                end = hi
+        return total
+
+
+class CoalescePlan:
+    """Maps chunk-read keys to the merged runs that will satisfy them."""
+
+    def __init__(self, runs: Dict[ReadKey, _CoalesceRun]):
+        self._runs = runs
+
+    def run_for(self, key: ReadKey) -> Optional[_CoalesceRun]:
+        return self._runs.get(key)
+
+    @property
+    def num_runs(self) -> int:
+        return len({id(r) for r in self._runs.values()})
+
+    @property
+    def num_members(self) -> int:
+        return len(self._runs)
 
 
 class Extractor:
-    """Executes extraction plans against a filesystem mount."""
+    """Executes extraction plans against a filesystem mount.
+
+    Thread safe: the handle and segment caches carry their own locks, all
+    chunk I/O is positional, and the simulated disk-head bookkeeping is
+    guarded — one extractor may serve concurrent queries and intra-node
+    worker threads.  (Under concurrency the per-node ``seeks`` count
+    depends on thread interleaving; every other counter is exact.)
+    """
 
     def __init__(
         self,
@@ -115,17 +305,25 @@ class Extractor:
         #: A read is charged a seek only when it repositions the head —
         #: consecutive chunks of one file scan sequentially for free,
         #: while layouts that interleave many files (the paper's L0)
-        #: pay a seek per switch.
+        #: pay a seek per switch.  Updated only after a *successful* full
+        #: read: a failed read never moved the physical head.
         self._head: Dict[str, tuple] = {}
+        self._head_lock = threading.Lock()
 
     def close(self) -> None:
         self._handles.close()
 
     def drop_caches(self) -> None:
-        """Forget cached handles, segments, and head positions (cold runs)."""
+        """Forget cached handles, segments, and head positions (cold runs).
+
+        Safe against in-flight reads: pinned handles are closed by their
+        last unpin, not here, so a concurrent query never reads a closed
+        file.
+        """
         self._handles.close()
-        self._segments = _SegmentCache(self._segments.capacity)
-        self._head.clear()
+        self._segments.clear()
+        with self._head_lock:
+            self._head.clear()
 
     def __enter__(self) -> "Extractor":
         return self
@@ -135,34 +333,18 @@ class Extractor:
 
     # -- chunk I/O ---------------------------------------------------------------
 
-    def read_chunk(
-        self,
-        node: str,
-        path: str,
-        offset: int,
-        nbytes: int,
-        stats: IOStats,
-        tracer=NULL_TRACER,
+    def _read_span(
+        self, node: str, path: str, offset: int, nbytes: int, stats: IOStats
     ) -> bytes:
-        """Read one chunk's payload, via the segment cache."""
-        key = (node, path, offset, nbytes)
-        cached = self._segments.get(key)
-        if cached is not None:
-            stats.cache_hits += 1
-            if tracer.enabled:
-                tracer.event("segment_cache_hit", node=node, path=path, bytes=nbytes)
-            return cached
-        if tracer.enabled:
-            tracer.event("segment_cache_miss", node=node, path=path, bytes=nbytes)
+        """One positional read of ``nbytes`` at ``offset``, fully charged."""
         full_path = self.mount(node, path)
         if self._injector is not None and full_path not in self._handles:
             self._injector.on_open(node, path)
-        handle = self._handles.get(full_path, stats)
-        handle.seek(offset)
-        if self._head.get(node) != (path, offset):
-            stats.seeks += 1
-        self._head[node] = (path, offset + nbytes)
-        data = handle.read(nbytes)
+        entry = self._handles.pin(full_path, stats)
+        try:
+            data = _positional_read(entry, nbytes, offset)
+        finally:
+            self._handles.unpin(entry)
         stats.read_calls += 1
         stats.bytes_read += len(data)
         if self._injector is not None:
@@ -173,6 +355,171 @@ class Extractor:
                 f"offset {offset}, got {len(data)} "
                 "(layout descriptor larger than the actual file?)"
             )
+        # Charge the seek only now: a failed read must not advance the
+        # simulated head to bytes that were never delivered.
+        with self._head_lock:
+            if self._head.get(node) != (path, offset):
+                stats.seeks += 1
+            self._head[node] = (path, offset + nbytes)
+        return data
+
+    def plan_coalesce(
+        self,
+        reads: Iterable[ReadKey],
+        gap_bytes: int,
+        max_run_bytes: int = MAX_COALESCED_BYTES,
+    ) -> Optional[CoalescePlan]:
+        """Plan merged reads for a batch of chunk requests.
+
+        ``reads`` are (node, path, offset, nbytes) keys in any order.
+        Per file, requests sorted by offset are merged while the next one
+        starts within ``gap_bytes`` of the current span's end and the
+        merged span stays under ``max_run_bytes``.  Only runs covering at
+        least two chunks are kept; already-cached chunks are skipped.
+        ``gap_bytes <= 0`` disables coalescing (returns None).
+        """
+        if gap_bytes <= 0:
+            return None
+        per_file: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        seen = set()
+        for key in reads:
+            if key in seen:
+                continue
+            seen.add(key)
+            if self._segments.contains(key):
+                continue
+            node, path, off, nb = key
+            per_file.setdefault((node, path), []).append((off, nb))
+        runs: Dict[ReadKey, _CoalesceRun] = {}
+
+        def register(node, path, group, g_end):
+            if len(group) < 2:
+                return
+            run = _CoalesceRun(node, path, group[0][0], g_end, tuple(group))
+            for off, nb in group:
+                runs[(node, path, off, nb)] = run
+
+        for (node, path), members in per_file.items():
+            members.sort()
+            group = [members[0]]
+            g_end = members[0][0] + members[0][1]
+            for off, nb in members[1:]:
+                new_end = max(g_end, off + nb)
+                if off <= g_end + gap_bytes and new_end - group[0][0] <= max_run_bytes:
+                    group.append((off, nb))
+                    g_end = new_end
+                else:
+                    register(node, path, group, g_end)
+                    group = [(off, nb)]
+                    g_end = off + nb
+            register(node, path, group, g_end)
+        return CoalescePlan(runs) if runs else None
+
+    def coalesce_for(
+        self,
+        afcs: Sequence[AlignedFileChunkSet],
+        needed: Sequence[str],
+        gap_bytes: int,
+    ) -> Optional[CoalescePlan]:
+        """Coalesce plan for every needed chunk read of a batch of AFCs."""
+        if gap_bytes <= 0:
+            return None
+        needed_set = set(needed)
+        reads: List[ReadKey] = []
+        for afc in afcs:
+            for chunk in afc.chunks:
+                if needed_set.intersection(chunk.strip.attrs):
+                    reads.append(
+                        (
+                            chunk.node,
+                            chunk.path,
+                            chunk.offset,
+                            afc.num_rows * chunk.bytes_per_row,
+                        )
+                    )
+        return self.plan_coalesce(reads, gap_bytes)
+
+    def _read_coalesced(
+        self, key: ReadKey, run: _CoalesceRun, stats: IOStats, tracer
+    ) -> Optional[bytes]:
+        """Satisfy one chunk request by executing (or joining) a merged read.
+
+        Returns None when this chunk's slice is no longer available (its
+        run failed in another thread, or the slice was consumed and then
+        evicted from the segment cache) — the caller falls back to a
+        plain read.
+        """
+        with run.lock:
+            if run.results is None and not run.failed:
+                try:
+                    self._fill_run(run, stats, tracer)
+                except Exception:
+                    run.failed = True
+                    raise
+            if run.results is None:
+                return None
+            return run.results.pop(key, None)
+
+    def _fill_run(self, run: _CoalesceRun, stats: IOStats, tracer) -> None:
+        data = self._read_span(run.node, run.path, run.start, run.span, stats)
+        results: Dict[ReadKey, bytes] = {}
+        for off, nb in run.members:
+            lo = off - run.start
+            segment = data[lo : lo + nb]
+            member_key = (run.node, run.path, off, nb)
+            results[member_key] = segment
+            self._segments.put(member_key, segment)
+        saved = len(run.members) - 1
+        waste = run.span - run.covered_bytes()
+        stats.reads_coalesced += saved
+        stats.readahead_waste_bytes += waste
+        if tracer.enabled:
+            tracer.metrics.record("reads.coalesced", saved)
+            if waste:
+                tracer.metrics.record("bytes.readahead_waste", waste)
+            tracer.event(
+                "coalesced_read",
+                node=run.node,
+                path=run.path,
+                offset=run.start,
+                bytes=run.span,
+                chunks=len(run.members),
+                waste=waste,
+            )
+        run.results = results
+
+    def read_chunk(
+        self,
+        node: str,
+        path: str,
+        offset: int,
+        nbytes: int,
+        stats: IOStats,
+        tracer=NULL_TRACER,
+        coalesce: Optional[CoalescePlan] = None,
+    ) -> bytes:
+        """Read one chunk's payload, via the segment cache.
+
+        With a :class:`CoalescePlan`, a chunk that belongs to a merged
+        run triggers (or joins) the run's single wide read; sibling
+        chunks then come out of the segment cache.
+        """
+        key = (node, path, offset, nbytes)
+        cached = self._segments.get(key)
+        if cached is not None:
+            stats.cache_hits += 1
+            if tracer.enabled:
+                tracer.event("segment_cache_hit", node=node, path=path, bytes=nbytes)
+            return cached
+        if tracer.enabled:
+            tracer.event("segment_cache_miss", node=node, path=path, bytes=nbytes)
+        if coalesce is not None:
+            run = coalesce.run_for(key)
+            if run is not None:
+                data = self._read_coalesced(key, run, stats, tracer)
+                if data is not None:
+                    return data
+        data = self._read_span(node, path, offset, nbytes, stats)
         self._segments.put(key, data)
         return data
 
@@ -185,6 +532,7 @@ class Extractor:
         stats: IOStats,
         dtypes: Optional[Dict[str, np.dtype]] = None,
         tracer=NULL_TRACER,
+        coalesce: Optional[CoalescePlan] = None,
     ) -> Dict[str, np.ndarray]:
         """Materialise the needed columns of one aligned file chunk set."""
         columns: Dict[str, np.ndarray] = afc.implicit_columns(needed)
@@ -202,7 +550,8 @@ class Extractor:
                 continue
             nbytes = afc.num_rows * chunk.bytes_per_row
             data = self.read_chunk(
-                chunk.node, chunk.path, chunk.offset, nbytes, stats, tracer
+                chunk.node, chunk.path, chunk.offset, nbytes, stats, tracer,
+                coalesce,
             )
             stats.chunks_read += 1
             records = np.frombuffer(data, dtype=chunk.strip.record_dtype(wanted))
@@ -223,21 +572,34 @@ class Extractor:
         plan: ExtractionPlan,
         stats: Optional[IOStats] = None,
         tracer=NULL_TRACER,
+        coalesce_gap_bytes: int = 0,
     ) -> VirtualTable:
-        """Run a full extraction plan and return the projected table."""
+        """Run a full extraction plan and return the projected table.
+
+        ``coalesce_gap_bytes > 0`` merges nearby chunk reads across the
+        whole plan into wide reads (see :meth:`plan_coalesce`); the
+        default 0 reads chunk-at-a-time, the paper's baseline behaviour.
+        """
         stats = stats if stats is not None else IOStats()
         with tracer.span("extract", afcs=len(plan.afcs)) as span:
-            table = self._execute(plan, stats, tracer)
+            table = self._execute(plan, stats, tracer, coalesce_gap_bytes)
             span.tag(rows=table.num_rows, bytes_read=stats.bytes_read)
         return table
 
     def _execute(
-        self, plan: ExtractionPlan, stats: IOStats, tracer
+        self,
+        plan: ExtractionPlan,
+        stats: IOStats,
+        tracer,
+        coalesce_gap_bytes: int = 0,
     ) -> VirtualTable:
+        coalesce = self.coalesce_for(plan.afcs, plan.needed, coalesce_gap_bytes)
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
         for afc in plan.afcs:
             stats.afcs_processed += 1
-            columns = self.extract_afc(afc, plan.needed, stats, plan.dtypes, tracer)
+            columns = self.extract_afc(
+                afc, plan.needed, stats, plan.dtypes, tracer, coalesce
+            )
             stats.rows_extracted += afc.num_rows
             if plan.where is not None:
                 if tracer.enabled:
@@ -280,6 +642,7 @@ class Extractor:
         batch_rows: int = 65536,
         stats: Optional[IOStats] = None,
         tracer=NULL_TRACER,
+        coalesce_gap_bytes: int = 0,
     ):
         """Stream a plan's results as a sequence of VirtualTable batches.
 
@@ -293,6 +656,7 @@ class Extractor:
         if batch_rows < 1:
             raise ExtractionError("batch_rows must be positive")
         stats = stats if stats is not None else IOStats()
+        coalesce = self.coalesce_for(plan.afcs, plan.needed, coalesce_gap_bytes)
         pieces: Dict[str, List[np.ndarray]] = {n: [] for n in plan.output}
         buffered = 0
 
@@ -308,7 +672,9 @@ class Extractor:
 
         for afc in plan.afcs:
             stats.afcs_processed += 1
-            columns = self.extract_afc(afc, plan.needed, stats, plan.dtypes, tracer)
+            columns = self.extract_afc(
+                afc, plan.needed, stats, plan.dtypes, tracer, coalesce
+            )
             stats.rows_extracted += afc.num_rows
             if plan.where is not None:
                 if tracer.enabled:

@@ -39,6 +39,20 @@ class ExecOptions:
                     collect into, or ``None``/``False`` for the no-op
                     tracer (the near-zero-overhead default).
 
+    I/O shape (see docs/architecture.md, "The I/O path"):
+
+    ``coalesce_gap_bytes``  chunk reads against one file that are
+                      adjacent or separated by at most this many bytes
+                      are merged into a single ``read()`` call (the gap
+                      bytes are read and discarded).  ``0`` disables
+                      coalescing entirely — every chunk pays its own
+                      read, the paper's Section 4.2 access pattern.
+    ``intra_node_workers``  threads extracting one node's AFCs
+                      concurrently.  ``1`` (the default) keeps per-node
+                      extraction serial; higher values overlap chunk
+                      I/O and decode within a node while output row
+                      order stays identical to serial execution.
+
     Resilience (see docs/architecture.md, "Failure model and degraded
     execution"):
 
@@ -69,6 +83,8 @@ class ExecOptions:
     partitioner: Optional["Partitioner"] = None
     batch_rows: int = 65536
     trace: Union[bool, Tracer, None] = None
+    coalesce_gap_bytes: int = 64 * 1024
+    intra_node_workers: int = 1
     retries: int = 0
     retry_backoff: float = 0.0
     node_timeout: Optional[float] = None

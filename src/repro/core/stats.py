@@ -29,6 +29,13 @@ class IOStats:
     bytes_read: int = 0
     cache_hits: int = 0
     chunks_read: int = 0
+    #: Chunk reads satisfied by a wider coalesced read instead of their
+    #: own ``read()`` call (I/O coalescing; see docs/architecture.md).
+    reads_coalesced: int = 0
+    #: Gap bytes read by coalesced reads that belong to no requested
+    #: chunk — the price paid for merging nearby reads.  Included in
+    #: ``bytes_read`` (they did cross the disk interface).
+    readahead_waste_bytes: int = 0
     #: Bytes of chunks that live on a different node than the one
     #: processing them (cross-node groups); the cost model charges these
     #: to the network instead of the local disk.

@@ -15,7 +15,12 @@ This package makes that profile a first-class artifact of every query:
 * :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
   histograms) that subsumes and extends the fixed-field
   :class:`~repro.core.stats.IOStats` counters via the :class:`StatsSink`
-  protocol.
+  protocol.  Well-known counters recorded by the pipeline:
+  ``io.<node>.*`` (per-node IOStats fields, including
+  ``reads_coalesced`` and ``readahead_waste_bytes``),
+  ``reads.coalesced`` / ``bytes.readahead_waste`` (I/O coalescing,
+  recorded as merged reads happen), ``retries.attempted``,
+  ``nodes.failed``, ``faults.injected``, and ``diag.warnings``.
 
 * :mod:`repro.obs.export` — exporters: the Chrome trace-event JSON format
   (load the file in ``chrome://tracing`` / Perfetto) and a human-readable

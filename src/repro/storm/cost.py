@@ -31,7 +31,10 @@ class CostModel:
     #: Effective cost per repositioning read, seconds.  Raw IDE seek +
     #: rotational latency is ~9 ms, but OS readahead and elevator
     #: scheduling amortize interleaved chunk reads heavily; 1 ms matches
-    #: the throughput the paper reports for multi-file layouts.
+    #: the throughput the paper reports for multi-file layouts.  The
+    #: extractor charges a seek only when a read (plain or coalesced)
+    #: actually repositions the simulated head, so merged reads pay one
+    #: seek for their whole span.
     seek_time: float = 0.001
     #: File open cost (directory lookup + inode fetch), seconds.
     open_time: float = 0.002
@@ -47,7 +50,16 @@ class CostModel:
     query_overhead: float = 0.05
 
     def node_time(self, stats: IOStats) -> float:
-        """Simulated seconds one node spends producing its tuples."""
+        """Simulated seconds one node spends producing its tuples.
+
+        Coalesced reads are charged faithfully by the counters alone: a
+        merged read that replaces k chunk reads contributes one
+        ``read_calls``/at most one ``seeks`` repositioning, and its gap
+        bytes (``readahead_waste_bytes``) are part of ``bytes_read``, so
+        readahead waste is paid for at disk bandwidth — the model prices
+        the seek-vs-waste trade that ``ExecOptions.coalesce_gap_bytes``
+        tunes, with no extra constants.
+        """
         io = (
             stats.files_opened * self.open_time
             + stats.seeks * self.seek_time

@@ -6,17 +6,26 @@ values for a tuple in the dataset, thus effectively creating a virtual
 table" (paper Section 2.3).  One service instance runs per node, owns that
 node's file handles and caches, and materialises the rows of the AFCs
 assigned to it.
+
+Concurrency: the extractor's handle/segment caches are internally locked
+and all chunk I/O is positional, so there is no coarse per-node lock —
+concurrent queries share one service, and within one query
+``ExecOptions.intra_node_workers`` threads extract a node's AFCs in
+parallel.  Output row order is always the AFC order of the plan,
+regardless of worker count, and per-worker stats are merged
+deterministically in that same order.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from ..core.afc import AlignedFileChunkSet, ExtractionPlan
-from ..core.extractor import Extractor, Mount
+from ..core.extractor import CoalescePlan, Extractor, Mount
+from ..core.options import DEFAULT_OPTIONS, ExecOptions
 from ..core.stats import IOStats
 from ..core.table import VirtualTable, own_column
 from ..obs.tracer import NULL_TRACER
@@ -43,13 +52,13 @@ class DataSourceService:
         )
         self.filtering = filtering
         self.stats = IOStats()
-        #: The extractor's handle/segment caches are not thread-safe;
-        #: concurrent queries serialise per node (different nodes still
-        #: run in parallel, which is the parallelism that matters).
-        self._lock = threading.Lock()
 
     def drop_caches(self) -> None:
-        """Cold-cache mode for benchmarks: forget handles and segments."""
+        """Cold-cache mode for benchmarks: forget handles and segments.
+
+        Safe during in-flight queries: handles pinned by a concurrent
+        read are closed by their last unpin, never mid-read.
+        """
         self.extractor.drop_caches()
 
     def execute(
@@ -58,46 +67,52 @@ class DataSourceService:
         afcs: List[AlignedFileChunkSet],
         stats: Optional[IOStats] = None,
         tracer=NULL_TRACER,
+        options: Optional[ExecOptions] = None,
     ) -> VirtualTable:
-        """Extract + filter the given AFCs; returns this node's partial table."""
-        with self._lock:
-            return self._execute_locked(plan, afcs, stats, tracer)
+        """Extract + filter the given AFCs; returns this node's partial table.
 
-    def _execute_locked(
-        self,
-        plan: ExtractionPlan,
-        afcs: List[AlignedFileChunkSet],
-        stats: Optional[IOStats] = None,
-        tracer=NULL_TRACER,
-    ) -> VirtualTable:
+        ``options`` supplies the I/O shape: ``coalesce_gap_bytes`` merges
+        nearby chunk reads across all of this node's AFCs into wide
+        reads, and ``intra_node_workers`` extracts AFCs concurrently.
+        """
         stats = stats if stats is not None else self.stats
-        tracing = tracer.enabled
-        pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
+        opts = options if options is not None else DEFAULT_OPTIONS
+        coalesce = self.extractor.coalesce_for(
+            afcs, plan.needed, opts.coalesce_gap_bytes
+        )
         needed_set = set(plan.needed)
-        for afc in afcs:
-            stats.afcs_processed += 1
-            for chunk in afc.chunks:
-                if chunk.node != self.node and needed_set.intersection(
-                    chunk.strip.attrs
-                ):
-                    stats.remote_bytes_read += chunk.total_bytes(afc.num_rows)
-            if tracing:
-                with tracer.span("extract_afc", node=self.node, rows=afc.num_rows):
-                    columns = self.extractor.extract_afc(
-                        afc, plan.needed, stats, plan.dtypes, tracer
-                    )
-            else:
-                columns = self.extractor.extract_afc(
-                    afc, plan.needed, stats, plan.dtypes
+        pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
+        workers = min(max(1, opts.intra_node_workers), len(afcs) or 1)
+        if workers > 1:
+
+            def job(afc: AlignedFileChunkSet):
+                local = IOStats()
+                selected = self._extract_one(
+                    plan, afc, needed_set, local, tracer, coalesce
                 )
-            stats.rows_extracted += afc.num_rows
-            selected = self.filtering.apply(
-                plan.where, columns, plan.output, afc.num_rows, stats, tracer
-            )
-            if selected is None:
-                continue
-            for name in plan.output:
-                pieces[name].append(own_column(selected[name]))
+                return selected, local
+
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"intra-{self.node}"
+            ) as pool:
+                outcomes = list(pool.map(job, afcs))
+            # Merge in AFC order: row order and stats totals are identical
+            # to a serial run whatever the thread interleaving was.
+            for selected, local in outcomes:
+                stats.merge(local)
+                if selected is None:
+                    continue
+                for name in plan.output:
+                    pieces[name].append(selected[name])
+        else:
+            for afc in afcs:
+                selected = self._extract_one(
+                    plan, afc, needed_set, stats, tracer, coalesce
+                )
+                if selected is None:
+                    continue
+                for name in plan.output:
+                    pieces[name].append(selected[name])
         final: Dict[str, np.ndarray] = {}
         for name in plan.output:
             if pieces[name]:
@@ -105,6 +120,39 @@ class DataSourceService:
             else:
                 final[name] = np.empty(0, dtype=plan.dtypes.get(name, np.float64))
         return VirtualTable(final, order=plan.output)
+
+    def _extract_one(
+        self,
+        plan: ExtractionPlan,
+        afc: AlignedFileChunkSet,
+        needed_set: Set[str],
+        stats: IOStats,
+        tracer,
+        coalesce: Optional[CoalescePlan],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Extract + filter one AFC; returns owned columns or None if empty."""
+        stats.afcs_processed += 1
+        for chunk in afc.chunks:
+            if chunk.node != self.node and needed_set.intersection(
+                chunk.strip.attrs
+            ):
+                stats.remote_bytes_read += chunk.total_bytes(afc.num_rows)
+        if tracer.enabled:
+            with tracer.span("extract_afc", node=self.node, rows=afc.num_rows):
+                columns = self.extractor.extract_afc(
+                    afc, plan.needed, stats, plan.dtypes, tracer, coalesce
+                )
+        else:
+            columns = self.extractor.extract_afc(
+                afc, plan.needed, stats, plan.dtypes, coalesce=coalesce
+            )
+        stats.rows_extracted += afc.num_rows
+        selected = self.filtering.apply(
+            plan.where, columns, plan.output, afc.num_rows, stats, tracer
+        )
+        if selected is None:
+            return None
+        return {name: own_column(selected[name]) for name in plan.output}
 
     def close(self) -> None:
         self.extractor.close()

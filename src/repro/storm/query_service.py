@@ -258,12 +258,12 @@ class QueryService:
                 """One extraction attempt, bounded by node_timeout."""
                 if opts.node_timeout is None:
                     return self._source(node).execute(
-                        plan, by_node[node], attempt_stats, tracer
+                        plan, by_node[node], attempt_stats, tracer, opts
                     )
                 # A hung attempt cannot be interrupted from outside, so it
                 # runs on a sacrificial thread we abandon on timeout (it
-                # ends when its blocking read does; its stats and its
-                # node's cache lock are released then).
+                # ends when its blocking read does, still writing into an
+                # attempt_stats that is discarded, never merged).
                 pool = ThreadPoolExecutor(
                     max_workers=1, thread_name_prefix=f"extract-{node}"
                 )
@@ -273,6 +273,7 @@ class QueryService:
                     by_node[node],
                     attempt_stats,
                     tracer,
+                    opts,
                 )
                 pool.shutdown(wait=False)
                 try:
@@ -308,7 +309,13 @@ class QueryService:
                                         time.sleep(backoff)
                                     partial = attempt_node(node, attempt_stats)
                         except _RETRYABLE as exc:
-                            per_node_stats[node].merge(attempt_stats)
+                            # A timed-out attempt was abandoned, not
+                            # finished: its sacrificial thread may still
+                            # be mutating attempt_stats, so merging it
+                            # here would both race and double-count the
+                            # partial work on top of the retry's counts.
+                            if not isinstance(exc, NodeTimeoutError):
+                                per_node_stats[node].merge(attempt_stats)
                             last_exc = exc
                             continue
                         per_node_stats[node].merge(attempt_stats)
@@ -377,9 +384,13 @@ class QueryService:
             simulated = self.cost_model.makespan(
                 per_node_stats, transfer_stats.bytes_sent, messages
             )
-            per_node_stats.setdefault(TRANSFER_NODE, IOStats()).merge(
-                transfer_stats
-            )
+            if opts.remote:
+                # Local queries never ran the mover; giving them an
+                # all-zero "_transfer" pseudo-node entry used to trip up
+                # consumers iterating per_node_stats as "the nodes".
+                per_node_stats.setdefault(TRANSFER_NODE, IOStats()).merge(
+                    transfer_stats
+                )
             query_span.tag(
                 rows=table.num_rows,
                 afcs=len(plan.afcs),

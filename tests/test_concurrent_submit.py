@@ -4,6 +4,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
 import pytest
 
 from repro.core import ExecOptions, GeneratedDataset
@@ -23,6 +24,27 @@ def service(tmp_path_factory):
     text, _ = ipars.generate(CONFIG, "L0", cluster.mount())
     with QueryService(GeneratedDataset(text), cluster) as svc:
         yield svc
+
+
+@pytest.fixture(scope="module")
+def small_service(tmp_path_factory):
+    """A service whose caches are small enough to evict constantly."""
+    root = tmp_path_factory.mktemp("concurrent_small")
+    cluster = VirtualCluster.create(str(root), CONFIG.num_nodes)
+    text, _ = ipars.generate(CONFIG, "L0", cluster.mount())
+    svc = QueryService(
+        GeneratedDataset(text), cluster, handle_cache=2, segment_cache_bytes=4096
+    )
+    with svc:
+        yield svc
+
+
+def assert_tables_identical(got, want):
+    """Bit-identical: same columns, same values, same row order."""
+    assert got.column_names == want.column_names
+    assert got.num_rows == want.num_rows
+    for name in want.column_names:
+        np.testing.assert_array_equal(got.column(name), want.column(name), name)
 
 
 class TestSourceRace:
@@ -84,3 +106,102 @@ class TestConcurrentSubmits:
         assert len(service.sources) == CONFIG.num_nodes
         extractors = {id(s.extractor) for s in service.sources.values()}
         assert len(extractors) == CONFIG.num_nodes
+
+
+class TestDropCachesRace:
+    """Regression: drop_caches() used to close file handles out from
+    under in-flight reads (it bypassed any per-query synchronisation),
+    surfacing as ValueError('I/O operation on closed file') or short
+    reads mid-query.  Handles are pinned around reads now, so cache
+    flushes concurrent with queries are safe."""
+
+    QUERIES = [
+        "SELECT REL, TIME, X, SOIL FROM IparsData",
+        "SELECT TIME, SGAS FROM IparsData WHERE SOIL > 0.5",
+    ]
+
+    def test_drop_caches_during_queries(self, small_service):
+        service = small_service
+        serial = {sql: service.submit(sql, LOCAL) for sql in self.QUERIES}
+
+        errors = []
+        done = threading.Event()
+
+        def dropper():
+            # Hammer the flush path until every submit has finished.
+            while not done.is_set():
+                service.drop_caches()
+
+        def run(sql):
+            try:
+                return service.submit(sql, LOCAL)
+            except Exception as exc:  # noqa: BLE001 - collected for report
+                errors.append((sql, exc))
+                return None
+
+        flusher = threading.Thread(target=dropper, daemon=True)
+        flusher.start()
+        try:
+            jobs = self.QUERIES * 6
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = list(pool.map(run, jobs))
+        finally:
+            done.set()
+            flusher.join(5)
+
+        assert not errors, errors
+        for sql, result in zip(jobs, results):
+            assert_tables_identical(result.table, serial[sql].table)
+
+
+class TestEvictionStress:
+    """N threads x mixed queries x tiny caches: results must be
+    bit-identical to serial runs and the caches' size accounting must
+    still balance once the storm passes."""
+
+    JOBS = [
+        ("SELECT REL, TIME, X, SOIL FROM IparsData", LOCAL),
+        ("SELECT REL, TIME, POIL FROM IparsData WHERE TIME <= 4", LOCAL),
+        (
+            "SELECT X, Y, Z FROM IparsData WHERE REL = 1",
+            LOCAL.replace(intra_node_workers=3),
+        ),
+        (
+            "SELECT TIME, SGAS FROM IparsData WHERE SOIL > 0.5",
+            LOCAL.replace(coalesce_gap_bytes=0),
+        ),
+        (
+            "SELECT REL, TIME, X, SOIL FROM IparsData",
+            LOCAL.replace(intra_node_workers=2, coalesce_gap_bytes=0),
+        ),
+    ]
+
+    def test_stress_matches_serial_and_caches_balance(self, small_service):
+        service = small_service
+        serial = [service.submit(sql, opts) for sql, opts in self.JOBS]
+
+        jobs = [(i, *job) for _ in range(4) for i, job in enumerate(self.JOBS)]
+
+        def run(job):
+            i, sql, opts = job
+            return i, service.submit(sql, opts)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(run, jobs))
+
+        for i, result in results:
+            assert not result.degraded
+            assert_tables_identical(result.table, serial[i].table)
+
+        # One quiescent submit so insert-time eviction has run with no
+        # reads in flight, then audit the caches of every node.
+        service.submit(*self.JOBS[0])
+        for source in service.sources.values():
+            seg = source.extractor._segments
+            assert seg.size == sum(len(v) for v in seg._segments.values())
+            assert seg.size <= seg.capacity
+            handles = source.extractor._handles
+            assert len(handles) <= handles.capacity
+            for entry in handles._handles.values():
+                assert entry.pins == 0
+                assert not entry.dropped

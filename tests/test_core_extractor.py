@@ -11,6 +11,15 @@ from repro.errors import ExtractionError
 from tests.conftest import PAPER_DESCRIPTOR, paper_value_fn
 
 
+def write_node_file(root, node, name, payload):
+    """Write one raw file under a node directory; returns the payload."""
+    node_dir = os.path.join(str(root), node)
+    os.makedirs(node_dir, exist_ok=True)
+    with open(os.path.join(node_dir, name), "wb") as handle:
+        handle.write(payload)
+    return payload
+
+
 @pytest.fixture(scope="module")
 def env(tmp_path_factory):
     from repro.datasets.writers import write_dataset
@@ -149,6 +158,22 @@ class TestFailures:
             with pytest.raises(ExtractionError, match="short read"):
                 extractor.execute(dataset.plan("SELECT * FROM IparsData"))
 
+    def test_failed_read_does_not_advance_head(self, tmp_path):
+        """A short read must not move the simulated head to undelivered
+        bytes: the next read from the last *successful* position is
+        sequential and must stay seek-free."""
+        write_node_file(tmp_path, "n", "f.bin", bytes(100))
+        stats = IOStats()
+        with Extractor(local_mount(tmp_path), segment_cache_bytes=0) as ex:
+            ex.read_chunk("n", "f.bin", 0, 40, stats)
+            assert stats.seeks == 1  # first read repositions from nowhere
+            with pytest.raises(ExtractionError, match="short read"):
+                ex.read_chunk("n", "f.bin", 40, 1000, stats)
+            # Continue the sequential scan where the successful read left
+            # off; with the phantom head at 1040 this would charge a seek.
+            ex.read_chunk("n", "f.bin", 40, 20, stats)
+        assert stats.seeks == 1
+
     def test_handle_cache_eviction(self, env):
         dataset, mount, _ = env
         stats = IOStats()
@@ -237,3 +262,93 @@ class TestResultOwnership:
             first["SOIL"][:] = -1.0
             second = extractor.execute(plan)  # served from the segment cache
         assert not (second["SOIL"] == -1.0).any()
+
+
+class TestCoalescing:
+    """I/O coalescing: merged reads, gap windows, and their accounting."""
+
+    def test_gap_merge_reads_and_accounting(self, tmp_path):
+        blob = write_node_file(tmp_path, "n", "f", bytes(range(256)) * 500)
+        reads = [("n", "f", 0, 100), ("n", "f", 150, 100), ("n", "f", 99_000, 100)]
+        stats = IOStats()
+        with Extractor(local_mount(tmp_path)) as ex:
+            plan = ex.plan_coalesce(reads, gap_bytes=64)
+            assert plan is not None
+            assert plan.num_runs == 1 and plan.num_members == 2
+            a = ex.read_chunk("n", "f", 0, 100, stats, coalesce=plan)
+            b = ex.read_chunk("n", "f", 150, 100, stats, coalesce=plan)
+            c = ex.read_chunk("n", "f", 99_000, 100, stats, coalesce=plan)
+        assert a == blob[0:100]
+        assert b == blob[150:250]
+        assert c == blob[99_000:99_100]
+        # One merged read for a+b, one plain read for the far-away c.
+        assert stats.read_calls == 2
+        assert stats.reads_coalesced == 1
+        assert stats.readahead_waste_bytes == 50
+        assert stats.cache_hits == 1  # b came out of the merged payload
+        assert stats.bytes_read == 250 + 100  # merged span + c
+
+    def test_gap_window_not_exceeded(self, tmp_path):
+        write_node_file(tmp_path, "n", "f", bytes(1000))
+        with Extractor(local_mount(tmp_path)) as ex:
+            # Hole of 65 bytes > gap of 64: no run is formed.
+            plan = ex.plan_coalesce(
+                [("n", "f", 0, 100), ("n", "f", 165, 100)], gap_bytes=64
+            )
+        assert plan is None
+
+    def test_zero_gap_disables_coalescing(self, tmp_path):
+        write_node_file(tmp_path, "n", "f", bytes(1000))
+        with Extractor(local_mount(tmp_path)) as ex:
+            assert ex.plan_coalesce([("n", "f", 0, 10), ("n", "f", 10, 10)], 0) is None
+            assert ex.plan_coalesce([("n", "f", 0, 10), ("n", "f", 10, 10)], -1) is None
+
+    def test_max_run_bytes_bounds_merged_span(self, tmp_path):
+        write_node_file(tmp_path, "n", "f", bytes(4000))
+        reads = [("n", "f", i * 1000, 1000) for i in range(4)]
+        with Extractor(local_mount(tmp_path)) as ex:
+            plan = ex.plan_coalesce(reads, gap_bytes=1, max_run_bytes=2000)
+        assert plan.num_runs == 2  # two runs of two chunks, not one of four
+
+    def test_execute_with_coalescing_matches_plain(self, env):
+        dataset, mount, _ = env
+        plan = dataset.plan("SELECT REL, TIME, X, SOIL FROM IparsData")
+        plain_stats, coal_stats = IOStats(), IOStats()
+        with Extractor(mount, segment_cache_bytes=0) as ex:
+            plain = ex.execute(plan, plain_stats)
+        with Extractor(mount) as ex:
+            coalesced = ex.execute(plan, coal_stats, coalesce_gap_bytes=64 * 1024)
+        assert plain.num_rows == coalesced.num_rows
+        for name in plain.column_names:
+            np.testing.assert_array_equal(plain[name], coalesced[name])
+        assert coal_stats.read_calls < plain_stats.read_calls
+        assert coal_stats.reads_coalesced > 0
+
+    def test_coalesced_chunks_survive_without_segment_cache(self, tmp_path):
+        """With a zero-byte cache the merged slices can't be parked; the
+        consumed-on-pop path and the plain-read fallback still return
+        correct bytes for every chunk — twice."""
+        blob = write_node_file(tmp_path, "n", "f", bytes(range(200)))
+        reads = [("n", "f", 0, 50), ("n", "f", 50, 50)]
+        stats = IOStats()
+        with Extractor(local_mount(tmp_path), segment_cache_bytes=0) as ex:
+            plan = ex.plan_coalesce(reads, gap_bytes=8)
+            for _ in range(2):
+                assert ex.read_chunk("n", "f", 0, 50, stats, coalesce=plan) == blob[:50]
+                assert (
+                    ex.read_chunk("n", "f", 50, 50, stats, coalesce=plan)
+                    == blob[50:100]
+                )
+
+    def test_coalesced_read_counts_into_tracer_metrics(self, tmp_path):
+        from repro.obs import Tracer
+
+        write_node_file(tmp_path, "n", "f", bytes(1000))
+        tracer = Tracer()
+        stats = IOStats()
+        with Extractor(local_mount(tmp_path)) as ex:
+            plan = ex.plan_coalesce([("n", "f", 0, 100), ("n", "f", 130, 100)], 64)
+            ex.read_chunk("n", "f", 0, 100, stats, tracer, plan)
+        counters = tracer.metrics.as_dict()["counters"]
+        assert counters["reads.coalesced"] == 1
+        assert counters["bytes.readahead_waste"] == 30

@@ -22,6 +22,8 @@ class TestExecOptions:
         assert opts.partitioner is None
         assert opts.batch_rows == 65536
         assert opts.trace is None
+        assert opts.coalesce_gap_bytes == 64 * 1024
+        assert opts.intra_node_workers == 1
         assert DEFAULT_OPTIONS == opts
 
     def test_frozen(self):

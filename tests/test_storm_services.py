@@ -79,6 +79,27 @@ class TestQueryService:
         assert result.total_stats.bytes_sent == 0
         assert result.deliveries == []
 
+    def test_local_query_has_no_transfer_stats(self, storm):
+        # Regression: local (remote=False) queries never run the data
+        # mover, but per_node_stats still grew a spurious all-zero
+        # "_transfer" entry that benchmarks iterated over.
+        _, _, _, service = storm
+        result = service.submit(
+            "SELECT REL FROM IparsData WHERE TIME = 1",
+            ExecOptions(remote=False),
+        )
+        assert "_transfer" not in result.per_node_stats
+        assert set(result.per_node_stats) == set(service.sources)
+
+    def test_remote_query_reports_transfer_stats(self, storm):
+        _, _, _, service = storm
+        result = service.submit(
+            "SELECT REL FROM IparsData WHERE TIME = 1",
+            ExecOptions(remote=True),
+        )
+        assert "_transfer" in result.per_node_stats
+        assert result.per_node_stats["_transfer"].bytes_sent > 0
+
     def test_simulated_time_positive_and_deterministic(self, storm):
         _, _, _, service = storm
         sql = "SELECT * FROM IparsData WHERE TIME > 5"

@@ -1,0 +1,97 @@
+"""Regression: a timed-out (abandoned) extraction attempt must not leak
+its partial, still-mutating stats into the query's per-node counters."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ExecOptions, GeneratedDataset
+from repro.datasets import IparsConfig, ipars
+from repro.storm import QueryService, VirtualCluster
+
+CONFIG = IparsConfig(num_rels=2, num_times=6, cells_per_node=16, num_nodes=2)
+SQL = "SELECT REL, TIME, X, SOIL FROM IparsData"
+
+#: Deterministic I/O shape: one read per chunk, serial per node, and no
+#: segment cache (services below) so attempt double-counts are visible.
+OPTS = ExecOptions(remote=False, coalesce_gap_bytes=0)
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    root = tmp_path_factory.mktemp("timeout_stats")
+    cluster = VirtualCluster.create(str(root), CONFIG.num_nodes)
+    text, _ = ipars.generate(CONFIG, "L0", cluster.mount())
+    return cluster, GeneratedDataset(text)
+
+
+class _HangingMounts:
+    """cluster.mount() stand-in that hangs the Nth resolve for one node."""
+
+    def __init__(self, real_mount, node, hang_on_call):
+        self._real = real_mount
+        self._node = node
+        self._hang_on = hang_on_call
+        self._calls = 0
+        self._armed = True
+        self._lock = threading.Lock()
+        self.release = threading.Event()
+
+    def __call__(self):
+        return self._resolve
+
+    def _resolve(self, node, path):
+        if node == self._node:
+            with self._lock:
+                self._calls += 1
+                hang = self._armed and self._calls == self._hang_on
+                if hang:
+                    self._armed = False
+            if hang:
+                self.release.wait(30)
+        return self._real(node, path)
+
+
+def test_timeout_discards_abandoned_attempt_stats(env, monkeypatch):
+    cluster, dataset = env
+
+    # Reference: the same query on a clean service, cold, no cache.
+    with QueryService(dataset, cluster, segment_cache_bytes=0) as ref:
+        clean = ref.submit(SQL, OPTS).per_node_stats["osu0"].as_dict()
+    assert clean["read_calls"] > 1
+
+    # Hang the second chunk resolve of osu0's first attempt: the attempt
+    # has already read (and counted) one chunk when the timeout abandons
+    # it, and the retry then re-reads everything.
+    mounts = _HangingMounts(cluster.mount(), "osu0", hang_on_call=2)
+    monkeypatch.setattr(cluster, "mount", mounts)
+    try:
+        with QueryService(dataset, cluster, segment_cache_bytes=0) as service:
+            result = service.submit(
+                SQL, OPTS.replace(node_timeout=0.2, retries=1)
+            )
+            assert not result.degraded
+            got = result.per_node_stats["osu0"].as_dict()
+            # The merged counters are exactly the successful retry's: the
+            # abandoned attempt's chunk read is discarded, not added on
+            # top (the old code reported clean+1 read calls here).
+            for name in (
+                "bytes_read",
+                "read_calls",
+                "chunks_read",
+                "rows_extracted",
+                "rows_output",
+                "afcs_processed",
+            ):
+                assert got[name] == clean[name], name
+
+            # Release the hung thread; it finishes its abandoned attempt
+            # and keeps counting into its own discarded IOStats — the
+            # result's counters must not move underneath the caller.
+            snapshot = dict(got)
+            mounts.release.set()
+            time.sleep(0.3)
+            assert result.per_node_stats["osu0"].as_dict() == snapshot
+    finally:
+        mounts.release.set()
