@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Ablation: semantic result caching on a repeated/overlapping workload.
+
+The ROADMAP's "heavy traffic from millions of users" north star implies
+the same shape over and over: one broad scan, then many narrower
+range queries inside it, with popular queries repeating verbatim.  This
+benchmark runs exactly that workload twice — ``cache_mode="off"`` (every
+query hits the disk) and ``cache_mode="subsume"`` (repeats are exact
+hits, narrower queries are served by re-filtering the cached broad
+result) — and asserts:
+
+* canonical results are bit-identical between the two modes, for every
+  occurrence of every query;
+* ``off`` mode touches none of the cache counters (today's behavior,
+  exactly);
+* ``subsume`` mode does at least 10x fewer ``read_calls`` (and, in full
+  mode, measurably less wall-clock time) and scores subsumption hits.
+
+Both modes run with the chunk-payload segment cache disabled so the
+baseline isn't silently served from cached payload bytes — the point is
+the I/O the *result* cache avoids, and the two caches would otherwise
+overlap on any dataset small enough to benchmark quickly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache_reuse.py          # full
+    PYTHONPATH=src python benchmarks/bench_cache_reuse.py --smoke  # CI
+
+Exits nonzero on any failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench import fig9_ipars_config
+from repro.core import ExecOptions, GeneratedDataset
+from repro.core.stats import IOStats
+from repro.core.table import VirtualTable
+from repro.datasets import ipars
+from repro.storm import QueryService, VirtualCluster
+
+SELECT = "SELECT X, Y, SOIL, SGAS FROM IparsData"
+
+#: Chunk-payload caching off: repeated queries in the baseline must
+#: actually re-read the disk, so read_calls measures real avoided I/O.
+SEGMENT_CACHE_BYTES = 0
+
+OFF = ExecOptions(remote=False, cache_mode="off")
+SUBSUME = ExecOptions(remote=False, cache_mode="subsume")
+
+
+def build_workload(num_times: int, windows: int) -> List[str]:
+    """One broad range scan, then overlapping narrower windows inside it."""
+    lo = max(2, num_times // 10)
+    queries = [f"{SELECT} WHERE TIME >= {lo}"]
+    span = max(3, (num_times - lo) // 3)
+    for i in range(windows):
+        start = lo + 1 + (i % max(1, num_times - lo - span - 1))
+        queries.append(
+            f"{SELECT} WHERE TIME >= {start} AND TIME <= {start + span}"
+        )
+    return queries
+
+
+def run_mode(
+    service: QueryService,
+    opts: ExecOptions,
+    queries: List[str],
+    repeats: int,
+) -> Tuple[Dict[Tuple[str, int], "np.ndarray"], IOStats, float]:
+    """Run the workload; returns (structured results, totals, wall secs).
+
+    Canonicalisation happens after the clock stops — it costs the same
+    in both modes and would otherwise dilute the wall-clock comparison.
+    """
+    tables: Dict[Tuple[str, int], "VirtualTable"] = {}
+    totals = IOStats()
+    start = time.perf_counter()
+    for round_no in range(repeats):
+        for sql in queries:
+            res = service.submit(sql, opts)
+            totals.merge(res.total_stats)
+            tables[(sql, round_no)] = res.table
+    wall = time.perf_counter() - start
+    results = {
+        key: table.canonical().to_structured() for key, table in tables.items()
+    }
+    return results, totals, wall
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small dataset, counter assertions only (no wall-clock bar); "
+        "used by the CI cache-reuse job",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="workload passes per mode (default 3)")
+    parser.add_argument("--windows", type=int, default=12,
+                        help="narrow overlapping queries per pass (default 12)")
+    args = parser.parse_args(argv)
+
+    config = fig9_ipars_config()
+    if args.smoke:
+        config = dataclasses.replace(
+            config, num_times=12, cells_per_node=400
+        )
+
+    with tempfile.TemporaryDirectory(prefix="cache_reuse_") as root:
+        cluster = VirtualCluster.create(root, config.num_nodes)
+        text, _ = ipars.generate(config, "L0", cluster.mount())
+        dataset = GeneratedDataset(text)
+        queries = build_workload(config.num_times, args.windows)
+        print(
+            f"workload: {len(queries)} queries x {args.repeats} passes over "
+            f"{config.num_nodes} nodes ({'smoke' if args.smoke else 'full'})"
+        )
+
+        with QueryService(
+            dataset, cluster, segment_cache_bytes=SEGMENT_CACHE_BYTES
+        ) as off_service:
+            off_results, off_totals, off_wall = run_mode(
+                off_service, OFF, queries, args.repeats
+            )
+            if off_service.cache_stats() is not None:
+                fail("cache_mode='off' must never construct the caches")
+
+        for name in (
+            "result_cache_hits",
+            "subsumption_hits",
+            "cache_saved_bytes",
+            "rows_refiltered",
+        ):
+            if getattr(off_totals, name):
+                fail(f"cache_mode='off' must leave {name} at 0")
+
+        with QueryService(
+            dataset, cluster, segment_cache_bytes=SEGMENT_CACHE_BYTES
+        ) as sub_service:
+            sub_results, sub_totals, sub_wall = run_mode(
+                sub_service, SUBSUME, queries, args.repeats
+            )
+            cache_stats = sub_service.cache_stats()
+
+        for key, want in off_results.items():
+            got = sub_results[key]
+            if got.dtype != want.dtype or not np.array_equal(got, want):
+                fail(f"results differ for {key[0]!r} (pass {key[1] + 1})")
+
+        sub_hits = cache_stats["result"]["subsumption_hits"]
+        exact_hits = cache_stats["result"]["hits"]
+        ratio = off_totals.read_calls / max(1, sub_totals.read_calls)
+        print(
+            f"read_calls {off_totals.read_calls} -> {sub_totals.read_calls} "
+            f"({ratio:.1f}x); bytes_read {off_totals.bytes_read:,} -> "
+            f"{sub_totals.bytes_read:,}; saved {sub_totals.cache_saved_bytes:,} B"
+        )
+        print(
+            f"hits: {exact_hits} exact + {sub_hits} subsumption; "
+            f"refiltered {sub_totals.rows_refiltered:,} rows; "
+            f"plan cache hits {cache_stats['plan']['hits']}"
+        )
+        print(f"wall: off {off_wall:.3f}s, subsume {sub_wall:.3f}s")
+
+        if sub_hits == 0:
+            fail("expected nonzero subsumption hits on the overlap workload")
+        if sub_totals.read_calls * 10 > off_totals.read_calls:
+            fail(
+                f"expected >= 10x fewer read_calls, got {ratio:.1f}x "
+                f"({off_totals.read_calls} vs {sub_totals.read_calls})"
+            )
+        if not args.smoke and sub_wall >= off_wall:
+            fail(
+                f"warm mode must beat cold wall clock "
+                f"({sub_wall:.3f}s vs {off_wall:.3f}s)"
+            )
+        print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

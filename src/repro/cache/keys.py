@@ -1,0 +1,230 @@
+"""Normalized query fingerprints and the subsumption rule.
+
+The semantic result cache must recognise two queries as "the same" (or
+one as strictly broader than the other) even when their SQL texts differ.
+The normal form is a :class:`QueryKey`:
+
+* the **descriptor fingerprint** — a stable hash of the full meta-data
+  description, so a cache can never serve results across datasets;
+* the **output columns**, in SELECT order;
+* the **canonical range map** — the WHERE conjuncts that are *exactly*
+  representable as per-attribute interval sets (``TIME > 100``,
+  ``REL IN (0, 2)``, ``X BETWEEN 1 AND 5``, …), intersected per
+  attribute, sorted by attribute name;
+* the **residual fingerprint** — the remaining conjuncts (function
+  calls, column-to-column comparisons, OR trees spanning several
+  attributes), rendered canonically and sorted.
+
+Splitting only top-level AND conjuncts keeps the decomposition *exact*:
+``WHERE == AND(range part) AND AND(residual part)`` always holds, which
+is what makes subsumption sound.  A cached entry A may answer a new
+query B by re-filtering when ``B implies A``::
+
+    residual(A) is a subset of residual(B)       (B filters at least as much)
+    and for every attribute A constrains,
+        ranges(B)[attr] is contained in ranges(A)[attr]
+
+Every row satisfying B then satisfies A, so B's rows are a subset of the
+cached table and re-applying B's full WHERE to it is exact.  Anything
+not provably exact lands in the residual, which can only *disable*
+subsumption — never produce a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sql.ast import (
+    And,
+    Between,
+    BoolLiteral,
+    Column,
+    Comparison,
+    InList,
+    Literal,
+    Node,
+    Not,
+    Or,
+    Query,
+    MIRROR_OP,
+    NEGATE_OP,
+)
+from ..sql.ranges import IntervalSet, Interval, RangeMap
+
+#: Sorted ((attribute, intervals), ...) — the hashable form of a RangeMap.
+CanonicalRanges = Tuple[Tuple[str, Tuple[Interval, ...]], ...]
+
+
+@dataclass(frozen=True)
+class QueryKey:
+    """The normalized identity of one query against one dataset."""
+
+    dataset: str
+    output: Tuple[str, ...]
+    ranges: CanonicalRanges
+    residual: Tuple[str, ...]
+
+
+def descriptor_fingerprint(descriptor) -> str:
+    """Stable content hash of a descriptor (schema + storage + layout).
+
+    Uses the XML embedding as the canonical serialisation: it is already
+    deterministic and covers every semantically relevant field, so two
+    descriptors that virtualize identical datasets hash identically
+    regardless of comment/whitespace differences in their source text.
+    """
+    from ..metadata.xml_io import descriptor_to_xml
+
+    text = descriptor_to_xml(descriptor)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Exact single-attribute interval form of one conjunct
+# ---------------------------------------------------------------------------
+
+
+def _flatten_and(node: Node) -> List[Node]:
+    if isinstance(node, And):
+        out: List[Node] = []
+        for term in node.terms:
+            out.extend(_flatten_and(term))
+        return out
+    return [node]
+
+
+def _comparison_range(node: Comparison) -> Optional[Tuple[str, IntervalSet]]:
+    op = node.op
+    if isinstance(node.left, Column) and isinstance(node.right, Literal):
+        column, value = node.left, node.right.value
+    elif isinstance(node.right, Column) and isinstance(node.left, Literal):
+        column, value = node.right, node.left.value
+        op = MIRROR_OP[op]
+    else:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if op in ("!=", "<>"):
+        return column.name, IntervalSet(
+            [Interval(hi=value, hi_open=True), Interval(lo=value, lo_open=True)]
+        )
+    return column.name, IntervalSet([Interval.from_comparison(op, value)])
+
+
+def exact_range(term: Node, negated: bool = False) -> Optional[Tuple[str, IntervalSet]]:
+    """``(attribute, intervals)`` when ``term`` is *exactly* an interval
+    condition on one attribute; ``None`` otherwise.
+
+    Unlike :func:`repro.sql.ranges.extract_ranges` — which returns a safe
+    over-approximation for pruning — this refuses anything inexact, so a
+    returned set is logically equivalent to the term, not merely implied
+    by it.
+    """
+    if isinstance(term, Not):
+        return exact_range(term.term, not negated)
+    if isinstance(term, Comparison):
+        node = term
+        if negated:
+            node = Comparison(NEGATE_OP[term.op], term.left, term.right)
+        return _comparison_range(node)
+    if isinstance(term, Between):
+        if not isinstance(term.operand, Column):
+            return None
+        lo, hi = term.lo, term.hi
+        if not isinstance(lo, (int, float)) or not isinstance(hi, (int, float)):
+            return None
+        if negated:
+            return term.operand.name, IntervalSet(
+                [Interval(hi=lo, hi_open=True), Interval(lo=hi, lo_open=True)]
+            )
+        return term.operand.name, IntervalSet.of(lo, hi)
+    if isinstance(term, InList) and not negated:
+        if not isinstance(term.operand, Column):
+            return None
+        if not all(isinstance(v, (int, float)) for v in term.values):
+            return None
+        return term.operand.name, IntervalSet.points(term.values)
+    if isinstance(term, (And, Or)):
+        # AND/OR over exact conditions on ONE shared attribute stays exact
+        # (intersection/union); across attributes it does not.
+        combine_union = isinstance(term, Or) != negated
+        parts = [exact_range(t, negated) for t in term.terms]
+        if any(p is None for p in parts):
+            return None
+        names = {name for name, _ in parts}  # type: ignore[misc]
+        if len(names) != 1:
+            return None
+        acc = parts[0][1]  # type: ignore[index]
+        for _, ivs in parts[1:]:  # type: ignore[misc]
+            acc = acc.union(ivs) if combine_union else acc.intersect(ivs)
+        return names.pop(), acc
+    return None
+
+
+def split_where(where: Optional[Node]) -> Tuple[RangeMap, Tuple[str, ...]]:
+    """Exact decomposition of a WHERE into (range map, residual prints).
+
+    The conjunction of the returned range conditions and residual
+    conjuncts is logically equivalent to ``where``.  ``TRUE`` conjuncts
+    are dropped; everything not exactly interval-representable goes into
+    the residual as its canonical string rendering, sorted.
+    """
+    if where is None:
+        return {}, ()
+    ranges: RangeMap = {}
+    residual: List[str] = []
+    for term in _flatten_and(where):
+        if isinstance(term, BoolLiteral) and term.value:
+            continue
+        exact = exact_range(term)
+        if exact is None:
+            residual.append(str(term))
+        else:
+            name, ivs = exact
+            ranges[name] = ranges[name].intersect(ivs) if name in ranges else ivs
+    return ranges, tuple(sorted(residual))
+
+
+# ---------------------------------------------------------------------------
+# Keys and containment
+# ---------------------------------------------------------------------------
+
+
+def query_key(fingerprint: str, query: Query, output: Sequence[str]) -> QueryKey:
+    """The normalized cache key of a resolved query."""
+    ranges, residual = split_where(query.where)
+    canonical: CanonicalRanges = tuple(
+        sorted((name, ivs.intervals) for name, ivs in ranges.items())
+    )
+    return QueryKey(fingerprint, tuple(output), canonical, residual)
+
+
+def ranges_of(key: QueryKey) -> RangeMap:
+    """Reconstruct the interval sets of a key's canonical range map."""
+    return {name: IntervalSet(intervals) for name, intervals in key.ranges}
+
+
+def key_subsumes(cached: QueryKey, new: QueryKey) -> bool:
+    """Whether a result cached under ``cached`` can answer ``new``.
+
+    True when ``new``'s predicate implies ``cached``'s: the cached
+    residual conjuncts all appear in the new query, and every attribute
+    the cached query constrains is constrained at least as tightly by
+    the new one.  Column availability (projection) is checked by the
+    cache itself, not here.
+    """
+    if cached.dataset != new.dataset:
+        return False
+    if not set(cached.residual) <= set(new.residual):
+        return False
+    new_ranges = dict(new.ranges)
+    for name, cached_intervals in cached.ranges:
+        new_intervals = new_ranges.get(name)
+        if new_intervals is None:
+            return False
+        narrow = IntervalSet(new_intervals)
+        if narrow.intersect(IntervalSet(cached_intervals)) != narrow:
+            return False
+    return True

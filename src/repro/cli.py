@@ -10,6 +10,7 @@ workflow end to end::
     python -m repro codegen   DESC.txt -o gen.py  # inspect generated code
     python -m repro index-build DESC.txt --root D # build chunk summaries
     python -m repro query     DESC.txt "SELECT ..." --root D --format csv
+    python -m repro cache stats DESC.txt --root D --query "SELECT ..." --repeat 3
     python -m repro trace     DESC.txt "SELECT ..." --root D -o trace.json
     python -m repro chaos     DESC.txt "SELECT ..." --root D --profile node-down
     python -m repro explain   DESC.txt "SELECT ..."
@@ -258,6 +259,55 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Exercise the result/plan caches and report their counters.
+
+    ``stats`` runs the given queries (each ``--repeat`` times) with
+    caching enabled and prints the cache counters plus the bytes of disk
+    I/O the warm runs avoided.  ``clear`` additionally drops the caches
+    afterwards and prints the reset counters — the ``drop_caches``
+    invalidation path, observable from the shell.
+    """
+    from .core.options import ExecOptions
+    from .core.stats import IOStats
+
+    if not args.query:
+        print("error: pass at least one --query to exercise the cache",
+              file=sys.stderr)
+        return 2
+    options = ExecOptions(
+        cache_mode=args.mode,
+        result_cache_bytes=args.cache_bytes,
+        trace=False,
+    )
+    with _make_virtualizer(args) as v:
+        stats = IOStats()
+        for round_no in range(args.repeat):
+            for sql in args.query:
+                table = v.query(sql, stats=stats, options=options)
+                print(f"round {round_no + 1}: {table.num_rows:>9} rows  {sql}")
+        cache_stats = v.cache_stats() or {}
+        result = cache_stats.get("result", {})
+        plan = cache_stats.get("plan", {})
+        print(f"\nresult cache: {result.get('entries', 0)} entries, "
+              f"{result.get('bytes', 0):,} / {result.get('max_bytes', 0):,} B; "
+              f"{result.get('hits', 0)} exact + "
+              f"{result.get('subsumption_hits', 0)} subsumption hit(s), "
+              f"{result.get('misses', 0)} miss(es), "
+              f"{result.get('evictions', 0)} eviction(s)")
+        print(f"plan cache:   {plan.get('entries', 0)} entries, "
+              f"{plan.get('hits', 0)} hit(s), {plan.get('misses', 0)} miss(es)")
+        print(f"disk I/O avoided: {stats.cache_saved_bytes:,} B "
+              f"(read {stats.bytes_read:,} B cold)")
+        if args.action == "clear":
+            v.drop_caches()
+            cleared = (v.cache_stats() or {}).get("result", {})
+            print(f"caches cleared: {cleared.get('entries', 0)} entries, "
+                  f"{cleared.get('hits', 0)} hits, "
+                  f"{cleared.get('misses', 0)} misses")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run a query with span tracing on and export the timeline.
 
@@ -456,6 +506,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interpreted", action="store_true",
                    help="use the interpreted planner instead of codegen")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "cache",
+        help="run queries against the result/plan caches and report counters",
+    )
+    p.add_argument("action", choices=["stats", "clear"],
+                   help="stats: run the workload and print cache counters; "
+                        "clear: also drop the caches and show the reset")
+    common(p, root=True)
+    p.add_argument("--query", action="append", metavar="SQL",
+                   help="query to run; repeatable (the workload)")
+    p.add_argument("--repeat", type=int, default=2,
+                   help="how many times to run the whole workload "
+                        "(default 2: one cold round, one warm)")
+    p.add_argument("--mode", choices=["exact", "subsume"], default="subsume",
+                   help="cache mode (default subsume)")
+    p.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                   help="result cache budget in bytes (default 64 MiB)")
+    p.add_argument("--summaries", help="chunk summary file to prune with")
+    p.add_argument("--interpreted", action="store_true",
+                   help="use the interpreted planner instead of codegen")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "trace", help="run a query with tracing and export the timeline"

@@ -75,6 +75,22 @@ class ExecOptions:
                       any finding — warnings are escalated to errors.  Off
                       by default: warnings then only flow to the tracer
                       (``diag`` events, ``diag.warnings`` counter).
+
+    Caching (see docs/architecture.md, "Caching & reuse"):
+
+    ``cache_mode``    ``"off"`` (default) runs every query cold, exactly
+                      as before caching existed.  ``"exact"`` serves
+                      repeats of an identical normalized query from the
+                      result cache; ``"subsume"`` additionally answers a
+                      query whose ranges are contained in a cached
+                      entry's by re-filtering the cached superset.  Both
+                      warm modes also memoize extraction plans.
+    ``result_cache_bytes``  byte budget of the shared LRU result cache
+                      (per Virtualizer / QueryService); results larger
+                      than the budget are never cached.
+    ``plan_cache_entries``  entry budget of the plan cache; ``0``
+                      disables plan memoization while leaving result
+                      caching on.
     """
 
     remote: bool = True
@@ -90,6 +106,20 @@ class ExecOptions:
     node_timeout: Optional[float] = None
     allow_partial: bool = False
     strict: bool = False
+    cache_mode: str = "off"
+    result_cache_bytes: int = 64 * 1024 * 1024
+    plan_cache_entries: int = 128
+
+    def __post_init__(self) -> None:
+        if self.cache_mode not in ("off", "exact", "subsume"):
+            raise ValueError(
+                f"cache_mode must be 'off', 'exact', or 'subsume', "
+                f"not {self.cache_mode!r}"
+            )
+        if self.result_cache_bytes < 0:
+            raise ValueError("result_cache_bytes must be >= 0")
+        if self.plan_cache_entries < 0:
+            raise ValueError("plan_cache_entries must be >= 0")
 
     def replace(self, **changes) -> "ExecOptions":
         """A copy with the given fields changed."""

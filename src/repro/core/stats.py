@@ -45,6 +45,20 @@ class IOStats:
     rows_extracted: int = 0
     rows_output: int = 0
     bytes_sent: int = 0
+    #: Queries answered verbatim by the result cache (exact key match;
+    #: no planning, extraction, or filtering ran at all).
+    result_cache_hits: int = 0
+    #: Queries answered by re-filtering a cached strictly-broader result
+    #: (see docs/architecture.md, "Caching & reuse").
+    subsumption_hits: int = 0
+    #: Bytes the original cold execution read to produce a result this
+    #: query got from the cache instead — the I/O a hit avoided.  NOT
+    #: part of ``bytes_read`` (nothing crossed the disk interface).
+    cache_saved_bytes: int = 0
+    #: Rows of cached superset tables pushed back through the filtering
+    #: service to serve subsumption hits; the cost model charges these
+    #: at ``filter_cpu`` like any other filtered row.
+    rows_refiltered: int = 0
 
     def merge(self, other: "IOStats") -> None:
         """Accumulate another stats object into this one."""

@@ -43,6 +43,11 @@ class VirtualTable:
     def num_rows(self) -> int:
         return self._length
 
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across columns (the result-cache charge)."""
+        return sum(col.nbytes for col in self._columns.values())
+
     def __len__(self) -> int:
         return self._length
 

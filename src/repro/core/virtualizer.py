@@ -17,9 +17,11 @@ interpreted reference planner instead.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
+from ..errors import ExtractionError
 from ..metadata.descriptor import Descriptor, parse_descriptor
 from ..metadata.schema import Schema
 from ..obs.tracer import NULL_TRACER, Tracer
@@ -67,6 +69,55 @@ class Virtualizer:
             mount, self.functions, segment_cache_bytes=segment_cache_bytes
         )
         self.stats = IOStats()
+        #: Result/plan caches, created lazily by the first query whose
+        #: options enable caching and shared by every later query.
+        self._query_cache = None
+        self._cache_lock = threading.Lock()
+        self._filtering = None
+
+    # -- caching --------------------------------------------------------------
+
+    def _cache_for(self, options: Optional[ExecOptions]):
+        """The shared QueryCache, or None when this query runs uncached."""
+        if options is None or options.cache_mode == "off":
+            return None
+        with self._cache_lock:
+            if self._query_cache is None:
+                from ..cache import QueryCache
+
+                self._query_cache = QueryCache.for_dataset(
+                    self.dataset,
+                    options.result_cache_bytes,
+                    options.plan_cache_entries,
+                )
+            elif self._query_cache is not None:
+                self._query_cache.configure(
+                    options.result_cache_bytes, options.plan_cache_entries
+                )
+            return self._query_cache
+
+    def _filtering_service(self):
+        """Lazy FilteringService for serving subsumption hits (the storm
+        import stays out of core's module graph; see docs layering)."""
+        if self._filtering is None:
+            from ..storm.filtering import FilteringService
+
+            self._filtering = FilteringService(self.functions)
+        return self._filtering
+
+    def drop_caches(self) -> None:
+        """Cold-run mode: forget cached results, plans, and segments."""
+        with self._cache_lock:
+            cache = self._query_cache
+        if cache is not None:
+            cache.drop()
+        self.extractor.drop_caches()
+
+    def cache_stats(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Result/plan cache counters, or None before any cached query."""
+        with self._cache_lock:
+            cache = self._query_cache
+        return cache.stats() if cache is not None else None
 
     # -- querying -------------------------------------------------------------
 
@@ -75,8 +126,13 @@ class Virtualizer:
     ) -> ExtractionPlan:
         """Plan a query without executing it."""
         tracer = options.tracer() if options is not None else NULL_TRACER
-        self._run_diagnostics(sql, options, tracer)
-        return self.dataset.plan(sql, tracer=tracer)
+        query = self.dataset.resolve_query(sql)
+        self._run_diagnostics(query, options, tracer)
+        cache = self._cache_for(options)
+        if cache is not None:
+            key, _ = cache.key_and_needed(query)
+            return cache.plan_for(query, key, tracer)
+        return self.dataset.plan(query, tracer=tracer)
 
     def _run_diagnostics(
         self,
@@ -127,16 +183,38 @@ class Virtualizer:
         """Execute a query and return the virtual table.
 
         ``options`` carries the unified execution knobs (only
-        ``batch_rows`` and ``trace`` apply to this local path; transport
-        options belong to ``QueryService.submit``).
+        ``batch_rows``, ``trace``, and the ``cache_*`` fields apply to
+        this local path; transport options belong to
+        ``QueryService.submit``).
         """
         tracer = options.tracer() if options is not None else NULL_TRACER
-        self._run_diagnostics(sql, options, tracer)
-        with tracer.span("query", sql=_sql_tag(sql)):
-            plan = self.dataset.plan(sql, tracer=tracer)
-            return self.extractor.execute(
-                plan, stats if stats is not None else self.stats, tracer
+        query = self.dataset.resolve_query(sql)
+        self._run_diagnostics(query, options, tracer)
+        target = stats if stats is not None else self.stats
+        cache = self._cache_for(options)
+        with tracer.span("query", sql=_sql_tag(query)):
+            if cache is None:
+                plan = self.dataset.plan(query, tracer=tracer)
+                return self.extractor.execute(plan, target, tracer)
+            key, needed = cache.key_and_needed(query)
+            run = IOStats()
+            served = cache.serve(
+                key, query, needed, self._filtering_service(), run,
+                tracer, options.cache_mode,
             )
+            if served is not None:
+                target.merge(run)
+                return served.table
+            from ..cache import project, widen_plan
+
+            plan = cache.plan_for(query, key, tracer)
+            # Execute with every needed column emitted (same reads, same
+            # filtering) so the cached table can answer later narrower
+            # queries filtering on WHERE-only attributes.
+            full = self.extractor.execute(widen_plan(plan), run, tracer)
+            target.merge(run)
+            cache.store(key, full, run.bytes_read, len(plan.afcs), tracer)
+            return project(full, plan.output)
 
     def query_iter(
         self,
@@ -148,7 +226,11 @@ class Virtualizer:
         """Stream query results as VirtualTable batches (bounded memory).
 
         The batch size comes from ``options.batch_rows``; the positional
-        ``batch_rows`` argument is deprecated.
+        ``batch_rows`` argument is deprecated.  Cache hits (when the
+        options enable caching) are served as batch-sized slices of the
+        cached table; streaming executions never *populate* the result
+        cache — that would require buffering the whole result, defeating
+        the bounded-memory contract.
         """
         if batch_rows is not None:
             warnings.warn(
@@ -160,14 +242,36 @@ class Virtualizer:
             options = (options or ExecOptions()).replace(batch_rows=batch_rows)
         opts = options or ExecOptions()
         tracer = opts.tracer()
-        self._run_diagnostics(sql, opts, tracer)
-        plan = self.dataset.plan(sql, tracer=tracer)
-        return self.extractor.execute_iter(
-            plan,
-            opts.batch_rows,
-            stats if stats is not None else self.stats,
-            tracer,
-        )
+        query = self.dataset.resolve_query(sql)
+        self._run_diagnostics(query, opts, tracer)
+        target = stats if stats is not None else self.stats
+        cache = self._cache_for(opts)
+
+        def iterate():
+            # The span wraps planning AND iteration: an iterator query's
+            # trace was previously invisible (query() got a span, this
+            # path none), and spanning only the eager prefix would stop
+            # the clock before any extraction happened.
+            with tracer.span("query", sql=_sql_tag(query), streaming=True):
+                if cache is not None:
+                    key, needed = cache.key_and_needed(query)
+                    run = IOStats()
+                    served = cache.serve(
+                        key, query, needed, self._filtering_service(), run,
+                        tracer, opts.cache_mode,
+                    )
+                    if served is not None:
+                        target.merge(run)
+                        yield from _batched(served.table, opts.batch_rows)
+                        return
+                    plan = cache.plan_for(query, key, tracer)
+                else:
+                    plan = self.dataset.plan(query, tracer=tracer)
+                yield from self.extractor.execute_iter(
+                    plan, opts.batch_rows, target, tracer
+                )
+
+        return iterate()
 
     def explain(self, sql: Union[Query, str]) -> str:
         return self.dataset.explain(sql)
@@ -196,6 +300,24 @@ class Virtualizer:
 def _sql_tag(sql: Union[Query, str]) -> str:
     """A bounded string form of the query for span tags."""
     return str(sql)[:200]
+
+
+def _batched(table: VirtualTable, batch_rows: int):
+    """Slice a materialised table into batch_rows-sized views.
+
+    Matches ``Extractor.execute_iter``'s contract on the cache-hit path
+    (same validation error, nothing yielded for empty results).  The
+    slices are zero-copy views of the cached frozen arrays, hence
+    read-only like an exact full-table hit.
+    """
+    if batch_rows < 1:
+        raise ExtractionError("batch_rows must be positive")
+    names = list(table.column_names)
+    for start in range(0, table.num_rows, batch_rows):
+        yield VirtualTable(
+            {n: table.column(n)[start:start + batch_rows] for n in names},
+            order=names,
+        )
 
 
 def open_dataset(

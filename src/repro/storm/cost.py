@@ -68,6 +68,10 @@ class CostModel:
         cpu = (
             stats.rows_extracted * self.tuple_cpu
             + stats.rows_extracted * self.filter_cpu
+            # Subsumption hits re-filter cached rows instead of reading
+            # them: no disk or tuple-decode cost, but the predicate pass
+            # is real work and is priced like any other filtered row.
+            + stats.rows_refiltered * self.filter_cpu
         )
         # Chunks pulled from other nodes cross the interconnect as well.
         remote = stats.remote_bytes_read / self.network_bandwidth

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.stats import IOStats
-from ..core.table import own_column
+from ..core.table import VirtualTable, own_column
 from ..obs.tracer import NULL_TRACER
 from ..sql.ast import Node
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
@@ -49,6 +49,32 @@ class FilteringService:
                     span.tag(out=int(len(selected[output[0]])))
             return selected
         return self._apply(where, columns, output, num_rows, stats)
+
+    def refilter(
+        self,
+        where: Optional[Node],
+        table: VirtualTable,
+        output: List[str],
+        stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
+    ) -> VirtualTable:
+        """Re-run a full WHERE over a cached superset table (subsumption).
+
+        The cached table stores every column the original query needed,
+        so the predicate has all its inputs; the result carries exactly
+        ``output`` in order.  ``own_column`` inside :meth:`apply` copies
+        the frozen cached arrays, so callers get writable columns and
+        can never mutate the cache through the result.
+        """
+        columns = {name: table.column(name) for name in table.column_names}
+        selected = self.apply(
+            where, columns, output, table.num_rows, stats, tracer
+        )
+        if selected is None:
+            return VirtualTable(
+                {name: columns[name][:0] for name in output}, order=output
+            )
+        return VirtualTable(selected, order=output)
 
     def _apply(
         self,

@@ -59,6 +59,12 @@ _RETRYABLE = (ExtractionError, NodeTimeoutError, OSError)
 #: Pseudo-node name under which result-transfer failures are reported.
 TRANSFER_NODE = "_transfer"
 
+#: Pseudo-node name under which cache-served work is accounted: a hit
+#: produces no per-node extraction stats, but its bookkeeping
+#: (``result_cache_hits`` / ``subsumption_hits`` / ``rows_refiltered`` /
+#: ``cache_saved_bytes``) still needs a home in ``per_node_stats``.
+CACHE_NODE = "_cache"
+
 
 @dataclass
 class QueryResult:
@@ -167,6 +173,11 @@ class QueryService:
         self.max_workers = max_workers
         self.segment_cache_bytes = segment_cache_bytes
         self.handle_cache = handle_cache
+        #: Result/plan caches shared by every node and submitting thread,
+        #: created lazily by the first submit whose options enable them.
+        self._query_cache = None
+        self._cache_unsupported = False
+        self._cache_lock = threading.Lock()
 
     @property
     def indexing(self) -> IndexingService:
@@ -191,12 +202,50 @@ class QueryService:
                 self.sources[node] = source
             return source
 
+    def _cache_for(self, opts: ExecOptions):
+        """The shared QueryCache, or None when this query runs uncached."""
+        if opts.cache_mode == "off" or self._cache_unsupported:
+            return None
+        with self._cache_lock:
+            if self._query_cache is None:
+                from ..cache import QueryCache
+
+                self._query_cache = QueryCache.for_dataset(
+                    self.dataset,
+                    opts.result_cache_bytes,
+                    opts.plan_cache_entries,
+                )
+                if self._query_cache is None:
+                    # Duck-typed dataset without descriptor/needed_columns:
+                    # caching cannot key its queries; stay off silently.
+                    self._cache_unsupported = True
+            else:
+                self._query_cache.configure(
+                    opts.result_cache_bytes, opts.plan_cache_entries
+                )
+            return self._query_cache
+
     def drop_caches(self) -> None:
-        """Cold-cache mode: benchmarks call this between measured queries."""
+        """Cold-cache mode: benchmarks call this between measured queries.
+
+        Clears the per-node segment/handle caches *and* the shared
+        result/plan caches (counters included) — after this, every
+        query's I/O starts from a cold disk and a cold cache.
+        """
         with self._sources_lock:
             sources = list(self.sources.values())
         for source in sources:
             source.drop_caches()
+        with self._cache_lock:
+            cache = self._query_cache
+        if cache is not None:
+            cache.drop()
+
+    def cache_stats(self):
+        """Result/plan cache counters, or None before any cached submit."""
+        with self._cache_lock:
+            cache = self._query_cache
+        return cache.stats() if cache is not None else None
 
     # -- execution ------------------------------------------------------------
 
@@ -230,143 +279,70 @@ class QueryService:
             parallel=parallel,
         )
         tracer = opts.tracer()
-        self._run_diagnostics(sql, opts, tracer)
+        cache = self._cache_for(opts)
+        resolved: Union[Query, str] = sql
+        if cache is not None:
+            # Resolve once: the same Query object feeds diagnostics,
+            # keying, and planning (no repeated parse/validate).
+            resolved = self.dataset.resolve_query(sql)
+        self._run_diagnostics(resolved, opts, tracer)
         injector = self.fault_injector
         faults_before = injector.injected if injector is not None else 0
         attempts_allowed = max(0, opts.retries) + 1
         start = time.perf_counter()
 
-        with tracer.span("query", sql=str(sql)[:200]) as query_span:
-            if tracer.enabled and getattr(self.dataset, "supports_tracing", False):
-                plan = self.dataset.plan(sql, tracer=tracer)
-            else:
-                plan = self.dataset.plan(sql)
-
-            by_node: Dict[str, List[AlignedFileChunkSet]] = {}
-            for afc in plan.afcs:
-                node = afc.chunks[0].node if afc.chunks else "local"
-                by_node.setdefault(node, []).append(afc)
-
-            per_node_stats: Dict[str, IOStats] = {
-                node: IOStats() for node in by_node
-            }
+        with tracer.span("query", sql=str(resolved)[:200]) as query_span:
             ctx = TraceContext(tracer, query_span)
-            #: node -> terminal failure; distinct keys per worker thread.
-            failures: Dict[str, NodeFailureError] = {}
-
-            def attempt_node(node: str, attempt_stats: IOStats) -> VirtualTable:
-                """One extraction attempt, bounded by node_timeout."""
-                if opts.node_timeout is None:
-                    return self._source(node).execute(
-                        plan, by_node[node], attempt_stats, tracer, opts
-                    )
-                # A hung attempt cannot be interrupted from outside, so it
-                # runs on a sacrificial thread we abandon on timeout (it
-                # ends when its blocking read does, still writing into an
-                # attempt_stats that is discarded, never merged).
-                pool = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix=f"extract-{node}"
+            served = key = None
+            if cache is not None:
+                key, needed = cache.key_and_needed(resolved)
+                cache_io = IOStats()
+                served = cache.serve(
+                    key, resolved, needed, self.filtering, cache_io,
+                    tracer, opts.cache_mode,
                 )
-                future = pool.submit(
-                    self._source(node).execute,
-                    plan,
-                    by_node[node],
-                    attempt_stats,
-                    tracer,
-                    opts,
-                )
-                pool.shutdown(wait=False)
-                try:
-                    return future.result(opts.node_timeout)
-                except FuturesTimeout:
-                    future.cancel()
-                    raise NodeTimeoutError(node, opts.node_timeout) from None
+            if served is not None:
+                # Cache hit: no planning, no extraction, no node I/O.
+                table = served.table
+                per_node_stats: Dict[str, IOStats] = {CACHE_NODE: cache_io}
+                failed_nodes: List[str] = []
+                afc_count = served.afc_count
+            else:
+                if cache is not None:
+                    from ..cache import project, widen_plan
 
-            def run_node(node: str) -> VirtualTable:
-                # Worker threads have an empty span stack; parent the
-                # per-node span under the query root via the context.
-                with ctx.span(
-                    "extract", node=node, afcs=len(by_node[node])
-                ) as span:
-                    node_ctx = ctx.child(span)
-                    last_exc: Optional[Exception] = None
-                    for attempt in range(attempts_allowed):
-                        attempt_stats = IOStats()
-                        try:
-                            if attempt == 0:
-                                partial = attempt_node(node, attempt_stats)
-                            else:
-                                backoff = opts.retry_backoff * (2 ** (attempt - 1))
-                                with node_ctx.span(
-                                    "retry",
-                                    node=node,
-                                    attempt=attempt,
-                                    backoff=round(backoff, 6),
-                                    error=f"{type(last_exc).__name__}: {last_exc}",
-                                ):
-                                    tracer.metrics.record("retries.attempted")
-                                    if backoff > 0:
-                                        time.sleep(backoff)
-                                    partial = attempt_node(node, attempt_stats)
-                        except _RETRYABLE as exc:
-                            # A timed-out attempt was abandoned, not
-                            # finished: its sacrificial thread may still
-                            # be mutating attempt_stats, so merging it
-                            # here would both race and double-count the
-                            # partial work on top of the retry's counts.
-                            if not isinstance(exc, NodeTimeoutError):
-                                per_node_stats[node].merge(attempt_stats)
-                            last_exc = exc
-                            continue
-                        per_node_stats[node].merge(attempt_stats)
-                        span.tag(
-                            rows=partial.num_rows,
-                            bytes_read=per_node_stats[node].bytes_read,
-                            attempts=attempt + 1,
+                    plan = cache.plan_for(resolved, key, tracer)
+                    # Emit every needed column (same reads, same filter)
+                    # so the cached table can answer narrower queries
+                    # filtering on WHERE-only attributes; callers get
+                    # the projected SELECT list as always.
+                    exec_plan = widen_plan(plan)
+                elif tracer.enabled and getattr(
+                    self.dataset, "supports_tracing", False
+                ):
+                    plan = exec_plan = self.dataset.plan(resolved, tracer=tracer)
+                else:
+                    plan = exec_plan = self.dataset.plan(resolved)
+                table, per_node_stats, failed_nodes = self._extract_nodes(
+                    exec_plan, opts, tracer, ctx, attempts_allowed
+                )
+                afc_count = len(plan.afcs)
+                if cache is not None:
+                    if not failed_nodes and (
+                        injector is None or injector.injected == faults_before
+                    ):
+                        # Only complete, healthy results enter the cache:
+                        # degraded/partial tables and anything produced
+                        # while faults fired would replay the damage
+                        # forever.
+                        cache.store(
+                            key,
+                            table,
+                            sum(s.bytes_read for s in per_node_stats.values()),
+                            afc_count,
+                            tracer,
                         )
-                        return partial
-                    tracer.metrics.record("nodes.failed")
-                    node_ctx.event(
-                        "node_failure",
-                        node=node,
-                        attempts=attempts_allowed,
-                        error=f"{type(last_exc).__name__}: {last_exc}",
-                    )
-                    raise NodeFailureError(node, attempts_allowed, last_exc)
-
-            def guarded(node: str) -> Optional[VirtualTable]:
-                try:
-                    return run_node(node)
-                except NodeFailureError as exc:
-                    failures[node] = exc
-                    return None
-
-            nodes = list(by_node)
-            if opts.parallel and len(nodes) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=self.max_workers or len(nodes)
-                ) as pool:
-                    maybe_partials = list(pool.map(guarded, nodes))
-            else:
-                maybe_partials = [guarded(node) for node in nodes]
-
-            failed_nodes = [node for node in nodes if node in failures]
-            if failed_nodes and not opts.allow_partial:
-                raise failures[failed_nodes[0]]
-            partials = [p for p in maybe_partials if p is not None]
-
-            if partials:
-                table = concat_tables(partials)
-            else:
-                import numpy as np
-
-                table = VirtualTable(
-                    {
-                        n: np.empty(0, dtype=plan.dtypes.get(n, np.float64))
-                        for n in plan.output
-                    },
-                    order=plan.output,
-                )
+                    table = project(table, plan.output)
 
             transfer_stats = IOStats()
             deliveries: List[Delivery] = []
@@ -393,7 +369,7 @@ class QueryService:
                 )
             query_span.tag(
                 rows=table.num_rows,
-                afcs=len(plan.afcs),
+                afcs=afc_count,
                 simulated_seconds=round(simulated, 6),
             )
             if failed_nodes:
@@ -413,11 +389,151 @@ class QueryService:
             per_node_stats=per_node_stats,
             simulated_seconds=simulated,
             wall_seconds=wall,
-            afc_count=len(plan.afcs),
+            afc_count=afc_count,
             trace=tracer if tracer.enabled else None,
             degraded=bool(failed_nodes),
             failed_nodes=failed_nodes,
         )
+
+    def _extract_nodes(
+        self,
+        plan,
+        opts: ExecOptions,
+        tracer,
+        ctx: TraceContext,
+        attempts_allowed: int,
+    ):
+        """Failure-aware parallel extraction of a plan across its nodes.
+
+        Returns ``(table, per_node_stats, failed_nodes)``; raises
+        :class:`~repro.errors.NodeFailureError` for the first exhausted
+        node unless ``opts.allow_partial``.
+        """
+        by_node: Dict[str, List[AlignedFileChunkSet]] = {}
+        for afc in plan.afcs:
+            node = afc.chunks[0].node if afc.chunks else "local"
+            by_node.setdefault(node, []).append(afc)
+
+        per_node_stats: Dict[str, IOStats] = {
+            node: IOStats() for node in by_node
+        }
+        #: node -> terminal failure; distinct keys per worker thread.
+        failures: Dict[str, NodeFailureError] = {}
+
+        def attempt_node(node: str, attempt_stats: IOStats) -> VirtualTable:
+            """One extraction attempt, bounded by node_timeout."""
+            if opts.node_timeout is None:
+                return self._source(node).execute(
+                    plan, by_node[node], attempt_stats, tracer, opts
+                )
+            # A hung attempt cannot be interrupted from outside, so it
+            # runs on a sacrificial thread we abandon on timeout (it
+            # ends when its blocking read does, still writing into an
+            # attempt_stats that is discarded, never merged).
+            pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"extract-{node}"
+            )
+            future = pool.submit(
+                self._source(node).execute,
+                plan,
+                by_node[node],
+                attempt_stats,
+                tracer,
+                opts,
+            )
+            pool.shutdown(wait=False)
+            try:
+                return future.result(opts.node_timeout)
+            except FuturesTimeout:
+                future.cancel()
+                raise NodeTimeoutError(node, opts.node_timeout) from None
+
+        def run_node(node: str) -> VirtualTable:
+            # Worker threads have an empty span stack; parent the
+            # per-node span under the query root via the context.
+            with ctx.span(
+                "extract", node=node, afcs=len(by_node[node])
+            ) as span:
+                node_ctx = ctx.child(span)
+                last_exc: Optional[Exception] = None
+                for attempt in range(attempts_allowed):
+                    attempt_stats = IOStats()
+                    try:
+                        if attempt == 0:
+                            partial = attempt_node(node, attempt_stats)
+                        else:
+                            backoff = opts.retry_backoff * (2 ** (attempt - 1))
+                            with node_ctx.span(
+                                "retry",
+                                node=node,
+                                attempt=attempt,
+                                backoff=round(backoff, 6),
+                                error=f"{type(last_exc).__name__}: {last_exc}",
+                            ):
+                                tracer.metrics.record("retries.attempted")
+                                if backoff > 0:
+                                    time.sleep(backoff)
+                                partial = attempt_node(node, attempt_stats)
+                    except _RETRYABLE as exc:
+                        # A timed-out attempt was abandoned, not
+                        # finished: its sacrificial thread may still
+                        # be mutating attempt_stats, so merging it
+                        # here would both race and double-count the
+                        # partial work on top of the retry's counts.
+                        if not isinstance(exc, NodeTimeoutError):
+                            per_node_stats[node].merge(attempt_stats)
+                        last_exc = exc
+                        continue
+                    per_node_stats[node].merge(attempt_stats)
+                    span.tag(
+                        rows=partial.num_rows,
+                        bytes_read=per_node_stats[node].bytes_read,
+                        attempts=attempt + 1,
+                    )
+                    return partial
+                tracer.metrics.record("nodes.failed")
+                node_ctx.event(
+                    "node_failure",
+                    node=node,
+                    attempts=attempts_allowed,
+                    error=f"{type(last_exc).__name__}: {last_exc}",
+                )
+                raise NodeFailureError(node, attempts_allowed, last_exc)
+
+        def guarded(node: str) -> Optional[VirtualTable]:
+            try:
+                return run_node(node)
+            except NodeFailureError as exc:
+                failures[node] = exc
+                return None
+
+        nodes = list(by_node)
+        if opts.parallel and len(nodes) > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.max_workers or len(nodes)
+            ) as pool:
+                maybe_partials = list(pool.map(guarded, nodes))
+        else:
+            maybe_partials = [guarded(node) for node in nodes]
+
+        failed_nodes = [node for node in nodes if node in failures]
+        if failed_nodes and not opts.allow_partial:
+            raise failures[failed_nodes[0]]
+        partials = [p for p in maybe_partials if p is not None]
+
+        if partials:
+            table = concat_tables(partials)
+        else:
+            import numpy as np
+
+            table = VirtualTable(
+                {
+                    n: np.empty(0, dtype=plan.dtypes.get(n, np.float64))
+                    for n in plan.output
+                },
+                order=plan.output,
+            )
+        return table, per_node_stats, failed_nodes
 
     def _run_diagnostics(
         self,
