@@ -8,12 +8,19 @@ within 5-34% (average 16%) of hand-written.
 We redistribute a fixed total grid over 1, 2, 4, 8, and 16 virtual nodes;
 the cost-model makespan (max over per-node work) is what exposes the
 near-linear scaling on one physical machine.
+
+``test_fig10_cluster_mode`` reruns the experiment out-of-process: each
+data-source node is a real ``repro serve`` OS process and the coordinator
+talks to it over TCP (BENCH_cluster.json).  The claim under test is that
+the wire changes *where* the work runs, not *how much* work runs — the
+cost-model numbers must match the in-process run at every node count.
 """
 
 from __future__ import annotations
 
 import pytest
 
+import repro
 from repro.baselines import HandwrittenIparsL0
 from repro.bench import (
     Series,
@@ -23,7 +30,8 @@ from repro.bench import (
     ratio,
 )
 from repro.core import GeneratedDataset
-from repro.datasets import ipars
+from repro.datasets import IparsConfig, ipars
+from repro.net import ProcessCluster
 from repro.storm import QueryService, VirtualCluster
 
 NODE_COUNTS = [1, 2, 4, 8, 16]
@@ -95,3 +103,76 @@ def test_fig10_scalability(benchmark, tmp_path_factory):
     # Generated within the paper's band of hand-written at every scale.
     for g, h in zip(generated.simulated, hand.simulated):
         assert 0.8 < ratio(g, h) < 1.4
+
+
+# ---------------------------------------------------------------------------
+# Out-of-process cluster mode
+# ---------------------------------------------------------------------------
+
+CLUSTER_NODE_COUNTS = [1, 2, 4]
+
+
+def cluster_ipars_config(num_nodes: int) -> IparsConfig:
+    """A scaled-down fig10 grid: real processes pay real startup costs."""
+    total = 2000
+    return IparsConfig(
+        num_rels=2, num_times=20, cells_per_node=total // num_nodes,
+        num_nodes=num_nodes, seed=7,
+    )
+
+
+def run_cluster_figure(tmp_path_factory):
+    in_process = Series("in-process")
+    out_of_process = Series("out-of-process")
+    for nodes in CLUSTER_NODE_COUNTS:
+        config = cluster_ipars_config(nodes)
+        root = tmp_path_factory.mktemp(f"fig10_cluster_{nodes}")
+        cluster = VirtualCluster.create(str(root), nodes)
+        text, _ = ipars.generate(config, "L0", cluster.mount())
+        sql = scalability_query(config)
+
+        with repro.connect(f"local://{root}", descriptor=text) as db:
+            in_process.add(
+                measure_storm(db.service, sql, f"local@{nodes}", remote=False)
+            )
+        with ProcessCluster(text, str(root)) as procs:
+            with procs.connect() as db:
+                out_of_process.add(
+                    measure_storm(db.service, sql, f"tcp@{nodes}", remote=False)
+                )
+        cluster.wipe()
+    return in_process, out_of_process
+
+
+def test_fig10_cluster_mode(benchmark, tmp_path_factory):
+    in_process, out_of_process = benchmark.pedantic(
+        run_cluster_figure, args=(tmp_path_factory,), rounds=1, iterations=1
+    )
+    rows = [f"{n} nodes" for n in CLUSTER_NODE_COUNTS]
+    print_figure(
+        "BENCH_cluster",
+        "Fig10 workload with data-source nodes as real OS processes",
+        rows,
+        [in_process, out_of_process],
+        notes=[
+            "out-of-process: one `repro serve` subprocess per node, "
+            "coordinator over TCP",
+            "cost-model (simulated) time must match in-process: the wire "
+            "moves work, it does not add work",
+        ],
+    )
+
+    for local_m, tcp_m in zip(
+        in_process.measurements, out_of_process.measurements
+    ):
+        # Bit-identical answers and identical cost-model work.
+        assert tcp_m.rows == local_m.rows
+        assert tcp_m.bytes_read == local_m.bytes_read
+        assert 0.99 < ratio(tcp_m.simulated_seconds,
+                            local_m.simulated_seconds) < 1.01
+        assert tcp_m.wall_seconds > 0
+
+    # The makespan still scales down with node count over the wire.
+    times = out_of_process.simulated
+    for a, b in zip(times, times[1:]):
+        assert b < a

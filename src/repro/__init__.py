@@ -9,14 +9,17 @@ virtual relational tables.
 
 Quickstart::
 
-    from repro import Virtualizer, local_mount
+    import repro
 
-    v = Virtualizer(descriptor_text, local_mount("/data"))
-    table = v.query("SELECT X, Y, SOIL FROM IparsData WHERE TIME > 100")
+    with repro.connect("local:///data", descriptor=descriptor_text) as db:
+        table = db.query("SELECT X, Y, SOIL FROM IparsData WHERE TIME > 100")
 
+The same ``connect`` reaches a real multi-process cluster through
+``tcp://host:port,...`` URLs (see ``repro serve`` / ``repro cluster``).
 See README.md for the architecture and DESIGN.md for the paper mapping.
 """
 
+from .client import Client, connect
 from .core import (
     AlignedFileChunkSet,
     ChunkRef,
@@ -37,6 +40,7 @@ from .diag import (
     Diagnostic,
     Severity,
     Span,
+    analyze_options,
     analyze_query,
     lint_descriptor,
     lint_text,
@@ -81,6 +85,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AlignedFileChunkSet",
     "ChunkRef",
+    "Client",
     "CodegenError",
     "Collector",
     "CompiledDataset",
@@ -123,7 +128,9 @@ __all__ = [
     "VirtualCluster",
     "VirtualTable",
     "Virtualizer",
+    "analyze_options",
     "analyze_query",
+    "connect",
     "filter_function",
     "lint_descriptor",
     "lint_text",

@@ -13,10 +13,15 @@ workflow end to end::
     python -m repro cache stats DESC.txt --root D --query "SELECT ..." --repeat 3
     python -m repro trace     DESC.txt "SELECT ..." --root D -o trace.json
     python -m repro chaos     DESC.txt "SELECT ..." --root D --profile node-down
+    python -m repro serve     DESC.txt --root D --node osu0 --port 7301
+    python -m repro cluster   DESC.txt "SELECT ..." --root D
     python -m repro explain   DESC.txt "SELECT ..."
     python -m repro to-xml    DESC.txt            # XML embedding
     python -m repro from-xml  DESC.xml            # ...and back
 
+``serve`` runs one data-source node as a standalone TCP server;
+``cluster`` spawns one server per storage node, runs the query through
+``repro.connect`` over real sockets, and tears the processes down.
 Every command reads the descriptor from a file (or ``-`` for stdin).
 """
 
@@ -356,7 +361,7 @@ def cmd_chaos(args) -> int:
     """
     from .core.options import ExecOptions
     from .errors import NodeFailureError
-    from .faults import FaultInjector, parse_rule, profile_rules
+    from .faults import FaultInjector
     from .obs import Tracer
     from .storm.cluster import VirtualCluster
     from .storm.query_service import QueryService
@@ -367,11 +372,7 @@ def cmd_chaos(args) -> int:
     else:
         dataset = GeneratedDataset(descriptor)
     cluster = VirtualCluster.for_storage(args.root, descriptor.storage)
-    rules = []
-    if args.profile:
-        rules.extend(profile_rules(args.profile, cluster.node_names))
-    for spec in args.rule or []:
-        rules.append(parse_rule(spec))
+    rules = _chaos_rules(args, cluster.node_names)
     if not rules:
         print("error: no fault rules; pass --profile and/or --rule",
               file=sys.stderr)
@@ -409,6 +410,124 @@ def cmd_chaos(args) -> int:
     else:
         print(f"full result survived the fault profile: "
               f"{result.num_rows} rows")
+    print(result.summary())
+    return 3 if result.degraded else 0
+
+
+def _chaos_rules(args, node_names):
+    """Shared --profile/--rule parsing (chaos, serve, cluster)."""
+    from .faults import parse_rule, profile_rules
+
+    rules = []
+    if args.profile:
+        rules.extend(profile_rules(args.profile, node_names))
+    for spec in args.rule or []:
+        rules.append(parse_rule(spec))
+    return rules
+
+
+def cmd_serve(args) -> int:
+    """Run one data-source node as a standalone TCP server.
+
+    This is the out-of-process deployment of the paper's per-node data
+    source service: the coordinator (``repro.connect("tcp://...")`` or
+    ``repro cluster``) ships extraction plans here over the wire
+    protocol and gets columnar row batches back.  ``--port 0`` binds an
+    ephemeral port; ``--port-file`` publishes the bound address for
+    whoever spawned us.  Fault rules (``--profile`` / ``--rule``) are
+    injected server-side — disk chaos and ``conn-reset`` live with the
+    process that owns the data.
+    """
+    import signal
+
+    from .faults import FaultInjector
+    from .net.server import NodeServer
+
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    if args.node not in descriptor.storage.nodes:
+        print(f"error: node {args.node!r} is not in the descriptor's "
+              f"storage nodes {list(descriptor.storage.nodes)}",
+              file=sys.stderr)
+        return 2
+    rules = _chaos_rules(args, [args.node])
+    injector = FaultInjector(rules, seed=args.seed) if rules else None
+    server = NodeServer(
+        args.node,
+        args.root,
+        dataset=descriptor.name,
+        fault_injector=injector,
+        host=args.host,
+        port=args.port,
+    )
+    if args.port_file:
+        server.write_port_file(args.port_file)
+    host, port = server.address
+    print(f"node {args.node!r} of dataset {descriptor.name!r} serving on "
+          f"{host}:{port}" + (f" with {len(rules)} fault rule(s)"
+                              if rules else ""),
+          flush=True)
+    signal.signal(signal.SIGTERM, lambda *_: server.shutdown())
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    """Spawn a real node-server process per storage node and query it.
+
+    The full out-of-process STORM path: ``repro serve`` subprocesses,
+    discovery over port files, ``repro.connect("tcp://...")``, one query
+    through the failure-aware pipeline, teardown.  Exit codes match
+    ``chaos``: 0 full result, 3 degraded result, 1 failed query.
+    """
+    from .client import connect
+    from .core.options import ExecOptions
+    from .errors import NodeFailureError
+    from .net.procs import ProcessCluster
+    from .obs import Tracer, write_chrome_trace
+
+    tracer = Tracer("cluster")
+    options = ExecOptions(
+        remote=not args.local,
+        num_clients=args.clients,
+        retries=args.retries,
+        retry_backoff=args.backoff,
+        node_timeout=args.node_timeout,
+        allow_partial=not args.no_partial,
+        connect_timeout=args.connect_timeout,
+        trace=tracer,
+    )
+    cluster = ProcessCluster(
+        args.descriptor if args.descriptor != "-" else _read_text("-"),
+        args.root,
+        rules=args.rule or [],
+        profile=args.profile,
+        seed=args.seed,
+        startup_timeout=args.startup_timeout,
+    )
+    with cluster:
+        addresses = ", ".join(
+            f"{node}={host}:{port}"
+            for node, (host, port) in sorted(cluster.addresses.items())
+        )
+        print(f"cluster up: {len(cluster.nodes)} node process(es) "
+              f"({addresses})")
+        try:
+            with connect(cluster, options=options) as client:
+                result = client.submit(args.sql)
+        except NodeFailureError as exc:
+            print(f"query FAILED: {exc}", file=sys.stderr)
+            return 1
+    if args.trace_out:
+        write_chrome_trace(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if result.degraded:
+        print(f"DEGRADED result: lost {', '.join(result.failed_nodes)}; "
+              f"{result.num_rows} rows from the surviving nodes")
+    else:
+        print(f"full result: {result.num_rows} rows over real sockets")
     print(result.summary())
     return 3 if result.degraded else 0
 
@@ -581,6 +700,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interpreted", action="store_true",
                    help="use the interpreted planner instead of codegen")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="run one data-source node as a standalone TCP server",
+    )
+    common(p, root=True)
+    p.add_argument("--node", required=True,
+                   help="storage node this server owns (e.g. osu0)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port; 0 picks an ephemeral port (default)")
+    p.add_argument("--port-file",
+                   help="write the bound 'host port' here for discovery")
+    p.add_argument("--profile",
+                   help="server-side fault profile (node-down, flaky-open, "
+                        "flaky-reads, slow-node, tail-failure)")
+    p.add_argument("--rule", action="append",
+                   help="server-side fault rule "
+                        "kind[:node[:path[:key=val,...]]]; repeatable "
+                        "(conn-reset:osu0 drops connections mid-response)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection RNG seed (default 0)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cluster",
+        help="spawn a node-server process per storage node and run a "
+        "query over real sockets",
+    )
+    common(p, root=True)
+    p.add_argument("sql", help="SELECT ... FROM ... [WHERE ...]")
+    p.add_argument("--profile",
+                   help="fault profile injected into every node server")
+    p.add_argument("--rule", action="append",
+                   help="fault rule forwarded to every node server; "
+                        "repeatable")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection RNG seed (default 0)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per failed node (default 2)")
+    p.add_argument("--backoff", type=float, default=0.01,
+                   help="base retry backoff seconds, doubling per retry "
+                        "(default 0.01)")
+    p.add_argument("--node-timeout", type=float,
+                   help="seconds before one extraction attempt is "
+                        "abandoned as hung")
+    p.add_argument("--connect-timeout", type=float, default=5.0,
+                   help="seconds one TCP dial may take (default 5)")
+    p.add_argument("--no-partial", action="store_true",
+                   help="fail the query instead of returning a degraded "
+                        "result when a node is lost")
+    p.add_argument("--clients", type=int, default=1,
+                   help="number of destination clients for partitioning")
+    p.add_argument("--local", action="store_true",
+                   help="co-located client: skip partition/mover stages")
+    p.add_argument("--startup-timeout", type=float, default=30.0,
+                   help="seconds to wait for all node servers to bind "
+                        "(default 30)")
+    p.add_argument("--trace-out",
+                   help="also write a chrome-trace JSON of the run here")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("explain", help="show the plan for a query")
     common(p)

@@ -76,6 +76,20 @@ class ExecOptions:
                       by default: warnings then only flow to the tracer
                       (``diag`` events, ``diag.warnings`` counter).
 
+    Network transport (see docs/architecture.md, "Deployment"; used only
+    when the query service reaches real node-server processes over
+    ``tcp://``, ignored by the in-process ``local://`` path):
+
+    ``connect_timeout``  seconds one TCP dial (plus handshake) to a node
+                      server may take before the attempt fails with a
+                      retryable connection error.
+    ``max_connections_per_node``  size of the coordinator's connection
+                      pool per node server; concurrent requests beyond
+                      it queue for a pooled connection.
+    ``inflight_limit``  admission control: total requests the
+                      coordinator allows on the wire at once across all
+                      nodes; excess submits queue until a slot frees.
+
     Caching (see docs/architecture.md, "Caching & reuse"):
 
     ``cache_mode``    ``"off"`` (default) runs every query cold, exactly
@@ -106,6 +120,9 @@ class ExecOptions:
     node_timeout: Optional[float] = None
     allow_partial: bool = False
     strict: bool = False
+    connect_timeout: float = 5.0
+    max_connections_per_node: int = 4
+    inflight_limit: int = 64
     cache_mode: str = "off"
     result_cache_bytes: int = 64 * 1024 * 1024
     plan_cache_entries: int = 128

@@ -146,6 +146,7 @@ class Virtualizer:
         strict = options is not None and options.strict
         if not (strict or tracer.enabled):
             return
+        from ..diag.options import analyze_options
         from ..diag.query import analyze_query
         from ..errors import QueryValidationError
 
@@ -153,6 +154,8 @@ class Virtualizer:
         findings.extend(
             analyze_query(self.dataset.descriptor, sql, self.functions)
         )
+        if options is not None:
+            findings.extend(analyze_options(options))
         if tracer.enabled:
             for diag in findings:
                 tracer.event(

@@ -6,12 +6,14 @@ Public surface:
   :data:`CODES` registry — the reporting vocabulary,
 * :func:`lint_descriptor` / :func:`lint_text` — the descriptor linter,
 * :func:`analyze_query` — query-vs-descriptor analysis,
+* :func:`analyze_options` — execution-option (ExecOptions) analysis,
 * :class:`Span` — re-exported source positions.
 """
 
 from ..metadata.spans import Span
 from .core import CODES, Collector, Diagnostic, Severity
 from .linter import lint_descriptor, lint_text
+from .options import analyze_options
 from .query import analyze_query
 
 __all__ = [
@@ -20,6 +22,7 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "Span",
+    "analyze_options",
     "analyze_query",
     "lint_descriptor",
     "lint_text",

@@ -38,6 +38,7 @@ class Severity(enum.Enum):
 #: RV0xx: the descriptor could not be analysed at all.
 #: RV1xx: descriptor (schema/storage/layout) lints.
 #: RQ2xx: query-vs-descriptor analyses.
+#: RO3xx: execution-option (ExecOptions) analyses.
 CODES: Dict[str, Tuple["Severity", str]] = {
     "RV001": (Severity.ERROR, "descriptor syntax error"),
     "RV002": (Severity.ERROR, "descriptor assembly error"),
@@ -79,6 +80,14 @@ CODES: Dict[str, Tuple["Severity", str]] = {
     "RQ208": (Severity.WARNING, "predicate excludes the declared dataspace"),
     "RQ209": (Severity.WARNING, "predicate defeats index pruning"),
     "RQ210": (Severity.WARNING, "duplicate SELECT column"),
+    "RO300": (Severity.ERROR, "inflight_limit must be positive"),
+    "RO301": (Severity.ERROR, "max_connections_per_node must be positive"),
+    "RO302": (Severity.ERROR, "connect_timeout must be positive"),
+    "RO303": (Severity.WARNING, "retry_backoff without retries"),
+    "RO304": (Severity.ERROR, "retries must be non-negative"),
+    "RO305": (Severity.ERROR, "batch_rows must be positive"),
+    "RO306": (Severity.WARNING, "inflight_limit below per-node pool size"),
+    "RO307": (Severity.ERROR, "node_timeout must be positive"),
 }
 
 

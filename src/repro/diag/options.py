@@ -1,0 +1,89 @@
+"""Execution-option analysis: the RO3xx diagnostics.
+
+:class:`~repro.core.options.ExecOptions` keeps its constructor
+permissive — a frozen dataclass you can build anywhere, including with
+values that make no operational sense (``inflight_limit=0`` would
+admit no request ever).  The judgement lives here instead, in the same
+diagnostic vocabulary as the descriptor and query analyses, so
+``ExecOptions(strict=True)`` refuses nonsense configurations at submit
+time and ``repro check`` can explain them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .core import Collector, Diagnostic
+
+
+def analyze_options(options) -> List[Diagnostic]:
+    """Findings about one :class:`~repro.core.options.ExecOptions`.
+
+    The default options produce no findings; every RO3xx error marks a
+    configuration that cannot execute sensibly (a query would hang,
+    never be admitted, or retry forever), warnings mark knob
+    combinations that silently do nothing.
+    """
+    out = Collector(source="options")
+    if options.inflight_limit < 1:
+        out.emit(
+            "RO300",
+            f"inflight_limit={options.inflight_limit} admits no request; "
+            "it must be >= 1",
+            fix="set inflight_limit to a positive request budget",
+        )
+    if options.max_connections_per_node < 1:
+        out.emit(
+            "RO301",
+            f"max_connections_per_node={options.max_connections_per_node} "
+            "leaves the per-node pool empty; it must be >= 1",
+            fix="set max_connections_per_node to a positive pool size",
+        )
+    if options.connect_timeout is not None and options.connect_timeout <= 0:
+        out.emit(
+            "RO302",
+            f"connect_timeout={options.connect_timeout} fails every dial "
+            "immediately; it must be > 0",
+            fix="set connect_timeout to a positive number of seconds",
+        )
+    if options.retry_backoff > 0 and options.retries == 0:
+        out.emit(
+            "RO303",
+            f"retry_backoff={options.retry_backoff} has no effect with "
+            "retries=0 (no retry ever sleeps)",
+            fix="set retries >= 1 or drop retry_backoff",
+        )
+    if options.retries < 0:
+        out.emit(
+            "RO304",
+            f"retries={options.retries} is negative; use 0 for "
+            "no retries",
+            fix="set retries to 0 or more",
+        )
+    if options.batch_rows < 1:
+        out.emit(
+            "RO305",
+            f"batch_rows={options.batch_rows} can never emit a batch; "
+            "it must be >= 1",
+            fix="set batch_rows to a positive row count",
+        )
+    if (
+        options.inflight_limit >= 1
+        and options.max_connections_per_node >= 1
+        and options.inflight_limit < options.max_connections_per_node
+    ):
+        out.emit(
+            "RO306",
+            f"inflight_limit={options.inflight_limit} is below "
+            f"max_connections_per_node={options.max_connections_per_node}; "
+            "the extra pooled connections can never be used",
+            fix="raise inflight_limit or shrink the per-node pool",
+        )
+    if options.node_timeout is not None and options.node_timeout <= 0:
+        out.emit(
+            "RO307",
+            f"node_timeout={options.node_timeout} abandons every attempt "
+            "instantly; use None for no timeout",
+            fix="set node_timeout to a positive number of seconds or None",
+        )
+    return list(out)

@@ -160,6 +160,47 @@ class FaultSpecError(StormError):
     """A fault rule or chaos profile specification is invalid."""
 
 
+class TransportError(StormError):
+    """The node wire protocol itself failed (handshake mismatch, bad
+    frame, wrong dataset).  NOT retryable: a peer speaking the wrong
+    protocol will not start speaking the right one on attempt two.
+    """
+
+
+class NodeConnectionError(ExtractionError):
+    """A network operation against a data-source node failed.
+
+    Covers refused/timed-out dials, connections reset mid-response, and
+    truncated frames.  Subclasses :class:`ExtractionError` so the query
+    service's retry machinery treats a flaky network exactly like a
+    flaky disk: retried per ``ExecOptions.retries``, degradable under
+    ``allow_partial``.
+    """
+
+    def __init__(self, node: str, cause: "Optional[BaseException]" = None):
+        self.node = node
+        self.cause = cause
+        message = f"connection to node {node!r} failed"
+        if cause is not None:
+            message += f": {type(cause).__name__}: {cause}"
+        super().__init__(message)
+
+
+class RemoteError(StormError):
+    """A node server reported a failure that is not a known I/O error.
+
+    Carries the remote exception's type name and message.  Programming
+    errors (planning bugs, bad plans) must propagate un-retried, exactly
+    as they would in-process.
+    """
+
+    def __init__(self, etype: str, message: str, node: str = ""):
+        self.etype = etype
+        self.node = node
+        prefix = f"node {node!r}: " if node else ""
+        super().__init__(f"{prefix}remote {etype}: {message}")
+
+
 class PartitionError(StormError):
     """Partition generation was asked for an unknown or invalid scheme."""
 

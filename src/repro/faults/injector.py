@@ -20,6 +20,18 @@ Injection points, in the order a chunk read hits them:
 4. ``on_transfer``  — the data mover checks the pseudo-node
                       ``client:<i>`` per delivery; ``node-down`` rules
                       against it model an unreachable destination.
+
+The out-of-process transport (:mod:`repro.net`) adds two socket-level
+points:
+
+5. ``on_connect``   — the coordinator consults this before dialing (or
+                      reusing a pooled connection to) a node; ``node-
+                      down`` rules fire here so a dead node fails before
+                      any bytes move.
+6. ``on_response``  — a node server consults this before each result
+                      frame; ``conn-reset`` rules make it slam the
+                      socket shut instead of answering, so the
+                      coordinator sees a raw connection reset.
 """
 
 from __future__ import annotations
@@ -129,6 +141,34 @@ class FaultInjector:
             # (or reads) on its healthy peers.
             self._sleep(delay)
         return data
+
+    def on_connect(self, node: str) -> None:
+        """Coordinator-side: about to dial (or reuse a connection to) a
+        node; a down node is unreachable before any request is sent."""
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if rule.kind != "node-down" or not rule.matches(node, "*"):
+                    continue
+                if self._armed(i, rule):
+                    self._fire(i, rule, node, "*", "connect")
+                    raise InjectedFault(
+                        f"injected node-down: cannot connect to node {node!r}"
+                    )
+
+    def on_response(self, node: str) -> None:
+        """Server-side: about to send a result frame; ``conn-reset``
+        rules abort the connection instead (the caller closes the socket
+        without a protocol-level error)."""
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if rule.kind != "conn-reset" or not rule.matches(node, "*"):
+                    continue
+                if self._armed(i, rule):
+                    self._fire(i, rule, node, "*", "response")
+                    raise InjectedFault(
+                        f"injected conn-reset: node {node!r} dropped the "
+                        "connection mid-response"
+                    )
 
     def on_transfer(self, client: int) -> None:
         """One delivery leaving the data mover for a client processor."""

@@ -11,7 +11,11 @@ which nodes and files it hits (glob patterns), how often (``times`` cap,
                        rule succeed, then every further read fails (a disk
                        dying mid-scan);
 ``node-down``          every operation touching the node fails (the
-                       machine is unreachable).
+                       machine is unreachable);
+``conn-reset``         the node's server abruptly closes the socket
+                       mid-response (out-of-process transport only; the
+                       coordinator sees a connection reset, not a typed
+                       error).
 
 Rules are declarative and immutable; the :class:`~repro.faults.injector.
 FaultInjector` owns all firing state, so one rule set can be replayed
@@ -33,6 +37,7 @@ KINDS = (
     "slow-read",
     "fail-after-chunks",
     "node-down",
+    "conn-reset",
 )
 
 

@@ -1,0 +1,231 @@
+"""The data-source node server: one STORM node as an OS process.
+
+"Data source services provide a view of a dataset to other services"
+(paper Section 2.3) — here as a standalone TCP server wrapping one
+:class:`~repro.storm.data_source.DataSourceService`.  The server never
+plans: it executes the fully-resolved extraction plans the coordinator
+ships (:mod:`~repro.net.wire`), streams the filtered rows back as
+columnar BATCH frames sized by the request's ``batch_rows``, and closes
+each request with a DONE frame carrying the node's IOStats.
+
+Concurrency is thread-per-connection over the one shared service; the
+extractor's handle/segment caches are internally locked, exactly as in
+the in-process path.  A server-side
+:class:`~repro.faults.FaultInjector` wraps the mount (disk chaos) and is
+consulted before every result frame (``conn-reset`` chaos): fault
+injection travels with the process that owns the disk.
+
+Entry point: ``repro serve DESC --root R --node osu0`` (see
+:mod:`repro.cli`), or programmatic embedding via :class:`NodeServer`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import threading
+from typing import Optional, Tuple
+
+from ..core.extractor import local_mount
+from ..core.stats import IOStats
+from ..obs.tracer import NULL_TRACER
+from ..sql.functions import FunctionRegistry
+from ..storm.data_source import DataSourceService
+from ..storm.filtering import FilteringService
+from . import framing, wire
+
+
+class NodeServer:
+    """Serve one node's extraction service over the wire protocol."""
+
+    def __init__(
+        self,
+        node: str,
+        root: str,
+        dataset: str = "",
+        functions: Optional[FunctionRegistry] = None,
+        fault_injector=None,
+        segment_cache_bytes: int = 32 * 1024 * 1024,
+        handle_cache: int = 64,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.node = node
+        self.dataset = dataset
+        self.fault_injector = fault_injector
+        mount = local_mount(root)
+        if fault_injector is not None:
+            mount = fault_injector.wrap(mount)
+        self.source = DataSourceService(
+            node,
+            mount,
+            FilteringService(functions),
+            segment_cache_bytes=segment_cache_bytes,
+            handle_cache=handle_cache,
+        )
+        self._sock = socket.create_server((host, port))
+        self._shutdown = threading.Event()
+        self._conn_threads: list = []
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); port is concrete even when 0 was asked."""
+        addr = self._sock.getsockname()
+        return (addr[0], addr[1])
+
+    def write_port_file(self, path: str) -> None:
+        """Atomically publish the bound address for process discovery."""
+        host, port = self.address
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            handle.write(f"{host} {port}\n")
+        os.replace(tmp, path)
+
+    # -- serving ------------------------------------------------------------
+
+    def serve_forever(self, poll_seconds: float = 0.5) -> None:
+        """Accept connections until :meth:`shutdown` (or SHUTDOWN frame)."""
+        self._sock.settimeout(poll_seconds)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name=f"node-{self.node}-conn",
+                    daemon=True,
+                )
+                thread.start()
+                self._conn_threads.append(thread)
+        finally:
+            self.close()
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+
+    def close(self) -> None:
+        self._shutdown.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self.source.close()
+
+    # -- one connection ------------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                while not self._shutdown.is_set():
+                    try:
+                        kind, payload = framing.read_frame(conn)
+                    except ConnectionError:
+                        return  # peer hung up between requests
+                    if not self._dispatch(conn, kind, payload):
+                        return
+        except ConnectionError:
+            return  # peer vanished mid-reply; nothing to answer to
+        except Exception as exc:  # keep the server alive for other clients
+            try:
+                framing.write_json(
+                    conn, framing.ERROR, wire.encode_error(exc)
+                )
+            except OSError:
+                pass
+
+    def _dispatch(self, conn, kind: int, payload: bytes) -> bool:
+        """Handle one frame; returns False to end the connection."""
+        if kind == framing.HELLO:
+            framing.write_json(
+                conn,
+                framing.WELCOME,
+                {
+                    "node": self.node,
+                    "dataset": self.dataset,
+                    "protocol": framing.PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                },
+            )
+            return True
+        if kind == framing.PING:
+            framing.write_frame(conn, framing.PONG)
+            return True
+        if kind == framing.DROP_CACHES:
+            self.source.drop_caches()
+            framing.write_frame(conn, framing.OK)
+            return True
+        if kind == framing.SHUTDOWN:
+            framing.write_frame(conn, framing.OK)
+            self.shutdown()
+            return False
+        if kind == framing.EXECUTE:
+            return self._execute(conn, payload)
+        framing.write_json(
+            conn,
+            framing.ERROR,
+            {
+                "etype": "TransportError",
+                "message": f"unexpected {framing.kind_name(kind)} frame",
+                "retryable": False,
+            },
+        )
+        return True
+
+    def _execute(self, conn, payload: bytes) -> bool:
+        """Run one extraction plan, streaming batches then DONE."""
+        from ..core.virtualizer import _batched
+        from ..errors import InjectedFault
+
+        request = framing.decode_json(payload)
+        try:
+            plan = wire.decode_plan(request["plan"])
+            options = wire.decode_options(request.get("options", {}))
+            stats = IOStats()
+            table = self.source.execute(
+                plan, plan.afcs, stats, NULL_TRACER, options
+            )
+        except Exception as exc:
+            framing.write_json(conn, framing.ERROR, wire.encode_error(exc))
+            return True
+        injector = self.fault_injector
+        batches = 0
+        try:
+            for batch in _batched(table, options.batch_rows):
+                if injector is not None:
+                    injector.on_response(self.node)
+                framing.write_frame(
+                    conn, framing.BATCH, wire.encode_table(batch)
+                )
+                batches += 1
+            if injector is not None:
+                injector.on_response(self.node)
+            framing.write_json(
+                conn,
+                framing.DONE,
+                {
+                    "rows": int(table.num_rows),
+                    "batches": batches,
+                    "stats": wire.encode_stats(stats),
+                },
+            )
+        except InjectedFault:
+            # conn-reset chaos: drop the socket with no protocol-level
+            # goodbye; the coordinator sees a raw connection reset.
+            try:
+                # Linger 0: RST on close, not a graceful FIN — the
+                # coordinator must see a *reset*, mid-stream.
+                conn.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:
+                pass
+            return False
+        return True

@@ -1,0 +1,390 @@
+"""Wire encoding: plans out as JSON, result batches back as raw columns.
+
+The coordinator plans centrally (it holds the descriptor and the chunk
+summaries) and ships each node only what extraction needs: the node's
+AFCs, the needed/output column lists, the residual WHERE AST, and the
+output dtypes.  Everything in an
+:class:`~repro.core.afc.ExtractionPlan` is frozen dataclasses over ints,
+strings, and tuples, so the plan side is plain JSON; strips are heavily
+shared between chunk refs (one strip per attribute group per file) and
+are deduplicated into a side table referenced by index.
+
+Result batches go the other way as raw bytes: a small JSON header (names,
+dtypes, row count) followed by the concatenated C-contiguous column
+buffers — ``np.frombuffer`` decodes them without parsing.  IOStats travel
+as their counter dict; errors as ``{etype, message, retryable}`` and are
+re-raised as the closest coordinator-side type so the retry machinery
+cannot tell a remote disk failure from a local one.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.afc import AlignedFileChunkSet, ChunkRef, ExtractionPlan, InnerVar
+from ..core.options import ExecOptions
+from ..core.stats import IOStats
+from ..core.strips import LoopDim, Strip
+from ..core.table import VirtualTable
+from ..errors import (
+    ExtractionError,
+    InjectedFault,
+    RemoteError,
+    TransportError,
+)
+from ..sql import ast
+
+# -- WHERE AST --------------------------------------------------------------
+
+
+def encode_where(node: Optional[ast.Node]) -> Optional[Dict[str, Any]]:
+    """A residual predicate AST as tagged JSON dicts (None passes through)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Column):
+        return {"t": "col", "name": node.name}
+    if isinstance(node, ast.Literal):
+        return {"t": "lit", "value": node.value}
+    if isinstance(node, ast.BoolLiteral):
+        return {"t": "bool", "value": node.value}
+    if isinstance(node, ast.FunctionCall):
+        return {
+            "t": "call",
+            "name": node.name,
+            "args": [encode_where(a) for a in node.args],
+        }
+    if isinstance(node, ast.Comparison):
+        return {
+            "t": "cmp",
+            "op": node.op,
+            "left": encode_where(node.left),
+            "right": encode_where(node.right),
+        }
+    if isinstance(node, ast.InList):
+        return {
+            "t": "in",
+            "operand": encode_where(node.operand),
+            "values": list(node.values),
+        }
+    if isinstance(node, ast.Between):
+        return {
+            "t": "between",
+            "operand": encode_where(node.operand),
+            "lo": node.lo,
+            "hi": node.hi,
+        }
+    if isinstance(node, ast.And):
+        return {"t": "and", "terms": [encode_where(t) for t in node.terms]}
+    if isinstance(node, ast.Or):
+        return {"t": "or", "terms": [encode_where(t) for t in node.terms]}
+    if isinstance(node, ast.Not):
+        return {"t": "not", "term": encode_where(node.term)}
+    raise TransportError(f"cannot encode AST node {type(node).__name__}")
+
+
+def decode_where(data: Optional[Dict[str, Any]]) -> Optional[ast.Node]:
+    if data is None:
+        return None
+    tag = data.get("t")
+    if tag == "col":
+        return ast.Column(data["name"])
+    if tag == "lit":
+        return ast.Literal(data["value"])
+    if tag == "bool":
+        return ast.BoolLiteral(data["value"])
+    if tag == "call":
+        return ast.FunctionCall(
+            data["name"], tuple(decode_where(a) for a in data["args"])
+        )
+    if tag == "cmp":
+        return ast.Comparison(
+            data["op"], decode_where(data["left"]), decode_where(data["right"])
+        )
+    if tag == "in":
+        return ast.InList(decode_where(data["operand"]), tuple(data["values"]))
+    if tag == "between":
+        return ast.Between(decode_where(data["operand"]), data["lo"], data["hi"])
+    if tag == "and":
+        return ast.And(tuple(decode_where(t) for t in data["terms"]))
+    if tag == "or":
+        return ast.Or(tuple(decode_where(t) for t in data["terms"]))
+    if tag == "not":
+        return ast.Not(decode_where(data["term"]))
+    raise TransportError(f"unknown AST tag {tag!r} in wire plan")
+
+
+# -- strips / AFCs / plans --------------------------------------------------
+
+
+def _encode_strip(strip: Strip) -> Dict[str, Any]:
+    return {
+        "leaf": strip.leaf_name,
+        "index": strip.strip_index,
+        "attrs": list(strip.attrs),
+        "offsets": list(strip.attr_offsets),
+        "formats": list(strip.attr_formats),
+        "record_size": strip.record_size,
+        "base_offset": strip.base_offset,
+        "dims": [
+            {
+                "var": d.var,
+                "start": d.start,
+                "stop": d.stop,
+                "step": d.step,
+                "stride": d.byte_stride,
+            }
+            for d in strip.dims
+        ],
+    }
+
+
+def _decode_strip(data: Dict[str, Any]) -> Strip:
+    return Strip(
+        leaf_name=data["leaf"],
+        strip_index=data["index"],
+        attrs=tuple(data["attrs"]),
+        attr_offsets=tuple(data["offsets"]),
+        attr_formats=tuple(data["formats"]),
+        record_size=data["record_size"],
+        base_offset=data["base_offset"],
+        dims=tuple(
+            LoopDim(d["var"], d["start"], d["stop"], d["step"], d["stride"])
+            for d in data["dims"]
+        ),
+    )
+
+
+def encode_plan(
+    plan: ExtractionPlan, afcs: List[AlignedFileChunkSet]
+) -> Dict[str, Any]:
+    """One node's share of a plan: ``afcs`` only, strips deduplicated."""
+    strips: List[Strip] = []
+    strip_ids: Dict[int, int] = {}
+
+    def strip_index(strip: Strip) -> int:
+        idx = strip_ids.get(id(strip))
+        if idx is None:
+            idx = len(strips)
+            strips.append(strip)
+            strip_ids[id(strip)] = idx
+        return idx
+
+    encoded_afcs = []
+    for afc in afcs:
+        encoded_afcs.append(
+            {
+                "rows": afc.num_rows,
+                "chunks": [
+                    {
+                        "node": c.node,
+                        "path": c.path,
+                        "offset": c.offset,
+                        "bpr": c.bytes_per_row,
+                        "strip": strip_index(c.strip),
+                    }
+                    for c in afc.chunks
+                ],
+                "constants": [[name, value] for name, value in afc.constants],
+                "inner": [
+                    {
+                        "name": iv.name,
+                        "start": iv.start,
+                        "step": iv.step,
+                        "count": iv.count,
+                        "repeat": iv.repeat,
+                    }
+                    for iv in afc.inner_vars
+                ],
+            }
+        )
+    return {
+        "needed": list(plan.needed),
+        "output": list(plan.output),
+        "where": encode_where(plan.where),
+        "dtypes": {name: np.dtype(dt).str for name, dt in plan.dtypes.items()},
+        "strips": [_encode_strip(s) for s in strips],
+        "afcs": encoded_afcs,
+    }
+
+
+def decode_plan(data: Dict[str, Any]) -> ExtractionPlan:
+    strips = [_decode_strip(s) for s in data["strips"]]
+    afcs = []
+    for entry in data["afcs"]:
+        afcs.append(
+            AlignedFileChunkSet(
+                num_rows=entry["rows"],
+                chunks=tuple(
+                    ChunkRef(
+                        node=c["node"],
+                        path=c["path"],
+                        offset=c["offset"],
+                        bytes_per_row=c["bpr"],
+                        strip=strips[c["strip"]],
+                    )
+                    for c in entry["chunks"]
+                ),
+                constants=tuple(
+                    (name, value) for name, value in entry["constants"]
+                ),
+                inner_vars=tuple(
+                    InnerVar(
+                        iv["name"], iv["start"], iv["step"], iv["count"],
+                        iv["repeat"],
+                    )
+                    for iv in entry["inner"]
+                ),
+            )
+        )
+    return ExtractionPlan(
+        afcs=afcs,
+        needed=list(data["needed"]),
+        output=list(data["output"]),
+        where=decode_where(data["where"]),
+        dtypes={name: np.dtype(s) for name, s in data["dtypes"].items()},
+    )
+
+
+# -- execution options ------------------------------------------------------
+
+#: The only fields a node server acts on; everything else (retries,
+#: caching, partitioning, admission control) is coordinator business.
+_NODE_OPTION_FIELDS = ("coalesce_gap_bytes", "intra_node_workers", "batch_rows")
+
+
+def encode_options(options: ExecOptions) -> Dict[str, Any]:
+    return {name: getattr(options, name) for name in _NODE_OPTION_FIELDS}
+
+
+def decode_options(data: Dict[str, Any]) -> ExecOptions:
+    known = {k: v for k, v in data.items() if k in _NODE_OPTION_FIELDS}
+    return ExecOptions(remote=False, parallel=False, **known)
+
+
+# -- result tables ----------------------------------------------------------
+
+_HEADER_LEN = struct.Struct("!I")
+
+
+def encode_table(table: VirtualTable) -> bytes:
+    """JSON header + concatenated C-contiguous column buffers."""
+    names = list(table.column_names)
+    arrays = [np.ascontiguousarray(table.column(n)) for n in names]
+    header = {
+        "rows": int(table.num_rows),
+        "columns": [
+            {"name": n, "dtype": a.dtype.str, "nbytes": int(a.nbytes)}
+            for n, a in zip(names, arrays)
+        ],
+    }
+    blob = json.dumps(header).encode("utf-8")
+    parts = [_HEADER_LEN.pack(len(blob)), blob]
+    parts.extend(a.tobytes() for a in arrays)
+    return b"".join(parts)
+
+
+def decode_table(payload: bytes) -> VirtualTable:
+    if len(payload) < _HEADER_LEN.size:
+        raise TransportError("truncated table batch: missing header")
+    (header_len,) = _HEADER_LEN.unpack_from(payload)
+    end = _HEADER_LEN.size + header_len
+    try:
+        header = json.loads(payload[_HEADER_LEN.size:end].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise TransportError(f"malformed table batch header: {exc}") from None
+    rows = header["rows"]
+    columns: Dict[str, np.ndarray] = {}
+    order: List[str] = []
+    offset = end
+    view = memoryview(payload)
+    for col in header["columns"]:
+        nbytes = col["nbytes"]
+        if offset + nbytes > len(payload):
+            raise TransportError(
+                f"truncated table batch: column {col['name']!r} wants "
+                f"{nbytes} bytes, {len(payload) - offset} remain"
+            )
+        array = np.frombuffer(
+            view[offset:offset + nbytes], dtype=np.dtype(col["dtype"])
+        )
+        if array.shape[0] != rows:
+            raise TransportError(
+                f"column {col['name']!r} decoded {array.shape[0]} rows, "
+                f"header says {rows}"
+            )
+        columns[col["name"]] = array
+        order.append(col["name"])
+        offset += nbytes
+    return VirtualTable(columns, order=order)
+
+
+def empty_table(plan: ExtractionPlan) -> VirtualTable:
+    """The zero-batch result shape (all output columns, zero rows)."""
+    return VirtualTable(
+        {
+            name: np.empty(0, dtype=plan.dtypes.get(name, np.float64))
+            for name in plan.output
+        },
+        order=plan.output,
+    )
+
+
+# -- stats and errors -------------------------------------------------------
+
+
+def encode_stats(stats: IOStats) -> Dict[str, int]:
+    return stats.as_dict()
+
+
+def decode_stats(data: Dict[str, int]) -> IOStats:
+    known = {
+        k: v for k, v in data.items() if k in IOStats.__dataclass_fields__
+    }
+    return IOStats(**known)
+
+
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """A server-side failure as a typed, retryability-tagged payload."""
+    return {
+        "etype": type(exc).__name__,
+        "message": str(exc),
+        "retryable": isinstance(exc, (ExtractionError, OSError)),
+    }
+
+
+def decode_error(data: Dict[str, Any], node: str) -> Exception:
+    """The closest coordinator-side exception for a remote failure.
+
+    Injected faults keep their type (chaos accounting and tests see the
+    same errors as in-process runs); other retryable failures collapse to
+    :class:`ExtractionError`; everything else becomes a non-retryable
+    :class:`RemoteError` carrying the remote type name.
+    """
+    etype = data.get("etype", "Exception")
+    message = data.get("message", "")
+    if etype == "InjectedFault":
+        return InjectedFault(f"node {node!r}: {message}")
+    if data.get("retryable"):
+        return ExtractionError(f"node {node!r}: {etype}: {message}")
+    return RemoteError(etype, message, node)
+
+
+__all__ = [
+    "decode_error",
+    "decode_options",
+    "decode_plan",
+    "decode_stats",
+    "decode_table",
+    "decode_where",
+    "empty_table",
+    "encode_error",
+    "encode_options",
+    "encode_plan",
+    "encode_stats",
+    "encode_table",
+    "encode_where",
+]

@@ -40,6 +40,7 @@ from ..errors import (
     InjectedFault,
     NodeFailureError,
     NodeTimeoutError,
+    StormError,
 )
 from ..obs.tracer import TraceContext, Tracer
 from ..sql.ast import Query
@@ -51,6 +52,7 @@ from .filtering import FilteringService
 from .indexing_service import IndexingService
 from .mover import DataMoverService, Delivery
 from .partition import Partitioner, RoundRobinPartitioner
+from .transport import LocalTransport, Transport
 
 #: Failures worth retrying: real or injected I/O errors and per-attempt
 #: timeouts.  Programming errors (planning bugs, bad SQL) propagate.
@@ -145,13 +147,14 @@ class QueryService:
     def __init__(
         self,
         dataset: CompiledDataset,
-        cluster: VirtualCluster,
+        cluster: Optional[VirtualCluster] = None,
         functions: Optional[FunctionRegistry] = None,
         cost_model: CostModel = STORM_COST,
         max_workers: Optional[int] = None,
         segment_cache_bytes: int = 32 * 1024 * 1024,
         handle_cache: int = 64,
         fault_injector=None,
+        transport: Optional[Transport] = None,
     ):
         self.dataset = dataset
         self.cluster = cluster
@@ -164,12 +167,22 @@ class QueryService:
         #: and gates mover deliveries (chaos testing).
         self.fault_injector = fault_injector
         self.mover = DataMoverService(injector=fault_injector)
-        self.sources: Dict[str, DataSourceService] = {}
-        #: Concurrent submits race to build per-node services; without
-        #: this lock two threads can construct two DataSourceService
-        #: instances for one node, doubling file handles and splitting
-        #: the per-node cache/lock in two.
-        self._sources_lock = threading.Lock()
+        #: How extraction plans reach data-source services: in-process
+        #: over a VirtualCluster by default, or any Transport (e.g. the
+        #: TCP transport of repro.net) reaching real node processes.
+        if transport is None:
+            if cluster is None:
+                raise StormError(
+                    "QueryService needs a cluster or a transport"
+                )
+            transport = LocalTransport(
+                cluster,
+                self.filtering,
+                segment_cache_bytes=segment_cache_bytes,
+                handle_cache=handle_cache,
+                fault_injector=fault_injector,
+            )
+        self.transport = transport
         self.max_workers = max_workers
         self.segment_cache_bytes = segment_cache_bytes
         self.handle_cache = handle_cache
@@ -185,22 +198,18 @@ class QueryService:
             self._indexing = IndexingService(self.dataset)
         return self._indexing
 
+    @property
+    def sources(self) -> Dict[str, DataSourceService]:
+        """The local transport's per-node service map (same dict object).
+
+        Remote transports have no in-process services; the map is empty.
+        Kept as a live view for tests and tooling that reach into it.
+        """
+        return getattr(self.transport, "sources", {})
+
     def _source(self, node: str) -> DataSourceService:
-        with self._sources_lock:
-            source = self.sources.get(node)
-            if source is None:
-                mount = self.cluster.mount()
-                if self.fault_injector is not None:
-                    mount = self.fault_injector.wrap(mount)
-                source = DataSourceService(
-                    node,
-                    mount,
-                    self.filtering,
-                    segment_cache_bytes=self.segment_cache_bytes,
-                    handle_cache=self.handle_cache,
-                )
-                self.sources[node] = source
-            return source
+        """Deprecated internal accessor; kept for existing callers."""
+        return self.transport.source(node)
 
     def _cache_for(self, opts: ExecOptions):
         """The shared QueryCache, or None when this query runs uncached."""
@@ -232,10 +241,7 @@ class QueryService:
         result/plan caches (counters included) — after this, every
         query's I/O starts from a cold disk and a cold cache.
         """
-        with self._sources_lock:
-            sources = list(self.sources.values())
-        for source in sources:
-            source.drop_caches()
+        self.transport.drop_caches()
         with self._cache_lock:
             cache = self._query_cache
         if cache is not None:
@@ -423,8 +429,8 @@ class QueryService:
         def attempt_node(node: str, attempt_stats: IOStats) -> VirtualTable:
             """One extraction attempt, bounded by node_timeout."""
             if opts.node_timeout is None:
-                return self._source(node).execute(
-                    plan, by_node[node], attempt_stats, tracer, opts
+                return self.transport.execute_node(
+                    node, plan, by_node[node], attempt_stats, tracer, opts
                 )
             # A hung attempt cannot be interrupted from outside, so it
             # runs on a sacrificial thread we abandon on timeout (it
@@ -434,7 +440,8 @@ class QueryService:
                 max_workers=1, thread_name_prefix=f"extract-{node}"
             )
             future = pool.submit(
-                self._source(node).execute,
+                self.transport.execute_node,
+                node,
                 plan,
                 by_node[node],
                 attempt_stats,
@@ -553,6 +560,8 @@ class QueryService:
         """
         if not (opts.strict or tracer.enabled):
             return
+        from ..diag.options import analyze_options
+
         findings = []
         collector = getattr(self.dataset, "diagnostics", None)
         if collector is not None:
@@ -564,6 +573,7 @@ class QueryService:
             findings.extend(
                 analyze_query(descriptor, sql, self.filtering.functions)
             )
+        findings.extend(analyze_options(opts))
         if tracer.enabled:
             for diag in findings:
                 tracer.event(
@@ -643,10 +653,7 @@ class QueryService:
         )
 
     def close(self) -> None:
-        with self._sources_lock:
-            sources = list(self.sources.values())
-        for source in sources:
-            source.close()
+        self.transport.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,0 +1,138 @@
+"""Transports: how the query service reaches its data-source services.
+
+The paper's STORM runtime separates the query service (coordinator) from
+the per-node data source services; *where* those services run is a
+transport decision.  :class:`Transport` is the seam: the query service
+plans, retries, times out, degrades, and caches exactly the same whether
+``execute_node`` calls a :class:`~repro.storm.data_source.
+DataSourceService` in this process (:class:`LocalTransport`, the
+``local://`` path — the original in-process simulation) or ships the
+plan over a socket to a node server process
+(:class:`repro.net.client.TcpTransport`, the ``tcp://`` path).
+
+``LocalTransport`` owns what used to live directly on ``QueryService``:
+the lazily-built per-node service map and its construction lock.  The
+service keeps delegating ``sources`` / ``_source`` so existing callers
+and tests see the same objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from ..core.afc import AlignedFileChunkSet, ExtractionPlan
+from ..core.stats import IOStats
+from ..core.table import VirtualTable
+from ..obs.tracer import NULL_TRACER
+from .cluster import VirtualCluster
+from .data_source import DataSourceService
+from .filtering import FilteringService
+
+
+class Transport:
+    """Reaches data-source services for a fixed set of nodes."""
+
+    #: URL scheme this transport answers to (for reprs and docs).
+    scheme = "abstract"
+
+    def execute_node(
+        self,
+        node: str,
+        plan: ExtractionPlan,
+        afcs: List[AlignedFileChunkSet],
+        stats: IOStats,
+        tracer=NULL_TRACER,
+        options=None,
+    ) -> VirtualTable:
+        """Run one node's share of a plan; returns its partial table.
+
+        Must be thread-safe: the query service calls it concurrently
+        from one worker thread per node (plus retry attempts).
+        """
+        raise NotImplementedError
+
+    def drop_caches(self) -> None:
+        """Forget per-node handle/segment caches (cold-run mode)."""
+
+    def close(self) -> None:
+        """Release connections/handles; the transport is done."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LocalTransport(Transport):
+    """In-process data-source services over a directory-backed cluster."""
+
+    scheme = "local"
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        filtering: FilteringService,
+        segment_cache_bytes: int = 32 * 1024 * 1024,
+        handle_cache: int = 64,
+        fault_injector=None,
+    ):
+        self.cluster = cluster
+        self.filtering = filtering
+        self.segment_cache_bytes = segment_cache_bytes
+        self.handle_cache = handle_cache
+        self.fault_injector = fault_injector
+        self.sources: Dict[str, DataSourceService] = {}
+        #: Concurrent submits race to build per-node services; without
+        #: this lock two threads can construct two DataSourceService
+        #: instances for one node, doubling file handles and splitting
+        #: the per-node cache/lock in two.
+        self._sources_lock = threading.Lock()
+
+    def source(self, node: str) -> DataSourceService:
+        """The node's service, built lazily under the construction lock."""
+        with self._sources_lock:
+            source = self.sources.get(node)
+            if source is None:
+                mount = self.cluster.mount()
+                if self.fault_injector is not None:
+                    mount = self.fault_injector.wrap(mount)
+                source = DataSourceService(
+                    node,
+                    mount,
+                    self.filtering,
+                    segment_cache_bytes=self.segment_cache_bytes,
+                    handle_cache=self.handle_cache,
+                )
+                self.sources[node] = source
+            return source
+
+    def execute_node(
+        self,
+        node: str,
+        plan: ExtractionPlan,
+        afcs: List[AlignedFileChunkSet],
+        stats: IOStats,
+        tracer=NULL_TRACER,
+        options=None,
+    ) -> VirtualTable:
+        return self.source(node).execute(plan, afcs, stats, tracer, options)
+
+    def drop_caches(self) -> None:
+        with self._sources_lock:
+            sources = list(self.sources.values())
+        for source in sources:
+            source.drop_caches()
+
+    def close(self) -> None:
+        with self._sources_lock:
+            sources = list(self.sources.values())
+        for source in sources:
+            source.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<LocalTransport {len(self.cluster)} node(s) at "
+            f"{self.cluster.root!r}>"
+        )

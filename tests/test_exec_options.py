@@ -24,6 +24,9 @@ class TestExecOptions:
         assert opts.trace is None
         assert opts.coalesce_gap_bytes == 64 * 1024
         assert opts.intra_node_workers == 1
+        assert opts.connect_timeout == 5.0
+        assert opts.max_connections_per_node == 4
+        assert opts.inflight_limit == 64
         assert DEFAULT_OPTIONS == opts
 
     def test_frozen(self):
@@ -96,6 +99,47 @@ class TestSubmitOptions:
             "SELECT X FROM IparsData", ExecOptions(remote=False)
         )
         assert result.total_stats is result.total_stats  # cached, not rebuilt
+
+
+class TestTransportOptions:
+    def test_defaults_produce_no_findings(self):
+        assert repro.analyze_options(ExecOptions()) == []
+
+    def test_nonsense_knobs_flagged(self):
+        findings = repro.analyze_options(
+            ExecOptions(
+                inflight_limit=0,
+                max_connections_per_node=-2,
+                connect_timeout=0.0,
+            )
+        )
+        assert {f.code for f in findings} == {"RO300", "RO301", "RO302"}
+        assert all(str(f.severity) == "error" for f in findings)
+
+    def test_backoff_without_retries_warns(self):
+        findings = repro.analyze_options(
+            ExecOptions(retries=0, retry_backoff=0.5)
+        )
+        assert [f.code for f in findings] == ["RO303"]
+        assert str(findings[0].severity) == "warning"
+
+    def test_strict_rejects_zero_inflight(self, small_service):
+        _, _, service = small_service
+        with pytest.raises(repro.QueryValidationError, match="RO300"):
+            service.submit(
+                "SELECT X FROM IparsData",
+                ExecOptions(strict=True, inflight_limit=0),
+            )
+
+    def test_nonstrict_executes_despite_bad_knobs(self, small_service):
+        # Local transport never consults the pool limits; permissive mode
+        # must not punish that.
+        _, _, service = small_service
+        result = service.submit(
+            "SELECT X FROM IparsData",
+            ExecOptions(remote=False, inflight_limit=0),
+        )
+        assert result.num_rows > 0
 
 
 class TestVirtualizerOptions:

@@ -1,0 +1,207 @@
+"""End-to-end cluster tests: real OS processes over real sockets.
+
+These spawn ``repro serve`` subprocesses via :class:`ProcessCluster` and
+drive them through ``repro.connect("tcp://...")`` — the full out-of-process
+STORM path, asserted bit-identical against the in-process reference.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import ExecOptions, local_mount
+from repro.datasets import IparsConfig, ipars
+from repro.errors import NodeFailureError, StormError
+from repro.net import ProcessCluster
+from tests.conftest import assert_tables_equal
+
+CLUSTER_IPARS = IparsConfig(
+    num_rels=2, num_times=8, cells_per_node=24, num_nodes=3
+)
+
+SQL = "SELECT REL, TIME, X, Y, SOIL FROM IparsData WHERE TIME > 1 AND TIME <= 6"
+
+
+@pytest.fixture(scope="module")
+def cluster_dataset(tmp_path_factory):
+    """(descriptor text, root) for a 3-node on-disk IPARS dataset."""
+    root = tmp_path_factory.mktemp("net_cluster")
+    text, _ = ipars.generate(CLUSTER_IPARS, "L0", local_mount(str(root)))
+    return text, str(root)
+
+
+@pytest.fixture(scope="module")
+def local_reference(cluster_dataset):
+    """The in-process answer every remote run must match bit-for-bit."""
+    text, root = cluster_dataset
+    with repro.connect(f"local://{root}", descriptor=text) as db:
+        return db.query(SQL)
+
+
+@pytest.fixture(scope="module")
+def procs(cluster_dataset):
+    """One 3-process cluster shared by the clean-path tests."""
+    text, root = cluster_dataset
+    with ProcessCluster(text, root) as cluster:
+        yield cluster
+
+
+class TestProcessCluster:
+    def test_three_processes_launch(self, procs):
+        assert sorted(procs.addresses) == ["osu0", "osu1", "osu2"]
+        assert procs.alive() == {"osu0": True, "osu1": True, "osu2": True}
+        assert procs.url.startswith("tcp://")
+        assert procs.url.count(",") == 2
+
+    def test_remote_bit_identical_to_local(self, procs, local_reference):
+        with procs.connect() as db:
+            remote = db.query(SQL)
+        assert_tables_equal(remote, local_reference)
+        # Bit-identical, not just equal-as-multisets: exact bytes after
+        # canonical ordering.
+        for name in remote.column_names:
+            a = remote.canonical()[name]
+            b = local_reference.canonical()[name]
+            assert a.dtype == b.dtype
+            np.testing.assert_array_equal(a, b)
+
+    def test_select_star_and_empty_result(self, procs, cluster_dataset):
+        text, root = cluster_dataset
+        with procs.connect() as db, repro.connect(
+            f"local://{root}", descriptor=text
+        ) as ref:
+            sql = "SELECT * FROM IparsData WHERE REL = 1 AND TIME = 3"
+            assert_tables_equal(db.query(sql), ref.query(sql))
+            empty = db.query("SELECT X FROM IparsData WHERE TIME > 999")
+            assert empty.num_rows == 0
+
+    def test_stats_travel_from_nodes(self, procs):
+        with procs.connect() as db:
+            db.drop_caches()  # earlier tests warmed the node segment caches
+            result = db.submit(SQL)
+        nodes = {"osu0", "osu1", "osu2"}
+        assert nodes <= set(result.per_node_stats)  # plus "_transfer"
+        assert all(
+            result.per_node_stats[n].bytes_read > 0 for n in nodes
+        )
+        assert result.total_stats.bytes_read == sum(
+            s.bytes_read for s in result.per_node_stats.values()
+        )
+
+    def test_remote_drop_caches(self, procs):
+        with procs.connect() as db:
+            db.query(SQL)
+            db.drop_caches()
+            db.query(SQL)
+
+    def test_query_iter_batches(self, procs, local_reference):
+        from repro.core.table import concat_tables
+
+        with procs.connect(batch_rows=64) as db:
+            batches = list(db.query_iter(SQL))
+        assert len(batches) > 1
+        assert all(b.num_rows <= 64 for b in batches[:-1])
+        assert_tables_equal(concat_tables(batches), local_reference)
+
+    def test_missing_node_rejected_at_connect(self, procs, cluster_dataset):
+        text, _ = cluster_dataset
+        # A URL that only covers two of the three storage nodes must be
+        # rejected up front, not fail mid-query.
+        partial_url = "tcp://" + ",".join(
+            f"{h}:{p}"
+            for n, (h, p) in sorted(procs.addresses.items())
+            if n != "osu2"
+        )
+        with pytest.raises(StormError, match="osu2"):
+            repro.connect(partial_url, descriptor=text)
+
+
+class TestClusterChaos:
+    def test_conn_reset_recovers_with_retries(self, cluster_dataset, local_reference):
+        text, root = cluster_dataset
+        rules = ["conn-reset:osu1:*:times=1"]
+        with ProcessCluster(text, root, rules=rules, seed=7) as cluster:
+            with cluster.connect(retries=2, retry_backoff=0.01) as db:
+                result = db.submit(SQL)
+        assert not result.degraded
+        assert result.failed_nodes == []
+        assert_tables_equal(result.table, local_reference)
+
+    def test_unlimited_conn_reset_degrades(self, cluster_dataset):
+        text, root = cluster_dataset
+        rules = ["conn-reset:osu1"]
+        with ProcessCluster(text, root, rules=rules, seed=7) as cluster:
+            with cluster.connect(
+                retries=1, retry_backoff=0.01, allow_partial=True
+            ) as db:
+                result = db.submit(SQL)
+        assert result.degraded
+        assert result.failed_nodes == ["osu1"]
+        assert set(result.table["REL"]) <= {0, 1}
+
+    def test_unlimited_conn_reset_without_partial_raises(self, cluster_dataset):
+        text, root = cluster_dataset
+        rules = ["conn-reset:osu1"]
+        with ProcessCluster(text, root, rules=rules, seed=7) as cluster:
+            with cluster.connect(retries=1, retry_backoff=0.01) as db:
+                with pytest.raises(NodeFailureError):
+                    db.submit(SQL)
+
+    def test_process_killed_mid_session_degrades(self, cluster_dataset):
+        # connect() dials every node eagerly, so the process must die
+        # *after* the handshake to exercise the mid-session path.
+        text, root = cluster_dataset
+        with ProcessCluster(text, root) as cluster:
+            with cluster.connect(
+                retries=1, retry_backoff=0.01, allow_partial=True,
+                connect_timeout=2.0,
+            ) as db:
+                full = db.submit(SQL)
+                cluster.kill_node("osu2")
+                result = db.submit(SQL)
+        assert not full.degraded
+        assert result.degraded
+        assert result.failed_nodes == ["osu2"]
+
+    def test_connect_to_dead_node_is_transport_error(self, cluster_dataset):
+        from repro.errors import TransportError
+
+        text, root = cluster_dataset
+        with ProcessCluster(text, root) as cluster:
+            cluster.kill_node("osu2")
+            with pytest.raises(TransportError, match="no node server"):
+                cluster.connect(connect_timeout=2.0)
+
+
+class TestClusterCli:
+    def test_cluster_command_full_result(self, cluster_dataset, capsys, tmp_path):
+        from repro.cli import main
+
+        text, root = cluster_dataset
+        desc = tmp_path / "cluster.desc"
+        desc.write_text(text)
+        rc = main(
+            ["cluster", str(desc), SQL, "--root", root, "--retries", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DEGRADED" not in out
+
+    def test_cluster_command_degraded_exit_code(
+        self, cluster_dataset, capsys, tmp_path
+    ):
+        from repro.cli import main
+
+        text, root = cluster_dataset
+        desc = tmp_path / "cluster.desc"
+        desc.write_text(text)
+        rc = main(
+            [
+                "cluster", str(desc), SQL, "--root", root,
+                "--rule", "conn-reset:osu1", "--retries", "1",
+                "--backoff", "0.01",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "DEGRADED" in out
