@@ -65,6 +65,14 @@ class QueryKey:
     output: Tuple[str, ...]
     ranges: CanonicalRanges
     residual: Tuple[str, ...]
+    #: ``()`` for plain row queries.  Aggregate queries carry
+    #: ``("BY", <group attrs...>)`` — the marker separates an aggregate
+    #: from a row query with the same projection (GROUP BY alone has
+    #: DISTINCT semantics, so identical output columns do not imply
+    #: identical results), and for aggregate keys ``output`` holds the
+    #: *final result labels* (e.g. ``SUM(SOIL)``), because the cached
+    #: value is the finalised result table, not base rows.
+    aggregate: Tuple[str, ...] = ()
 
 
 def descriptor_fingerprint(descriptor) -> str:
@@ -192,13 +200,20 @@ def split_where(where: Optional[Node]) -> Tuple[RangeMap, Tuple[str, ...]]:
 # ---------------------------------------------------------------------------
 
 
-def query_key(fingerprint: str, query: Query, output: Sequence[str]) -> QueryKey:
+def query_key(
+    fingerprint: str,
+    query: Query,
+    output: Sequence[str],
+    aggregate: Sequence[str] = (),
+) -> QueryKey:
     """The normalized cache key of a resolved query."""
     ranges, residual = split_where(query.where)
     canonical: CanonicalRanges = tuple(
         sorted((name, ivs.intervals) for name, ivs in ranges.items())
     )
-    return QueryKey(fingerprint, tuple(output), canonical, residual)
+    return QueryKey(
+        fingerprint, tuple(output), canonical, residual, tuple(aggregate)
+    )
 
 
 def ranges_of(key: QueryKey) -> RangeMap:
@@ -216,6 +231,11 @@ def key_subsumes(cached: QueryKey, new: QueryKey) -> bool:
     cache itself, not here.
     """
     if cached.dataset != new.dataset:
+        return False
+    if cached.aggregate or new.aggregate:
+        # Aggregate results are reduced tables: re-filtering them cannot
+        # answer a narrower query (the per-group sums already folded rows
+        # the narrower predicate would exclude).  Exact hits only.
         return False
     if not set(cached.residual) <= set(new.residual):
         return False

@@ -118,8 +118,26 @@ class QueryCache:
 
     def key_and_needed(self, query: Query) -> Tuple[QueryKey, FrozenSet[str]]:
         """The normalized key of a resolved query, plus the columns any
-        cached table must store to answer it (output + WHERE inputs)."""
+        cached table must store to answer it (output + WHERE inputs).
+
+        Aggregate queries cache their *final* labelled result table:
+        the key's output is the result labels, the key carries the
+        aggregate marker (so a GROUP-BY-only query can never collide
+        with the row query projecting the same columns), and only exact
+        hits serve it — subsumption stays row-query-only.
+        """
         needed, output = self.dataset.needed_columns(query)
+        if query.is_aggregate:
+            from ..core.aggregate import aggregate_spec
+
+            spec = aggregate_spec(query, list(self.dataset.schema.names))
+            key = query_key(
+                self.fingerprint,
+                query,
+                spec.output,
+                aggregate=("BY",) + spec.group_by,
+            )
+            return key, frozenset(spec.output)
         return query_key(self.fingerprint, query, output), frozenset(needed)
 
     # -- serving --------------------------------------------------------------

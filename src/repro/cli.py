@@ -342,6 +342,7 @@ def cmd_trace(args) -> int:
         trace=tracer,
         remote=not args.local,
         num_clients=args.clients,
+        agg_pushdown=not args.no_agg_pushdown,
     )
     with QueryService(dataset, cluster) as service:
         result = service.submit(args.sql, options)
@@ -498,6 +499,7 @@ def cmd_cluster(args) -> int:
         allow_partial=not args.no_partial,
         connect_timeout=args.connect_timeout,
         trace=tracer,
+        agg_pushdown=not args.no_agg_pushdown,
     )
     cluster = ProcessCluster(
         args.descriptor if args.descriptor != "-" else _read_text("-"),
@@ -666,6 +668,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summaries", help="chunk summary file to prune with")
     p.add_argument("--interpreted", action="store_true",
                    help="use the interpreted planner instead of codegen")
+    p.add_argument("--no-agg-pushdown", action="store_true",
+                   help="aggregate at the coordinator instead of per node "
+                        "(ablation; ships every filtered row)")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -761,6 +766,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 30)")
     p.add_argument("--trace-out",
                    help="also write a chrome-trace JSON of the run here")
+    p.add_argument("--no-agg-pushdown", action="store_true",
+                   help="aggregate at the coordinator instead of per node "
+                        "(ablation; ships every filtered row)")
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("explain", help="show the plan for a query")

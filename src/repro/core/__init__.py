@@ -7,6 +7,15 @@ chunk extractor.
 """
 
 from .afc import AlignedFileChunkSet, ChunkRef, ExtractionPlan, InnerVar
+from .aggregate import (
+    AggregateSpec,
+    aggregate_rows,
+    aggregate_spec,
+    finalize,
+    merge_partials,
+    partial_aggregate,
+    summary_answer,
+)
 from .analysis import (
     Alignment,
     ChunkSummaries,
@@ -33,6 +42,7 @@ from .table import VirtualTable, concat_tables
 from .virtualizer import Virtualizer, open_dataset
 
 __all__ = [
+    "AggregateSpec",
     "AlignedFileChunkSet",
     "Alignment",
     "ChunkRef",
@@ -52,16 +62,22 @@ __all__ = [
     "Strip",
     "VirtualTable",
     "Virtualizer",
+    "aggregate_rows",
+    "aggregate_spec",
     "build_strips",
     "compute_alignment",
     "concat_tables",
     "consistent_group",
     "enumerate_afcs",
     "enumerate_files",
+    "finalize",
     "find_file_groups",
     "generate_index_source",
     "local_mount",
     "match_file",
+    "merge_partials",
     "open_dataset",
+    "partial_aggregate",
     "row_variable_order",
+    "summary_answer",
 ]

@@ -21,11 +21,14 @@ the chunk in a known repeat/tile pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .strips import Strip
+
+if TYPE_CHECKING:  # pragma: no cover - avoid import at module load
+    from .aggregate import AggregateSpec
 
 
 @dataclass(frozen=True)
@@ -197,13 +200,20 @@ def split_afc(
 
 @dataclass
 class ExtractionPlan:
-    """Everything the extractor needs to answer one query."""
+    """Everything the extractor needs to answer one query.
+
+    For aggregate queries ``output`` lists the *base row* columns (group
+    keys plus aggregate arguments) and ``aggregate`` carries the
+    reduction to fold them through; data-source services then return
+    partial state frames instead of rows (see :mod:`repro.core.aggregate`).
+    """
 
     afcs: List[AlignedFileChunkSet]
     needed: List[str]  # columns to materialise (projection + WHERE refs)
     output: List[str]  # final projection, in SELECT order
     where: Optional[object] = None  # residual predicate AST (applied to all rows)
     dtypes: Dict[str, np.dtype] = field(default_factory=dict)
+    aggregate: Optional["AggregateSpec"] = None
 
     @property
     def planned_rows(self) -> int:

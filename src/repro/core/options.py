@@ -90,6 +90,17 @@ class ExecOptions:
                       coordinator allows on the wire at once across all
                       nodes; excess submits queue until a slot frees.
 
+    Aggregation (see docs/architecture.md, "Aggregate pushdown"):
+
+    ``agg_pushdown``  compute partial aggregates on the data-source
+                      nodes and merge the per-node state frames at the
+                      coordinator (the default).  ``False`` is the
+                      ablation: nodes ship full filtered rows and the
+                      coordinator aggregates client-side — results are
+                      identical, only the bytes moved change (diag RO308
+                      notes the ablation).  Coordinator-side only; node
+                      servers never see this flag.
+
     Caching (see docs/architecture.md, "Caching & reuse"):
 
     ``cache_mode``    ``"off"`` (default) runs every query cold, exactly
@@ -120,6 +131,7 @@ class ExecOptions:
     node_timeout: Optional[float] = None
     allow_partial: bool = False
     strict: bool = False
+    agg_pushdown: bool = True
     connect_timeout: float = 5.0
     max_connections_per_node: int = 4
     inflight_limit: int = 64

@@ -239,8 +239,23 @@ class CompiledDataset:
         return query
 
     def needed_columns(self, query: Query) -> Tuple[List[str], List[str]]:
-        """(needed, output) column lists, validated against the schema."""
-        output = query.projected_names(self.schema.names)
+        """(needed, output) column lists, validated against the schema.
+
+        For aggregate queries both lists describe the *base row plan*:
+        the group keys and aggregate arguments extraction must
+        materialise, not the computed output labels (those come from the
+        plan's :class:`~repro.core.aggregate.AggregateSpec`).
+        """
+        if query.is_aggregate:
+            from .aggregate import aggregate_spec
+
+            spec = aggregate_spec(query, self.schema.names)
+            output = list(spec.group_by)
+            for item in spec.items:
+                if item.column is not None and item.column not in output:
+                    output.append(item.column)
+        else:
+            output = query.projected_names(self.schema.names)
         needed = list(output)
         for name in query.referenced_columns():
             if name not in self.schema:
@@ -276,11 +291,18 @@ class CompiledDataset:
         with tracer.span("plan", dataset=self.descriptor.name) as span:
             query = self.resolve_query(query)
             needed, output = self.needed_columns(query)
+            spec = None
+            if query.is_aggregate:
+                from .aggregate import aggregate_spec
+
+                spec = aggregate_spec(query, self.schema.names)
             ranges = extract_ranges(query.where)
             dtypes = {a.name: a.dtype for a in self.schema}
             if query_is_unsatisfiable(ranges):
                 span.tag(unsatisfiable=True, afcs=0)
-                return ExtractionPlan([], needed, output, query.where, dtypes)
+                return ExtractionPlan(
+                    [], needed, output, query.where, dtypes, aggregate=spec
+                )
             # Note: no ``len(self.groups)`` tag here — touching ``groups``
             # would defeat the lazy analysis on the cached-codegen path.
             with tracer.span("index") as index_span:
@@ -295,7 +317,9 @@ class CompiledDataset:
                     for piece in split_afc(afc, self.chunk_row_cap)
                 ]
             span.tag(afcs=len(afcs))
-            return ExtractionPlan(afcs, needed, output, query.where, dtypes)
+            return ExtractionPlan(
+                afcs, needed, output, query.where, dtypes, aggregate=spec
+            )
 
     # -- introspection ------------------------------------------------------------
 
@@ -309,6 +333,12 @@ class CompiledDataset:
             f"needed columns: {plan.needed}",
             f"output columns: {plan.output}",
         ]
+        if plan.aggregate is not None:
+            spec = plan.aggregate
+            lines.append(
+                f"aggregate: {', '.join(spec.output)}"
+                + (f" GROUP BY {', '.join(spec.group_by)}" if spec.group_by else "")
+            )
         for afc in plan.afcs[:5]:
             lines.append(f"  {afc}")
         if len(plan.afcs) > 5:

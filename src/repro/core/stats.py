@@ -44,6 +44,15 @@ class IOStats:
     afcs_pruned: int = 0
     rows_extracted: int = 0
     rows_output: int = 0
+    #: Base rows folded into partial aggregate state (aggregate pushdown);
+    #: the cost model charges these at ``agg_cpu``.  ``rows_output`` still
+    #: counts the filtered base rows — that is what a non-pushdown run
+    #: would have shipped, which makes the pushdown ablation measurable.
+    rows_aggregated: int = 0
+    #: State-frame rows this node (or the coordinator merge) emitted —
+    #: one per (node, group); the rows that actually cross the wire under
+    #: aggregate pushdown.
+    groups_emitted: int = 0
     bytes_sent: int = 0
     #: Queries answered verbatim by the result cache (exact key match;
     #: no planning, extraction, or filtering ran at all).

@@ -198,6 +198,8 @@ class Virtualizer:
         with tracer.span("query", sql=_sql_tag(query)):
             if cache is None:
                 plan = self.dataset.plan(query, tracer=tracer)
+                if plan.aggregate is not None:
+                    return self._execute_aggregate(plan, target, tracer)
                 return self.extractor.execute(plan, target, tracer)
             key, needed = cache.key_and_needed(query)
             run = IOStats()
@@ -211,6 +213,13 @@ class Virtualizer:
             from ..cache import project, widen_plan
 
             plan = cache.plan_for(query, key, tracer)
+            if plan.aggregate is not None:
+                # Aggregates cache the final labelled table verbatim
+                # (exact hits only; no widening, nothing to project).
+                table = self._execute_aggregate(plan, run, tracer)
+                target.merge(run)
+                cache.store(key, table, run.bytes_read, len(plan.afcs), tracer)
+                return table
             # Execute with every needed column emitted (same reads, same
             # filtering) so the cached table can answer later narrower
             # queries filtering on WHERE-only attributes.
@@ -218,6 +227,44 @@ class Virtualizer:
             target.merge(run)
             cache.store(key, full, run.bytes_read, len(plan.afcs), tracer)
             return project(full, plan.output)
+
+    def _execute_aggregate(
+        self,
+        plan: ExtractionPlan,
+        stats: IOStats,
+        tracer: "Tracer",
+    ) -> VirtualTable:
+        """Run an aggregate plan on the local (single-process) path.
+
+        Tries the summary fast path first — a predicate-free ungrouped
+        COUNT/MIN/MAX fully covered by plan metadata and chunk summaries
+        is answered with zero data-chunk reads; otherwise extracts the
+        base rows and folds them through the aggregation kernel.
+        """
+        from . import aggregate as agg
+
+        spec = plan.aggregate
+        answer = agg.summary_answer(
+            plan, getattr(self.dataset, "summaries", None)
+        )
+        if answer is not None:
+            stats.afcs_pruned += len(plan.afcs)
+            stats.groups_emitted += answer.num_rows
+            if tracer.enabled:
+                tracer.metrics.record("agg.summary_answers")
+                tracer.event("summary_answer", afcs=len(plan.afcs))
+            return answer
+        # A pure COUNT(*) plan materialises no columns, so the row count
+        # comes from the filter's rows_output (exact on this single-pass
+        # local path), counted in an isolated stats object.
+        local = IOStats()
+        rows = self.extractor.execute(plan, local, tracer)
+        num_rows = local.rows_output
+        local.rows_aggregated += num_rows
+        table = agg.aggregate_rows(spec, rows, plan.dtypes, num_rows=num_rows)
+        local.groups_emitted += table.num_rows
+        stats.merge(local)
+        return table
 
     def query_iter(
         self,
@@ -270,6 +317,13 @@ class Virtualizer:
                     plan = cache.plan_for(query, key, tracer)
                 else:
                     plan = self.dataset.plan(query, tracer=tracer)
+                if plan.aggregate is not None:
+                    # Aggregate results are group-count sized, so the
+                    # bounded-memory concern streaming exists for does
+                    # not apply: materialise, then slice into batches.
+                    table = self._execute_aggregate(plan, target, tracer)
+                    yield from _batched(table, opts.batch_rows)
+                    return
                 yield from self.extractor.execute_iter(
                     plan, opts.batch_rows, target, tracer
                 )

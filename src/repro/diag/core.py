@@ -80,6 +80,10 @@ CODES: Dict[str, Tuple["Severity", str]] = {
     "RQ208": (Severity.WARNING, "predicate excludes the declared dataspace"),
     "RQ209": (Severity.WARNING, "predicate defeats index pruning"),
     "RQ210": (Severity.WARNING, "duplicate SELECT column"),
+    "RQ211": (Severity.ERROR, "bare attribute not in GROUP BY"),
+    "RQ212": (Severity.ERROR, "GROUP BY references an unknown attribute"),
+    "RQ213": (Severity.ERROR, "aggregate of an unknown attribute"),
+    "RQ214": (Severity.INFO, "GROUP BY without aggregates (DISTINCT)"),
     "RO300": (Severity.ERROR, "inflight_limit must be positive"),
     "RO301": (Severity.ERROR, "max_connections_per_node must be positive"),
     "RO302": (Severity.ERROR, "connect_timeout must be positive"),
@@ -88,6 +92,7 @@ CODES: Dict[str, Tuple["Severity", str]] = {
     "RO305": (Severity.ERROR, "batch_rows must be positive"),
     "RO306": (Severity.WARNING, "inflight_limit below per-node pool size"),
     "RO307": (Severity.ERROR, "node_timeout must be positive"),
+    "RO308": (Severity.INFO, "aggregate pushdown disabled"),
 }
 
 

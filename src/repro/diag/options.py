@@ -86,4 +86,12 @@ def analyze_options(options) -> List[Diagnostic]:
             "instantly; use None for no timeout",
             fix="set node_timeout to a positive number of seconds or None",
         )
+    if not options.agg_pushdown:
+        out.emit(
+            "RO308",
+            "agg_pushdown=False aggregates at the coordinator: every "
+            "filtered base row crosses the wire instead of per-node "
+            "partial aggregates (ablation/debugging mode)",
+            fix="leave agg_pushdown at its default of True",
+        )
     return list(out)

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set, Tuple, Union
 from ..errors import QueryError, QuerySyntaxError
 from ..metadata.spans import Span
 from ..sql.ast import (
+    Aggregate,
     Between,
     Column,
     Comparison,
@@ -74,6 +75,7 @@ def analyze_query(
 
     _check_table(descriptor, query, text, collector)
     _check_select(descriptor, query, text, collector)
+    _check_grouping(descriptor, query, text, collector)
     _check_where_columns(descriptor, query, text, collector)
     _check_functions(query, functions, text, collector)
     _check_literal_types(descriptor, query, text, collector)
@@ -147,22 +149,75 @@ def _check_select(
     if query.select is None:
         return
     seen: Set[str] = set()
-    for name in query.select:
+    for item in query.select:
+        if isinstance(item, Aggregate):
+            label = item.label
+            if (
+                item.column is not None
+                and item.column not in descriptor.schema
+            ):
+                collector.emit(
+                    "RQ213",
+                    f"{item.label} aggregates unknown attribute "
+                    f"{item.column!r}; schema {descriptor.schema.name!r} "
+                    f"has {list(descriptor.schema.names)}",
+                    span=_sql_span(text, item.column),
+                )
+        else:
+            label = item
+            if item not in descriptor.schema:
+                collector.emit(
+                    "RQ202",
+                    f"SELECT references unknown attribute {item!r}; schema "
+                    f"{descriptor.schema.name!r} has "
+                    f"{list(descriptor.schema.names)}",
+                    span=_sql_span(text, item),
+                )
+        if label in seen:
+            collector.emit(
+                "RQ210",
+                f"SELECT lists {label} more than once",
+                span=_sql_span(
+                    text, label if not isinstance(item, Aggregate)
+                    else (item.column or item.func), occurrence=1,
+                ),
+                fix=f"drop the repeated {label}",
+            )
+        seen.add(label)
+
+
+def _check_grouping(
+    descriptor: "Descriptor", query: Query, text: str, collector: Collector
+) -> None:
+    """RQ211/RQ212/RQ214: the SQL grouping rules, checked statically
+    (execution raises the same conditions as QueryValidationError)."""
+    if not query.is_aggregate:
+        return
+    group_by = list(query.group_by or [])
+    for name in group_by:
         if name not in descriptor.schema:
             collector.emit(
-                "RQ202",
-                f"SELECT references unknown attribute {name!r}; schema "
+                "RQ212",
+                f"GROUP BY references unknown attribute {name!r}; schema "
                 f"{descriptor.schema.name!r} has {list(descriptor.schema.names)}",
                 span=_sql_span(text, name),
             )
-        if name in seen:
+    for name in query.bare_select_names():
+        if name not in group_by:
             collector.emit(
-                "RQ210",
-                f"SELECT lists attribute {name!r} more than once",
-                span=_sql_span(text, name, occurrence=1),
-                fix=f"drop the repeated {name}",
+                "RQ211",
+                f"bare attribute {name!r} in an aggregate SELECT must "
+                "appear in GROUP BY; its value is ambiguous within a group",
+                span=_sql_span(text, name),
+                fix=f"add {name} to GROUP BY or wrap it in an aggregate",
             )
-        seen.add(name)
+    if query.group_by is not None and not query.aggregates():
+        collector.emit(
+            "RQ214",
+            "GROUP BY without aggregate functions returns the distinct "
+            "group-key rows (DISTINCT semantics)",
+            span=None,
+        )
 
 
 def _check_where_columns(

@@ -25,7 +25,7 @@ from ..core.analysis import ChunkSummaries
 from ..core.extractor import Extractor, Mount
 from ..core.planner import CompiledDataset
 from ..core.stats import IOStats
-from ..errors import ReproError
+from ..errors import ExtractionError, ReproError
 from .rtree import Box, RTree
 
 ChunkKey = Tuple[str, str, int]  # (node, path, offset)
@@ -36,8 +36,9 @@ class MinMaxSummaries(ChunkSummaries):
 
     def __init__(self, bounds: Dict[ChunkKey, Dict[str, Tuple[float, float]]]):
         self._bounds = bounds
-        self._rtree: Optional[RTree[ChunkKey]] = None
-        self._rtree_attrs: Optional[Tuple[str, ...]] = None
+        #: One R-tree per attribute tuple: queries over (X, Y) and over
+        #: (X, Y, Z) alternate freely without rebuilding either tree.
+        self._rtrees: Dict[Tuple[str, ...], RTree[ChunkKey]] = {}
 
     def bounds(self, key: ChunkKey) -> Optional[Dict[str, Tuple[float, float]]]:
         return self._bounds.get(tuple(key))
@@ -50,16 +51,25 @@ class MinMaxSummaries(ChunkSummaries):
 
     @property
     def attrs(self) -> Tuple[str, ...]:
+        """Every summarised attribute, sorted.
+
+        The union across chunks, not an arbitrary first entry's keys:
+        chunks may store different attribute subsets (multi-layout
+        datasets), and pruning logic keying off this property must see
+        all of them.
+        """
+        names = set()
         for entry in self._bounds.values():
-            return tuple(entry)
-        return ()
+            names.update(entry)
+        return tuple(sorted(names))
 
     # -- spatial lookups ---------------------------------------------------------
 
     def rtree(self, attrs: Sequence[str]) -> RTree[ChunkKey]:
         """R-tree over chunk boxes in the given attribute dimensions."""
         attrs = tuple(attrs)
-        if self._rtree is None or self._rtree_attrs != attrs:
+        tree = self._rtrees.get(attrs)
+        if tree is None:
             entries: List[Tuple[Box, ChunkKey]] = []
             for key, bounds in self._bounds.items():
                 try:
@@ -69,9 +79,9 @@ class MinMaxSummaries(ChunkSummaries):
                         f"chunk {key} has no summary for attribute {exc}"
                     ) from None
                 entries.append((box, key))
-            self._rtree = RTree.bulk_load(entries)
-            self._rtree_attrs = attrs
-        return self._rtree
+            tree = RTree.bulk_load(entries)
+            self._rtrees[attrs] = tree
+        return tree
 
     def chunks_overlapping(
         self, attrs: Sequence[str], box: Box
@@ -135,16 +145,35 @@ def build_summaries(
                     continue
                 if chunk.key in bounds:
                     continue
-                data = extractor.read_chunk(
-                    chunk.node,
-                    chunk.path,
-                    chunk.offset,
-                    afc.num_rows * chunk.bytes_per_row,
-                    stats,
-                )
-                records = np.frombuffer(
-                    data, dtype=chunk.strip.record_dtype(stored)
-                )
+                want = afc.num_rows * chunk.bytes_per_row
+                try:
+                    data = extractor.read_chunk(
+                        chunk.node, chunk.path, chunk.offset, want, stats
+                    )
+                except ExtractionError:
+                    # Short tail chunk (file truncated, or still being
+                    # written): re-read just the bytes actually on disk
+                    # and summarise the whole records among them.
+                    avail = (
+                        os.path.getsize(mount(chunk.node, chunk.path))
+                        - chunk.offset
+                    )
+                    if avail <= 0:
+                        continue
+                    data = extractor.read_chunk(
+                        chunk.node, chunk.path, chunk.offset,
+                        min(want, avail), stats,
+                    )
+                dtype = chunk.strip.record_dtype(stored)
+                # A short final chunk (file truncated or still being
+                # written) returns fewer bytes than requested; clamp to
+                # whole records so frombuffer never sees a partial one.
+                usable = (len(data) // dtype.itemsize) * dtype.itemsize
+                if usable == 0:
+                    continue
+                if usable != len(data):
+                    data = data[:usable]
+                records = np.frombuffer(data, dtype=dtype)
                 bounds[chunk.key] = {
                     attr: (
                         float(records[attr].min()),

@@ -200,9 +200,13 @@ class NodeServer:
             for batch in _batched(table, options.batch_rows):
                 if injector is not None:
                     injector.on_response(self.node)
-                framing.write_frame(
-                    conn, framing.BATCH, wire.encode_table(batch)
-                )
+                payload_out = wire.encode_table(batch)
+                # This node's share of the response traffic: with
+                # aggregate pushdown these are tiny state frames, in the
+                # ablation every filtered base row — the difference the
+                # pushdown benchmark measures.
+                stats.bytes_sent += len(payload_out)
+                framing.write_frame(conn, framing.BATCH, payload_out)
                 batches += 1
             if injector is not None:
                 injector.on_response(self.node)

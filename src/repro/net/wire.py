@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.afc import AlignedFileChunkSet, ChunkRef, ExtractionPlan, InnerVar
+from ..core.aggregate import AggregateSpec
 from ..core.options import ExecOptions
 from ..core.stats import IOStats
 from ..core.strips import LoopDim, Strip
@@ -201,7 +202,7 @@ def encode_plan(
                 ],
             }
         )
-    return {
+    encoded = {
         "needed": list(plan.needed),
         "output": list(plan.output),
         "where": encode_where(plan.where),
@@ -209,6 +210,17 @@ def encode_plan(
         "strips": [_encode_strip(s) for s in strips],
         "afcs": encoded_afcs,
     }
+    spec = getattr(plan, "aggregate", None)
+    if spec is not None:
+        # Aggregate pushdown rides the plan: the node folds its rows into
+        # a partial state frame and the result batches carry state
+        # columns, not base rows.
+        encoded["agg"] = {
+            "group_by": list(spec.group_by),
+            "items": [[item.func, item.column] for item in spec.items],
+            "output": list(spec.output),
+        }
+    return encoded
 
 
 def decode_plan(data: Dict[str, Any]) -> ExtractionPlan:
@@ -240,12 +252,23 @@ def decode_plan(data: Dict[str, Any]) -> ExtractionPlan:
                 ),
             )
         )
+    agg = data.get("agg")
+    spec = None
+    if agg is not None:
+        spec = AggregateSpec(
+            group_by=tuple(agg["group_by"]),
+            items=tuple(
+                ast.Aggregate(func, column) for func, column in agg["items"]
+            ),
+            output=tuple(agg["output"]),
+        )
     return ExtractionPlan(
         afcs=afcs,
         needed=list(data["needed"]),
         output=list(data["output"]),
         where=decode_where(data["where"]),
         dtypes={name: np.dtype(s) for name, s in data["dtypes"].items()},
+        aggregate=spec,
     )
 
 
@@ -323,7 +346,14 @@ def decode_table(payload: bytes) -> VirtualTable:
 
 
 def empty_table(plan: ExtractionPlan) -> VirtualTable:
-    """The zero-batch result shape (all output columns, zero rows)."""
+    """The zero-batch result shape (all output columns, zero rows).
+
+    Aggregate plans return partial *state frames*, so their empty shape
+    is the zero-row state frame, not the base-row projection.
+    """
+    spec = getattr(plan, "aggregate", None)
+    if spec is not None:
+        return spec.empty_state(plan.dtypes)
     return VirtualTable(
         {
             name: np.empty(0, dtype=plan.dtypes.get(name, np.float64))

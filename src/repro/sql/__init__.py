@@ -1,6 +1,8 @@
 """SQL frontend: the SELECT/WHERE subset of Figure 1 of the paper."""
 
 from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
     And,
     Between,
     BoolLiteral,
@@ -27,6 +29,8 @@ from .ranges import (
 )
 
 __all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "Aggregate",
     "And",
     "Between",
     "BoolLiteral",

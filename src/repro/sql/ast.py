@@ -280,36 +280,125 @@ class BoolLiteral(Node):
 
 
 # ---------------------------------------------------------------------------
+# Aggregate select items
+# ---------------------------------------------------------------------------
+
+#: The supported reduction vocabulary (lower-case canonical spelling).
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """One aggregate select item: ``COUNT(*)``, ``SUM(X)``, ``AVG(Y)`` ...
+
+    ``column`` is ``None`` only for ``COUNT(*)``.  In this storage model
+    no attribute is ever NULL, so ``COUNT(attr)`` counts exactly the same
+    rows as ``COUNT(*)`` (documented in docs/language.md).
+    """
+
+    # No __slots__ here: the defaulted ``column`` field would collide
+    # with the slot descriptor (a dataclass default is a class variable).
+    func: str
+    column: Optional[str] = None
+
+    def __post_init__(self):
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise QueryValidationError(
+                f"unknown aggregate function {self.func!r}; supported: "
+                f"{', '.join(f.upper() for f in AGGREGATE_FUNCTIONS)}"
+            )
+        if self.column is None and self.func != "count":
+            raise QueryValidationError(
+                f"{self.func.upper()}(*) is not defined; only COUNT "
+                "accepts '*'"
+            )
+
+    @property
+    def label(self) -> str:
+        """The output column name of this item, e.g. ``SUM(SOIL)``."""
+        arg = "*" if self.column is None else self.column
+        return f"{self.func.upper()}({arg})"
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return () if self.column is None else (self.column,)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: A select-list entry: a bare attribute name or an aggregate.
+SelectItem = Union[str, Aggregate]
+
+
+# ---------------------------------------------------------------------------
 # The query
 # ---------------------------------------------------------------------------
 
 
 @dataclass
 class Query:
-    """A parsed ``SELECT ... FROM ... [WHERE ...]`` query.
+    """A parsed ``SELECT ... FROM ... [WHERE ...] [GROUP BY ...]`` query.
 
     ``select`` is ``None`` for ``SELECT *`` (all schema attributes, schema
-    order); otherwise the projected attribute names in SELECT order.
+    order); otherwise a list of select items in SELECT order — bare
+    attribute names and/or :class:`Aggregate` items.  ``group_by`` lists
+    the grouping attributes, or is ``None`` for an ungrouped query.
     """
 
     table: str
-    select: Optional[List[str]] = None
+    select: Optional[List[SelectItem]] = None
     where: Optional[Node] = None
+    group_by: Optional[List[str]] = None
 
     @property
     def is_select_star(self) -> bool:
         return self.select is None
 
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this query runs through the aggregation pipeline
+        (any aggregate select item, or a GROUP BY clause — the latter
+        alone has DISTINCT semantics)."""
+        if self.group_by is not None:
+            return True
+        return any(
+            isinstance(item, Aggregate) for item in (self.select or [])
+        )
+
+    def aggregates(self) -> List[Aggregate]:
+        """The aggregate select items, in SELECT order."""
+        return [
+            item for item in (self.select or []) if isinstance(item, Aggregate)
+        ]
+
+    def bare_select_names(self) -> List[str]:
+        """The non-aggregate select items, in SELECT order."""
+        return [
+            item for item in (self.select or []) if isinstance(item, str)
+        ]
+
     def projected_names(self, schema_names: Sequence[str]) -> List[str]:
-        """Resolve the output column list against a schema."""
+        """Resolve the output column list against a schema.
+
+        Only meaningful for plain (row) queries; aggregate queries
+        project computed labels, resolved by the aggregate planner.
+        """
         if self.select is None:
             return list(schema_names)
-        for name in self.select:
-            if name not in schema_names:
+        names: List[str] = []
+        for item in self.select:
+            if isinstance(item, Aggregate):
                 raise QueryValidationError(
-                    f"SELECT references unknown attribute {name!r}"
+                    f"aggregate item {item.label} has no schema projection; "
+                    "aggregate queries are planned through the aggregation "
+                    "pipeline"
                 )
-        return list(self.select)
+            if item not in schema_names:
+                raise QueryValidationError(
+                    f"SELECT references unknown attribute {item!r}"
+                )
+            names.append(item)
+        return names
 
     def referenced_columns(self) -> Tuple[str, ...]:
         """All attributes the WHERE clause reads (deduplicated, ordered)."""
@@ -322,8 +411,14 @@ class Query:
         return tuple(seen)
 
     def __str__(self) -> str:
-        cols = "*" if self.select is None else ", ".join(self.select)
+        cols = (
+            "*"
+            if self.select is None
+            else ", ".join(str(item) for item in self.select)
+        )
         text = f"SELECT {cols} FROM {self.table}"
         if self.where is not None:
             text += f" WHERE {self.where}"
+        if self.group_by is not None:
+            text += f" GROUP BY {', '.join(self.group_by)}"
         return text

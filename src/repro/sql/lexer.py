@@ -1,8 +1,12 @@
-"""Tokenizer for the SQL subset (SELECT / FROM / WHERE).
+"""Tokenizer for the SQL subset (SELECT / FROM / WHERE / GROUP BY).
 
 The paper's query language (Figure 1) supports attribute projection, range
 predicates, ``IN`` lists, boolean connectives, and user-defined filter
-functions.  Joins, aggregation, and GROUP BY are intentionally absent.
+functions.  We extend it with the reduction vocabulary dashboards need:
+``COUNT``/``SUM``/``MIN``/``MAX``/``AVG`` select items and a ``GROUP BY``
+clause (see docs/language.md).  Joins remain absent.  The aggregate
+function names are *not* keywords — they are recognised contextually in
+the select list, so attributes named ``count`` or ``min`` keep working.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ KEYWORDS = {
     "BETWEEN",
     "TRUE",
     "FALSE",
+    "GROUP",
+    "BY",
 }
 
 #: Multi-character operators, longest first so lexing is greedy.

@@ -1,10 +1,14 @@
 """Recursive-descent parser for the SQL subset.
 
 Grammar (Figure 1 of the paper, with the usual SQL extras needed by the
-evaluation queries)::
+evaluation queries, plus aggregates and grouping)::
 
-    query     := SELECT select FROM ident [WHERE or_expr] [';']
-    select    := '*' | ident (',' ident)*
+    query     := SELECT select FROM ident [WHERE or_expr]
+                 [GROUP BY ident (',' ident)*] [';']
+    select    := '*' | item (',' item)*
+    item      := ident | aggfunc '(' ('*' | ident) ')'
+    aggfunc   := COUNT | SUM | MIN | MAX | AVG       -- contextual, not
+                                                     -- reserved words
     or_expr   := and_expr (OR and_expr)*
     and_expr  := not_expr (AND not_expr)*
     not_expr  := NOT not_expr | primary
@@ -21,6 +25,8 @@ from typing import List
 
 from ..errors import QuerySyntaxError
 from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
     And,
     Between,
     BoolLiteral,
@@ -105,10 +111,16 @@ class _Parser:
         where = None
         if self.accept_keyword("WHERE"):
             where = self.parse_or_expr()
+        group_by = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = [self.expect_ident()]
+            while self.accept_punct(","):
+                group_by.append(self.expect_ident())
         self.accept_punct(";")
         if not self.peek().matches("end"):
             raise self.error("unexpected input after end of query")
-        return Query(table=table, select=select, where=where)
+        return Query(table=table, select=select, where=where, group_by=group_by)
 
     def parse_bare_expr(self) -> Node:
         expr = self.parse_or_expr()
@@ -120,10 +132,37 @@ class _Parser:
     def parse_select_list(self):
         if self.accept_punct("*"):
             return None
-        names = [self.expect_ident()]
+        items = [self.parse_select_item()]
         while self.accept_punct(","):
-            names.append(self.expect_ident())
-        return names
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self):
+        """A bare attribute, or an aggregate call.
+
+        Aggregate names are contextual: ``ident '('`` in the select list
+        is always an aggregate attempt (plain select items are bare
+        attributes; filter functions belong to WHERE), so an attribute
+        that happens to be named ``count`` still projects fine.
+        """
+        name = self.expect_ident()
+        if not self.peek().matches("punct", "("):
+            return name
+        func = name.lower()
+        if func not in AGGREGATE_FUNCTIONS:
+            raise self.error(
+                f"unknown aggregate function {name!r} in SELECT "
+                "(supported: COUNT, SUM, MIN, MAX, AVG)"
+            )
+        self.advance()  # '('
+        if self.accept_punct("*"):
+            self.expect_punct(")")
+            if func != "count":
+                raise self.error(f"{func.upper()}(*) is not defined")
+            return Aggregate("count", None)
+        column = self.expect_ident()
+        self.expect_punct(")")
+        return Aggregate(func, column)
 
     def parse_or_expr(self) -> Node:
         terms = [self.parse_and_expr()]

@@ -42,6 +42,9 @@ class CostModel:
     tuple_cpu: float = 12e-6
     #: CPU cost to evaluate the residual predicate per tuple, seconds.
     filter_cpu: float = 1.5e-6
+    #: CPU cost to fold one filtered tuple into partial aggregate state
+    #: (group-key sort amortised into the per-row constant), seconds.
+    agg_cpu: float = 2e-6
     #: Network bandwidth towards clients, bytes/second (Fast Ethernet).
     network_bandwidth: float = 11e6
     #: Per-message network latency, seconds.
@@ -72,6 +75,9 @@ class CostModel:
             # them: no disk or tuple-decode cost, but the predicate pass
             # is real work and is priced like any other filtered row.
             + stats.rows_refiltered * self.filter_cpu
+            # Aggregate pushdown trades network for a little node CPU:
+            # every row folded into partial state is priced here.
+            + stats.rows_aggregated * self.agg_cpu
         )
         # Chunks pulled from other nodes cross the interconnect as well.
         remote = stats.remote_bytes_read / self.network_bandwidth

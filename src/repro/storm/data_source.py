@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from ..core.afc import AlignedFileChunkSet, ExtractionPlan
+from ..core.aggregate import partial_aggregate
 from ..core.extractor import CoalescePlan, Extractor, Mount
 from ..core.options import DEFAULT_OPTIONS, ExecOptions
 from ..core.stats import IOStats
@@ -80,6 +81,10 @@ class DataSourceService:
         coalesce = self.extractor.coalesce_for(
             afcs, plan.needed, opts.coalesce_gap_bytes
         )
+        if plan.aggregate is not None:
+            return self._execute_aggregate(
+                plan, afcs, stats, tracer, opts, coalesce
+            )
         needed_set = set(plan.needed)
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
         workers = min(max(1, opts.intra_node_workers), len(afcs) or 1)
@@ -120,6 +125,68 @@ class DataSourceService:
             else:
                 final[name] = np.empty(0, dtype=plan.dtypes.get(name, np.float64))
         return VirtualTable(final, order=plan.output)
+
+    def _execute_aggregate(
+        self,
+        plan: ExtractionPlan,
+        afcs: List[AlignedFileChunkSet],
+        stats: IOStats,
+        tracer,
+        opts: ExecOptions,
+        coalesce: Optional[CoalescePlan],
+    ) -> VirtualTable:
+        """Aggregate pushdown: fold this node's AFCs into one state frame.
+
+        Each AFC is extracted and filtered exactly as in the row path,
+        then reduced immediately via
+        :func:`repro.core.aggregate.partial_aggregate`; per-AFC frames
+        merge into a single per-node frame.  Extracted row blocks die
+        here — only (group key, state) rows leave the node.
+        """
+        from ..core.aggregate import merge_partials
+
+        spec = plan.aggregate
+        needed_set = set(plan.needed)
+
+        def one(afc: AlignedFileChunkSet, st: IOStats):
+            # filtering.apply adds the filtered row count to rows_output;
+            # the delta recovers it even when the base plan materialises
+            # no columns at all (pure COUNT(*)).  Safe: ``st`` is either
+            # a per-job local or used strictly sequentially.
+            before = st.rows_output
+            selected = self._extract_one(
+                plan, afc, needed_set, st, tracer, coalesce
+            )
+            if selected is None:
+                return None
+            num_rows = st.rows_output - before
+            st.rows_aggregated += num_rows
+            return partial_aggregate(spec, selected, num_rows, plan.dtypes)
+
+        workers = min(max(1, opts.intra_node_workers), len(afcs) or 1)
+        partials: List[VirtualTable] = []
+        if workers > 1:
+
+            def job(afc: AlignedFileChunkSet):
+                local = IOStats()
+                return one(afc, local), local
+
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"intra-{self.node}"
+            ) as pool:
+                outcomes = list(pool.map(job, afcs))
+            for frame, local in outcomes:
+                stats.merge(local)
+                if frame is not None:
+                    partials.append(frame)
+        else:
+            for afc in afcs:
+                frame = one(afc, stats)
+                if frame is not None:
+                    partials.append(frame)
+        merged = merge_partials(spec, partials, plan.dtypes)
+        stats.groups_emitted += merged.num_rows
+        return merged
 
     def _extract_one(
         self,

@@ -71,8 +71,13 @@ class FilteringService:
             where, columns, output, table.num_rows, stats, tracer
         )
         if selected is None:
+            # Even the empty projection must go through own_column: a bare
+            # ``columns[name][:0]`` is a zero-length *view* of the frozen
+            # cached array, and callers are promised writable columns that
+            # never alias the cache.
             return VirtualTable(
-                {name: columns[name][:0] for name in output}, order=output
+                {name: own_column(columns[name][:0]) for name in output},
+                order=output,
             )
         return VirtualTable(selected, order=output)
 

@@ -67,6 +67,14 @@ TRANSFER_NODE = "_transfer"
 #: ``cache_saved_bytes``) still needs a home in ``per_node_stats``.
 CACHE_NODE = "_cache"
 
+#: Pseudo-node name for aggregate queries answered entirely from chunk
+#: summaries / plan metadata (zero data-chunk reads).
+SUMMARY_NODE = "_summary"
+
+#: Pseudo-node name for coordinator-side aggregation work (the
+#: ``agg_pushdown=False`` ablation folds all shipped rows here).
+COORDINATOR_NODE = "_coordinator"
+
 
 @dataclass
 class QueryResult:
@@ -321,17 +329,26 @@ class QueryService:
                     # Emit every needed column (same reads, same filter)
                     # so the cached table can answer narrower queries
                     # filtering on WHERE-only attributes; callers get
-                    # the projected SELECT list as always.
-                    exec_plan = widen_plan(plan)
+                    # the projected SELECT list as always.  Aggregate
+                    # plans are never widened: their cached value is the
+                    # final labelled table, not a base-row superset.
+                    exec_plan = (
+                        plan if plan.aggregate is not None else widen_plan(plan)
+                    )
                 elif tracer.enabled and getattr(
                     self.dataset, "supports_tracing", False
                 ):
                     plan = exec_plan = self.dataset.plan(resolved, tracer=tracer)
                 else:
                     plan = exec_plan = self.dataset.plan(resolved)
-                table, per_node_stats, failed_nodes = self._extract_nodes(
-                    exec_plan, opts, tracer, ctx, attempts_allowed
-                )
+                if getattr(exec_plan, "aggregate", None) is not None:
+                    table, per_node_stats, failed_nodes = self._run_aggregate(
+                        exec_plan, opts, tracer, ctx, attempts_allowed
+                    )
+                else:
+                    table, per_node_stats, failed_nodes = self._extract_nodes(
+                        exec_plan, opts, tracer, ctx, attempts_allowed
+                    )
                 afc_count = len(plan.afcs)
                 if cache is not None:
                     if not failed_nodes and (
@@ -348,7 +365,8 @@ class QueryService:
                             afc_count,
                             tracer,
                         )
-                    table = project(table, plan.output)
+                    if plan.aggregate is None:
+                        table = project(table, plan.output)
 
             transfer_stats = IOStats()
             deliveries: List[Delivery] = []
@@ -400,6 +418,81 @@ class QueryService:
             degraded=bool(failed_nodes),
             failed_nodes=failed_nodes,
         )
+
+    def _run_aggregate(
+        self,
+        exec_plan,
+        opts: ExecOptions,
+        tracer,
+        ctx: TraceContext,
+        attempts_allowed: int,
+    ):
+        """Execute an aggregate plan; returns ``(table, stats, failed)``.
+
+        Three strategies, cheapest first:
+
+        1. **Summary fast path** — a predicate-free ungrouped
+           COUNT/MIN/MAX whose bounds are fully covered by plan metadata
+           and chunk summaries is answered with zero data-chunk reads.
+        2. **Pushdown** (``opts.agg_pushdown``, the default) — nodes
+           return partial state frames; the coordinator merges and
+           finalises them.  A node dropped under ``allow_partial`` drops
+           its partial sums with it, so the result is marked degraded
+           exactly like a row query — never a silent under-count.
+        3. **Ablation** (``agg_pushdown=False``) — nodes ship full
+           filtered rows and the coordinator aggregates them; the
+           measurable difference is bytes moved, never the result.
+        """
+        from ..core import aggregate as agg
+
+        spec = exec_plan.aggregate
+        if opts.agg_pushdown:
+            answer = agg.summary_answer(
+                exec_plan, getattr(self.dataset, "summaries", None)
+            )
+            if answer is not None:
+                stats = IOStats()
+                stats.afcs_pruned += len(exec_plan.afcs)
+                stats.groups_emitted += answer.num_rows
+                if tracer.enabled:
+                    tracer.metrics.record("agg.summary_answers")
+                    tracer.event(
+                        "summary_answer", afcs=len(exec_plan.afcs)
+                    )
+                return answer, {SUMMARY_NODE: stats}, []
+            state, per_node_stats, failed_nodes = self._extract_nodes(
+                exec_plan, opts, tracer, ctx, attempts_allowed
+            )
+            merged = agg.merge_partials(spec, [state], exec_plan.dtypes)
+            table = agg.finalize(spec, merged, exec_plan.dtypes)
+            return table, per_node_stats, failed_nodes
+        # Ablation: strip the aggregate so nodes run the plain row path,
+        # then fold everything at the coordinator (priced under its own
+        # pseudo-node so the CPU shows up in the makespan).  A pure
+        # COUNT(*) plan has no base output columns; client-side counting
+        # has to ship *something* per row, so fall back to the WHERE
+        # inputs or the first schema attribute — that honesty is exactly
+        # what the pushdown ablation measures.
+        from dataclasses import replace as dc_replace
+
+        needed = list(exec_plan.needed)
+        output = list(exec_plan.output)
+        if not output:
+            output = needed or (
+                [next(iter(exec_plan.dtypes))] if exec_plan.dtypes else []
+            )
+            needed = list(dict.fromkeys(needed + output))
+        row_plan = dc_replace(
+            exec_plan, aggregate=None, needed=needed, output=output
+        )
+        rows, per_node_stats, failed_nodes = self._extract_nodes(
+            row_plan, opts, tracer, ctx, attempts_allowed
+        )
+        coord = per_node_stats.setdefault(COORDINATOR_NODE, IOStats())
+        coord.rows_aggregated += rows.num_rows
+        table = agg.aggregate_rows(spec, rows, exec_plan.dtypes)
+        coord.groups_emitted += table.num_rows
+        return table, per_node_stats, failed_nodes
 
     def _extract_nodes(
         self,
@@ -530,6 +623,9 @@ class QueryService:
 
         if partials:
             table = concat_tables(partials)
+        elif getattr(plan, "aggregate", None) is not None:
+            # Aggregate plans return state frames, not base rows.
+            table = plan.aggregate.empty_state(plan.dtypes)
         else:
             import numpy as np
 

@@ -125,3 +125,79 @@ class TestPruning:
             ["X", "Y"], ((0, config.extent[0] / 4), (0, config.extent[1] / 4))
         )
         assert 0 < len(hits) < config.total_chunks
+
+
+class TestShortTailChunk:
+    """Regression: a truncated final chunk used to crash build_summaries
+    (np.frombuffer raises when the buffer is not a multiple of the record
+    size); now partial trailing records are clamped away."""
+
+    @pytest.fixture()
+    def truncated(self, tmp_path):
+        from repro.core import local_mount
+        from repro.datasets import TitanConfig, titan
+
+        config = TitanConfig(
+            chunks_x=2, chunks_y=2, chunks_z=1, chunks_t=1,
+            elems_per_chunk=50, num_nodes=1,
+        )
+        mount = local_mount(str(tmp_path))
+        text, _ = titan.generate(config, mount)
+        dataset = CompiledDataset(text)
+        # Chop the last file mid-record: drop half a record's bytes.
+        afcs = dataset.index({})
+        chunk = afcs[-1].chunks[-1]
+        path = mount(chunk.node, chunk.path)
+        size = __import__("os").path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - chunk.bytes_per_row // 2)
+        return config, dataset, mount
+
+    def test_build_does_not_crash_on_partial_record(self, truncated):
+        config, dataset, mount = truncated
+        summaries = build_summaries(dataset, mount)
+        assert len(summaries) == config.total_chunks
+
+    def test_whole_records_of_short_chunk_still_summarised(self, truncated):
+        _, dataset, mount = truncated
+        summaries = build_summaries(dataset, mount)
+        chunk = dataset.index({})[-1].chunks[-1]
+        bounds = summaries.bounds(chunk.key)
+        assert bounds is not None and "X" in bounds
+        assert bounds["X"][0] <= bounds["X"][1]
+
+
+class TestAttrsAcrossLayouts:
+    """Regression: ``attrs`` used to report an arbitrary first chunk's
+    keys and the single-slot rtree cache thrashed on alternating attr
+    tuples."""
+
+    def make(self):
+        return MinMaxSummaries({
+            ("n0", "a.dat", 0): {"X": (0.0, 1.0), "Y": (0.0, 2.0)},
+            ("n0", "b.dat", 0): {"Y": (1.0, 3.0), "Z": (5.0, 9.0)},
+        })
+
+    def test_attrs_is_sorted_union(self):
+        assert self.make().attrs == ("X", "Y", "Z")
+        # Insertion order of the bounds dict must not matter.
+        flipped = MinMaxSummaries({
+            ("n0", "b.dat", 0): {"Z": (5.0, 9.0)},
+            ("n0", "a.dat", 0): {"X": (0.0, 1.0)},
+        })
+        assert flipped.attrs == ("X", "Z")
+
+    def test_rtree_cache_not_thrashed_by_alternating_attrs(self, titan_small):
+        _, _, _, summaries = titan_small
+        xy_1 = summaries.rtree(["X", "Y"])
+        z_1 = summaries.rtree(["Z"])
+        xy_2 = summaries.rtree(["X", "Y"])
+        z_2 = summaries.rtree(["Z"])
+        # Same objects: alternating lookups reuse both cached trees
+        # instead of rebuilding on every switch.
+        assert xy_1 is xy_2
+        assert z_1 is z_2
+
+    def test_rtree_missing_attr_still_raises(self):
+        with pytest.raises(ReproError, match="no summary"):
+            self.make().rtree(["X", "Z"])

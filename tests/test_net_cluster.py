@@ -173,6 +173,74 @@ class TestClusterChaos:
                 cluster.connect(connect_timeout=2.0)
 
 
+AGG_SQL = (
+    "SELECT REL, COUNT(*), SUM(SOIL), AVG(SOIL), MIN(SOIL), MAX(SOIL) "
+    "FROM IparsData WHERE TIME > 1 AND TIME <= 6 GROUP BY REL"
+)
+
+
+class TestClusterAggregates:
+    """Aggregate pushdown over real OS processes and real sockets."""
+
+    def test_aggregate_bit_identical_to_local(self, procs, cluster_dataset):
+        text, root = cluster_dataset
+        with repro.connect(f"local://{root}", descriptor=text) as ref:
+            local = ref.query(AGG_SQL)
+        with procs.connect() as db:
+            remote = db.query(AGG_SQL)
+        assert remote.column_names == local.column_names
+        for name in remote.column_names:
+            a, b = remote[name], local[name]
+            assert a.dtype == b.dtype
+            np.testing.assert_array_equal(a, b)
+
+    def test_partial_frames_cross_the_wire_not_rows(self, procs):
+        """The transfer carries per-node state frames: a few rows per
+        node, far fewer bytes than the filtered base rows."""
+        with procs.connect() as db:
+            agg = db.submit(AGG_SQL)
+            rows = db.submit(SQL)
+        agg_sent = sum(s.bytes_sent for s in agg.per_node_stats.values())
+        rows_sent = sum(s.bytes_sent for s in rows.per_node_stats.values())
+        assert 0 < agg_sent < rows_sent
+        node_stats = {
+            k: v for k, v in agg.per_node_stats.items()
+            if not k.startswith("_")
+        }
+        assert sum(s.rows_aggregated for s in node_stats.values()) > 0
+
+    def test_summary_count_answers_without_touching_nodes(self, procs):
+        with procs.connect() as db:
+            result = db.submit("SELECT COUNT(*) FROM IparsData")
+        assert result.table["COUNT(*)"][0] == (
+            CLUSTER_IPARS.num_rels * CLUSTER_IPARS.num_times
+            * CLUSTER_IPARS.cells_per_node * CLUSTER_IPARS.num_nodes
+        )
+        real_nodes = [
+            k for k in result.per_node_stats if not k.startswith("_")
+        ]
+        assert real_nodes == []
+
+    def test_degraded_aggregate_marked_partial(self, cluster_dataset):
+        """A lost node's partials are dropped and the result is marked
+        degraded — never a silently under-counted 'full' answer."""
+        text, root = cluster_dataset
+        with ProcessCluster(text, root) as cluster:
+            with cluster.connect(
+                retries=1, retry_backoff=0.01, allow_partial=True,
+                connect_timeout=2.0,
+            ) as db:
+                full = db.submit(AGG_SQL)
+                cluster.kill_node("osu1")
+                partial = db.submit(AGG_SQL)
+        assert not full.degraded
+        assert partial.degraded
+        assert partial.failed_nodes == ["osu1"]
+        assert (
+            partial.table["COUNT(*)"].sum() < full.table["COUNT(*)"].sum()
+        )
+
+
 class TestClusterCli:
     def test_cluster_command_full_result(self, cluster_dataset, capsys, tmp_path):
         from repro.cli import main

@@ -113,6 +113,31 @@ class TestFilteringService:
         )
         assert set(out) == {"A"}
 
+    def test_refilter_empty_result_is_writable(self, service):
+        """Regression: the nothing-matches path used to return
+        ``columns[name][:0]`` — zero-length *views* of the frozen cached
+        arrays, bypassing ``own_column``'s writability promise."""
+        from repro.core import VirtualTable
+
+        frozen = np.arange(8.0)
+        frozen.setflags(write=False)
+        cached = VirtualTable({"A": frozen}, order=["A"])
+        out = service.refilter(parse_where("A > 99"), cached, ["A"])
+        assert out.num_rows == 0
+        assert out["A"].flags.writeable
+        assert out["A"].base is not frozen
+
+    def test_refilter_nonempty_result_never_aliases_cache(self, service):
+        from repro.core import VirtualTable
+
+        frozen = np.arange(8.0)
+        frozen.setflags(write=False)
+        cached = VirtualTable({"A": frozen}, order=["A"])
+        out = service.refilter(parse_where("A >= 0"), cached, ["A"])
+        assert out.num_rows == 8
+        out["A"][0] = -1.0  # must not raise, must not touch the cache
+        assert frozen[0] == 0.0
+
 
 class TestConcurrentQueries:
     def test_parallel_submits_are_safe(self, ipars_l0):
