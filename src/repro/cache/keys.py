@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..sql.ast import (
     And,
@@ -52,6 +52,7 @@ from ..sql.ast import (
     NEGATE_OP,
 )
 from ..sql.ranges import IntervalSet, Interval, RangeMap
+from ..sql.rewrite import rewrite_where
 
 #: Sorted ((attribute, intervals), ...) — the hashable form of a RangeMap.
 CanonicalRanges = Tuple[Tuple[str, Tuple[Interval, ...]], ...]
@@ -206,8 +207,15 @@ def query_key(
     output: Sequence[str],
     aggregate: Sequence[str] = (),
 ) -> QueryKey:
-    """The normalized cache key of a resolved query."""
-    ranges, residual = split_where(query.where)
+    """The normalized cache key of a resolved query.
+
+    The WHERE clause is canonicalized by the equivalence-preserving
+    rewrite pass first (idempotent, so pre-rewritten queries key the
+    same), which is what collapses commuted conjuncts, flipped
+    comparisons and foldable constants onto one key.
+    """
+    where, _ = rewrite_where(query.where)
+    ranges, residual = split_where(where)
     canonical: CanonicalRanges = tuple(
         sorted((name, ivs.intervals) for name, ivs in ranges.items())
     )

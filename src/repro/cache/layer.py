@@ -27,6 +27,7 @@ from ..core.stats import IOStats
 from ..core.table import VirtualTable
 from ..obs.tracer import NULL_TRACER
 from ..sql.ast import Query
+from ..sql.rewrite import rewrite_query
 from .keys import QueryKey, descriptor_fingerprint, query_key
 from .result_cache import PlanCache, ResultCache
 
@@ -126,6 +127,10 @@ class QueryCache:
         with the row query projecting the same columns), and only exact
         hits serve it — subsumption stays row-query-only.
         """
+        # Canonicalize first: commuted/flipped/folded spellings share one
+        # key, and ``needed`` then matches the (also-rewritten) plan's
+        # column set, so stored entries actually serve every spelling.
+        query, _ = rewrite_query(query)
         needed, output = self.dataset.needed_columns(query)
         if query.is_aggregate:
             from ..core.aggregate import aggregate_spec
@@ -174,8 +179,13 @@ class QueryCache:
         else:
             stats.subsumption_hits += 1
             stats.rows_refiltered += entry.table.num_rows
+            # Re-filter with the canonical WHERE: it is equivalent to the
+            # original but only references columns inside ``needed``, so a
+            # contradiction-folded query can never read a column the
+            # cached superset does not store.
+            canonical, _ = rewrite_query(query)
             table = filtering.refilter(
-                query.where, entry.table, list(key.output), stats, tracer
+                canonical.where, entry.table, list(key.output), stats, tracer
             )
         stats.cache_saved_bytes += entry.source_bytes_read
         if tracer.enabled:

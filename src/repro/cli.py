@@ -106,11 +106,15 @@ def cmd_check(args) -> int:
                 file=sys.stderr,
             )
             continue
-        query_collector = analyze_query(descriptor, sql)
+        query_collector = analyze_query(
+            descriptor, sql, explain=getattr(args, "explain", False)
+        )
         collector.extend(query_collector)
 
     if args.format == "json":
         print(collector.to_json())
+    elif args.format == "sarif":
+        print(collector.to_sarif())
     else:
         for diag in collector.sorted():
             print(diag.format())
@@ -587,8 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit 3 when there are warnings (errors always "
                         "exit 1)")
-    p.add_argument("--format", choices=["text", "json"], default="text",
-                   help="diagnostic output format (default text)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
+                   help="diagnostic output format (default text); sarif "
+                        "emits a SARIF 2.1.0 log for CI annotations")
+    p.add_argument("--explain", action="store_true",
+                   help="also report each equivalence-preserving rewrite "
+                        "the normalizer applies to --query predicates "
+                        "(RW4xx audit entries)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("inventory", help="list the descriptor's physical files")

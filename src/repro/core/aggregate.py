@@ -40,6 +40,11 @@ import numpy as np
 
 from ..errors import QueryValidationError
 from ..sql.ast import Aggregate, BoolLiteral, Query
+from ..sql.typecheck import (
+    aggregate_output_dtype,
+    aggregate_state_dtypes,
+    sum_accumulator_dtype,
+)
 from .table import VirtualTable
 
 __all__ = [
@@ -93,20 +98,20 @@ class AggregateSpec:
     def _state_parts(
         item: Aggregate, dtypes: Mapping[str, np.dtype]
     ) -> List[Tuple[str, np.dtype]]:
+        # The accumulator/output widths are the *static dtype policy*,
+        # decided once in repro.sql.typecheck (shared with the RT305
+        # overflow warning): int64 keeps integer sums exact, float64
+        # keeps float partials merge-order independent for inputs whose
+        # sums are representable.
         if item.func == "count":
             return [("count", np.dtype(np.int64))]
         col_dtype = np.dtype(dtypes.get(item.column, np.float64))
         if item.func in ("min", "max"):
             return [(item.func, col_dtype)]
-        # Sums accumulate in a wide type: int64 keeps integer sums exact,
-        # float64 keeps float partials merge-order independent for inputs
-        # whose sums are representable.
-        sum_dtype = np.dtype(
-            np.int64 if col_dtype.kind in "iub" else np.float64
-        )
+        state = aggregate_state_dtypes(item.func, col_dtype)
         if item.func == "sum":
-            return [("sum", sum_dtype)]
-        return [("sum", sum_dtype), ("count", np.dtype(np.int64))]  # avg
+            return [("sum", state[0])]
+        return [("sum", state[0]), ("count", state[1])]  # avg
 
     def empty_state(self, dtypes: Mapping[str, np.dtype]) -> VirtualTable:
         """The zero-row partial frame (what an empty node contributes)."""
@@ -124,17 +129,12 @@ class AggregateSpec:
         for name in self.group_by:
             out[name] = np.dtype(dtypes.get(name, np.float64))
         for item in self.items:
-            if item.func == "count":
-                out[item.label] = np.dtype(np.int64)
-            elif item.func == "avg":
-                out[item.label] = np.dtype(np.float64)
-            elif item.func == "sum":
-                col_dtype = np.dtype(dtypes.get(item.column, np.float64))
-                out[item.label] = np.dtype(
-                    np.int64 if col_dtype.kind in "iub" else np.float64
-                )
-            else:
-                out[item.label] = np.dtype(dtypes.get(item.column, np.float64))
+            col_dtype = (
+                None
+                if item.column is None
+                else np.dtype(dtypes.get(item.column, np.float64))
+            )
+            out[item.label] = aggregate_output_dtype(item.func, col_dtype)
         return {name: out[name] for name in self.output}
 
 
@@ -242,7 +242,7 @@ def partial_aggregate(
             continue
         values = np.asarray(columns[item.column])[order]
         if item.func in ("sum", "avg"):
-            sum_dtype = np.int64 if values.dtype.kind in "iub" else np.float64
+            sum_dtype = sum_accumulator_dtype(values.dtype)
             sums = np.add.reduceat(values.astype(sum_dtype), starts)
             out[f"__agg{i}_sum"] = np.atleast_1d(sums)
             if item.func == "avg":

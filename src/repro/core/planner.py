@@ -27,6 +27,7 @@ from ..obs.tracer import NULL_TRACER
 from ..sql.ast import Query
 from ..sql.parser import parse_query
 from ..sql.ranges import RangeMap, extract_ranges, query_is_unsatisfiable
+from ..sql.rewrite import rewrite_query
 from .afc import AlignedFileChunkSet, ExtractionPlan
 from .analysis import (
     Alignment,
@@ -290,6 +291,14 @@ class CompiledDataset:
         """Full planning: parse/validate, derive ranges, emit the plan."""
         with tracer.span("plan", dataset=self.descriptor.name) as span:
             query = self.resolve_query(query)
+            with tracer.span("rewrite") as rewrite_span:
+                query, rewrite_steps = rewrite_query(query)
+                rewrite_span.tag(steps=len(rewrite_steps))
+                if tracer.enabled:
+                    for step in rewrite_steps:
+                        tracer.event(
+                            "rewrite", code=step.code, detail=step.detail
+                        )
             needed, output = self.needed_columns(query)
             spec = None
             if query.is_aggregate:

@@ -11,7 +11,7 @@ Public surface:
 """
 
 from ..metadata.spans import Span
-from .core import CODES, Collector, Diagnostic, Severity
+from .core import CODES, Collector, Diagnostic, Severity, sarif_log
 from .linter import lint_descriptor, lint_text
 from .options import analyze_options
 from .query import analyze_query
@@ -26,4 +26,5 @@ __all__ = [
     "analyze_query",
     "lint_descriptor",
     "lint_text",
+    "sarif_log",
 ]

@@ -39,6 +39,9 @@ class Severity(enum.Enum):
 #: RV1xx: descriptor (schema/storage/layout) lints.
 #: RQ2xx: query-vs-descriptor analyses.
 #: RO3xx: execution-option (ExecOptions) analyses.
+#: RT3xx: query type inference/checking (repro.sql.typecheck).
+#: RW4xx: equivalence-preserving rewrite explain entries
+#:        (repro.sql.rewrite; informational audit trail).
 CODES: Dict[str, Tuple["Severity", str]] = {
     "RV001": (Severity.ERROR, "descriptor syntax error"),
     "RV002": (Severity.ERROR, "descriptor assembly error"),
@@ -93,6 +96,24 @@ CODES: Dict[str, Tuple["Severity", str]] = {
     "RO306": (Severity.WARNING, "inflight_limit below per-node pool size"),
     "RO307": (Severity.ERROR, "node_timeout must be positive"),
     "RO308": (Severity.INFO, "aggregate pushdown disabled"),
+    "RT301": (Severity.ERROR, "incomparable operand types"),
+    "RT302": (Severity.ERROR, "function argument type mismatch"),
+    "RT303": (Severity.ERROR, "IN/BETWEEN value type mismatch"),
+    "RT304": (Severity.ERROR, "aggregate over a non-numeric attribute"),
+    "RT305": (Severity.WARNING, "integer SUM may overflow"),
+    "RT306": (Severity.WARNING, "literal unrepresentable in attribute type"),
+    "RT307": (Severity.WARNING, "literal outside the attribute's range"),
+    "RT308": (Severity.INFO, "function result type assumed numeric"),
+    "RW400": (Severity.INFO, "constant folded"),
+    "RW401": (Severity.INFO, "comparison canonicalized"),
+    "RW402": (Severity.INFO, "NOT pushed inward"),
+    "RW403": (Severity.INFO, "BETWEEN expanded to a range conjunction"),
+    "RW404": (Severity.INFO, "IN list canonicalized"),
+    "RW405": (Severity.INFO, "duplicate term eliminated"),
+    "RW406": (Severity.INFO, "subsumed range conjunct merged"),
+    "RW407": (Severity.INFO, "neutral or absorbing constant eliminated"),
+    "RW408": (Severity.INFO, "contradiction folded to FALSE"),
+    "RW409": (Severity.INFO, "term order canonicalized"),
 }
 
 
@@ -251,3 +272,73 @@ class Collector:
             "infos": len(self.infos),
         }
         return json.dumps(payload, indent=indent)
+
+    def to_sarif_run(self) -> Dict[str, Any]:
+        """One SARIF 2.1.0 ``run`` object for these diagnostics."""
+        level = {
+            Severity.ERROR: "error",
+            Severity.WARNING: "warning",
+            Severity.INFO: "note",
+        }
+        rules = [
+            {
+                "id": code,
+                "shortDescription": {"text": CODES[code][1]},
+                "defaultConfiguration": {"level": level[CODES[code][0]]},
+            }
+            for code in sorted(set(self.codes()))
+            if code in CODES
+        ]
+        results: List[Dict[str, Any]] = []
+        for diag in self.sorted():
+            result: Dict[str, Any] = {
+                "ruleId": diag.code,
+                "level": level[diag.severity],
+                "message": {"text": diag.message},
+            }
+            location: Dict[str, Any] = {}
+            if diag.source:
+                location["physicalLocation"] = {
+                    "artifactLocation": {"uri": diag.source}
+                }
+            if diag.span is not None:
+                region: Dict[str, Any] = {
+                    "startLine": diag.span.line,
+                    "startColumn": diag.span.column,
+                }
+                if diag.span.end_line:
+                    region["endLine"] = diag.span.end_line
+                if diag.span.end_column:
+                    region["endColumn"] = diag.span.end_column
+                location.setdefault("physicalLocation", {})["region"] = region
+            if location:
+                result["locations"] = [location]
+            results.append(result)
+        return {
+            "tool": {
+                "driver": {
+                    "name": "repro-check",
+                    "informationUri": (
+                        "https://example.invalid/repro/docs/diagnostics"
+                    ),
+                    "rules": rules,
+                }
+            },
+            "results": results,
+        }
+
+    def to_sarif(self, indent: Optional[int] = 2) -> str:
+        """A complete single-run SARIF 2.1.0 log (for CI annotations)."""
+        return json.dumps(sarif_log([self]), indent=indent)
+
+
+def sarif_log(collectors: List["Collector"]) -> Dict[str, Any]:
+    """A SARIF 2.1.0 log document with one run per collector."""
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [collector.to_sarif_run() for collector in collectors],
+    }

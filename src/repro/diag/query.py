@@ -23,6 +23,7 @@ from ..metadata.spans import Span
 from ..sql.ast import (
     Aggregate,
     Between,
+    BoolLiteral,
     Column,
     Comparison,
     FunctionCall,
@@ -38,6 +39,8 @@ from ..sql.ranges import (
     _FALSE_KEY,
     extract_ranges,
 )
+from ..sql.rewrite import rewrite_query
+from ..sql.typecheck import typecheck_query
 from .core import Collector
 from .linter import _const_range, _iter_loops
 
@@ -50,8 +53,18 @@ def analyze_query(
     sql: Union[Query, str],
     functions: Optional[FunctionRegistry] = None,
     collector: Optional[Collector] = None,
+    explain: bool = False,
 ) -> Collector:
-    """Run every query analyzer; never raises on findings."""
+    """Run every query analyzer; never raises on findings.
+
+    Analyzers run over the query as written (span fidelity), then the
+    equivalence-preserving rewrite pass normalizes it: a canonical form
+    that folds to FALSE is reported as RQ207 even when the contradiction
+    is invisible to plain interval extraction (e.g. it involves function
+    operands).  With ``explain=True``, every applied rewrite is emitted
+    as an informational ``RW4xx`` diagnostic — the audit trail behind
+    ``repro check --explain``.
+    """
     if collector is None:
         collector = Collector(source="query")
     if functions is None:
@@ -81,6 +94,29 @@ def analyze_query(
     _check_literal_types(descriptor, query, text, collector)
     _check_satisfiability(descriptor, query, text, collector)
     _check_index_pruning(descriptor, query, text, collector)
+    typecheck_query(
+        descriptor,
+        query,
+        functions,
+        collector,
+        span_of=lambda token: _sql_span(text, token),
+    )
+
+    canonical, steps = rewrite_query(query)
+    if (
+        isinstance(canonical.where, BoolLiteral)
+        and not canonical.where.value
+        and "RQ207" not in collector.codes()
+    ):
+        collector.emit(
+            "RQ207",
+            "WHERE clause is provably false (the rewrite pass reduced it "
+            "to FALSE); the query selects no rows",
+            span=None,
+        )
+    if explain:
+        for step in steps:
+            collector.emit(step.code, step.detail)
     return collector
 
 

@@ -16,7 +16,12 @@ from .ast import (
     Or,
     Query,
 )
-from .functions import DEFAULT_REGISTRY, FunctionRegistry, filter_function
+from .functions import (
+    DEFAULT_REGISTRY,
+    FunctionRegistry,
+    FunctionSignature,
+    filter_function,
+)
 from .lexer import Token, tokenize
 from .parser import parse_query, parse_where
 from .views import View, ViewRegistry
@@ -26,6 +31,15 @@ from .ranges import (
     RangeMap,
     extract_ranges,
     query_is_unsatisfiable,
+)
+from .rewrite import RewriteStep, rewrite_query, rewrite_where
+from .typecheck import (
+    ExprType,
+    aggregate_output_dtype,
+    aggregate_state_dtypes,
+    infer_type,
+    sum_accumulator_dtype,
+    typecheck_query,
 )
 
 __all__ = [
@@ -37,8 +51,10 @@ __all__ = [
     "Column",
     "Comparison",
     "DEFAULT_REGISTRY",
+    "ExprType",
     "FunctionCall",
     "FunctionRegistry",
+    "FunctionSignature",
     "InList",
     "Interval",
     "IntervalSet",
@@ -48,13 +64,21 @@ __all__ = [
     "Or",
     "Query",
     "RangeMap",
+    "RewriteStep",
     "Token",
     "View",
     "ViewRegistry",
+    "aggregate_output_dtype",
+    "aggregate_state_dtypes",
     "extract_ranges",
     "filter_function",
+    "infer_type",
     "parse_query",
     "parse_where",
     "query_is_unsatisfiable",
+    "rewrite_query",
+    "rewrite_where",
+    "sum_accumulator_dtype",
     "tokenize",
+    "typecheck_query",
 ]

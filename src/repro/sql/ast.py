@@ -19,6 +19,14 @@ Number = Union[int, float]
 Value = Union[int, float, str]
 
 
+def _render_value(value: Value) -> str:
+    """A literal value as query text (strings quoted, so the rendered
+    form lexes back to the same value)."""
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
 class Node:
     """Base class for query AST nodes."""
 
@@ -172,7 +180,7 @@ class InList(Node):
         return self.operand.referenced_columns()
 
     def __str__(self) -> str:
-        vals = ", ".join(str(v) for v in self.values)
+        vals = ", ".join(_render_value(v) for v in self.values)
         return f"{self.operand} IN ({vals})"
 
 
@@ -194,7 +202,10 @@ class Between(Node):
         return self.operand.referenced_columns()
 
     def __str__(self) -> str:
-        return f"{self.operand} BETWEEN {self.lo} AND {self.hi}"
+        return (
+            f"{self.operand} BETWEEN {_render_value(self.lo)} "
+            f"AND {_render_value(self.hi)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -217,8 +228,12 @@ class And(Node):
         return tuple(out)
 
     def __str__(self) -> str:
+        # Nested And must be parenthesized too: AND is left-associative
+        # in the parser, so an unparenthesized nested conjunction would
+        # reparse flattened instead of round-tripping bit-identically.
         return " AND ".join(
-            f"({t})" if isinstance(t, Or) else str(t) for t in self.terms
+            f"({t})" if isinstance(t, (And, Or)) else str(t)
+            for t in self.terms
         )
 
 
@@ -242,7 +257,11 @@ class Or(Node):
         return tuple(out)
 
     def __str__(self) -> str:
-        return " OR ".join(str(t) for t in self.terms)
+        # A nested Or needs parens for the same reason as nested And;
+        # an And term does not (AND binds tighter than OR).
+        return " OR ".join(
+            f"({t})" if isinstance(t, Or) else str(t) for t in self.terms
+        )
 
 
 @dataclass(frozen=True)

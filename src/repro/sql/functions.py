@@ -4,15 +4,20 @@ The query language admits application-specific filters such as
 ``SPEED(OILVX, OILVY, OILVZ) <= 30.0`` (paper Figure 1) and
 ``DISTANCE(X, Y, Z) < 1000`` (paper Figure 7).  Functions are vectorised:
 they receive numpy arrays (one per argument, aligned element-wise) and must
-return an array of the same length.
+return an array of the same length.  They are assumed *pure* — same
+inputs, same outputs — which is what lets the rewrite pass deduplicate
+repeated calls and the result cache replay answers.
 
 The default registry ships the two functions used in the paper's
 evaluation; applications register their own with
-:meth:`FunctionRegistry.register` or the :func:`filter_function` decorator.
+:meth:`FunctionRegistry.register` or the :func:`filter_function` decorator,
+optionally declaring a :class:`FunctionSignature` so the static analyzer
+can check arity and argument types without calling the function.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 import numpy as np
@@ -22,18 +27,48 @@ from ..errors import QueryValidationError
 FilterFunction = Callable[..., np.ndarray]
 
 
+@dataclass(frozen=True)
+class FunctionSignature:
+    """Declared static type information for a filter function.
+
+    ``min_args``/``max_args`` bound the positional argument count
+    (``max_args=None`` means variadic).  A declared signature takes
+    precedence over ``inspect``-based introspection in
+    :meth:`FunctionRegistry.arity` — this is what lets a ``*coords``
+    builtin like DISTANCE declare that it requires *at least one*
+    argument, where introspection can only see "zero or more".
+
+    ``arg_kind``/``result_kind`` describe the value domain
+    (``"numeric"`` or ``"string"``) for the typechecker; every shipped
+    filter is numeric-in/numeric-out.
+    """
+
+    min_args: int
+    max_args: Optional[int] = None
+    arg_kind: str = "numeric"
+    result_kind: str = "numeric"
+
+
 class FunctionRegistry:
     """Case-insensitive name -> vectorised function mapping."""
 
     def __init__(self, parent: Optional["FunctionRegistry"] = None):
         self._functions: Dict[str, FilterFunction] = {}
+        self._signatures: Dict[str, FunctionSignature] = {}
         self._parent = parent
 
-    def register(self, name: str, func: FilterFunction) -> None:
+    def register(
+        self,
+        name: str,
+        func: FilterFunction,
+        signature: Optional[FunctionSignature] = None,
+    ) -> None:
         key = name.upper()
         if not key.isidentifier():
             raise QueryValidationError(f"invalid function name {name!r}")
         self._functions[key] = func
+        if signature is not None:
+            self._signatures[key] = signature
 
     def get(self, name: str) -> FilterFunction:
         key = name.upper()
@@ -54,12 +89,36 @@ class FunctionRegistry:
         except QueryValidationError:
             return False
 
+    def signature(self, name: str) -> Optional[FunctionSignature]:
+        """The declared signature of a function, or None if undeclared.
+
+        Walks the parent chain from the registry that owns the
+        function's name, so a child-registry override without a
+        signature also hides the parent's signature.
+        """
+        key = name.upper()
+        registry: Optional[FunctionRegistry] = self
+        while registry is not None:
+            if key in registry._functions:
+                return registry._signatures.get(key)
+            registry = registry._parent
+        return None
+
     def arity(self, name: str) -> "Tuple[int, Optional[int]]":
         """(min, max) positional argument count of a registered function.
 
-        ``max`` is None for variadic functions (``*args``).  Used by the
+        ``max`` is None for variadic functions (``*args``).  A declared
+        :class:`FunctionSignature` wins over introspection: a variadic
+        ``*args`` builtin introspects as ``(0, None)`` even when it
+        raises at runtime on zero arguments, so DISTANCE declares
+        ``(1, None)`` and the static analyzer rejects ``DISTANCE()``
+        instead of passing it through to a runtime error.  Used by the
         static query analyzer to flag arity mismatches before execution.
         """
+        declared = self.signature(name)
+        if declared is not None:
+            return declared.min_args, declared.max_args
+
         import inspect
 
         func = self.get(name)
@@ -100,22 +159,26 @@ class FunctionRegistry:
 DEFAULT_REGISTRY = FunctionRegistry()
 
 
-def filter_function(name: str, registry: Optional[FunctionRegistry] = None):
+def filter_function(
+    name: str,
+    registry: Optional[FunctionRegistry] = None,
+    signature: Optional[FunctionSignature] = None,
+):
     """Decorator: register a vectorised filter function.
 
-    >>> @filter_function("HALF")
+    >>> @filter_function("HALF", signature=FunctionSignature(1, 1))
     ... def half(x):
     ...     return x / 2
     """
 
     def wrap(func: FilterFunction) -> FilterFunction:
-        (registry or DEFAULT_REGISTRY).register(name, func)
+        (registry or DEFAULT_REGISTRY).register(name, func, signature=signature)
         return func
 
     return wrap
 
 
-@filter_function("SPEED")
+@filter_function("SPEED", signature=FunctionSignature(3, 3))
 def speed(vx, vy, vz):
     """Magnitude of a velocity vector — the paper's IPARS Speed() filter."""
     vx = np.asarray(vx, dtype=np.float64)
@@ -124,7 +187,7 @@ def speed(vx, vy, vz):
     return np.sqrt(vx * vx + vy * vy + vz * vz)
 
 
-@filter_function("DISTANCE")
+@filter_function("DISTANCE", signature=FunctionSignature(1, None))
 def distance(*coords):
     """Euclidean distance from the origin — the paper's Titan filter."""
     if not coords:

@@ -1,0 +1,497 @@
+"""Static type inference and checking for queries against a descriptor.
+
+The descriptor's schema is a *type declaration*: every attribute has a
+declared fixed-width scalar type, so a query's operand types are fully
+known before any data is read.  :func:`typecheck_query` infers a type
+for every WHERE/SELECT operand and reports the ``RT3xx`` diagnostic
+family through a ``repro.diag`` collector:
+
+========  ==========================================================
+RT301     incomparable operand types in a comparison (error)
+RT302     function argument type mismatch (error)
+RT303     IN/BETWEEN value type mismatch (error)
+RT304     aggregate over a non-numeric attribute (error)
+RT305     SUM over a 64-bit integer attribute may overflow (warning)
+RT306     equality against a literal unrepresentable in the
+          attribute's type — can never (or always) match (warning)
+RT307     comparison bound outside the attribute type's representable
+          range — the comparison is constant (warning)
+RT308     function result type assumed numeric; no signature
+          registered (info)
+========  ==========================================================
+
+Errors block execution under ``ExecOptions(strict=True)`` before any
+node is contacted; warnings flag queries that execute but almost
+certainly do not mean what they say.
+
+This module also owns the *aggregate dtype policy* — which accumulator
+and output dtypes each reduction uses given the input attribute type —
+so the decision is made statically in one place and shared by the
+typechecker (overflow warnings) and the execution engine
+(``repro.core.aggregate``).
+
+The string/numeric type lattice is deliberately coarse: the storage
+model has only fixed-width numerics and fixed-width byte strings, and
+numpy's elementwise kernels handle all numeric-to-numeric comparisons
+exactly as the interpreter does.  The checker therefore only rejects
+cross-domain mixes (string vs numeric, bool vs value) that numpy would
+resolve to a constant or raise on at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from .ast import (
+    MIRROR_OP,
+    And,
+    Between,
+    BoolLiteral,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    Literal,
+    Node,
+    Not,
+    Or,
+    Query,
+    Value,
+)
+from .functions import FunctionRegistry
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.diag
+    from ..diag.core import Collector
+    from ..metadata.descriptor import Descriptor
+    from ..metadata.spans import Span
+
+__all__ = [
+    "ExprType",
+    "NUMERIC",
+    "STRING",
+    "BOOLEAN",
+    "UNKNOWN",
+    "infer_type",
+    "typecheck_query",
+    "sum_accumulator_dtype",
+    "aggregate_output_dtype",
+    "aggregate_state_dtypes",
+    "sum_may_overflow",
+]
+
+SpanLookup = Callable[[str], Optional["Span"]]
+
+
+@dataclass(frozen=True)
+class ExprType:
+    """The inferred static type of one expression operand.
+
+    ``kind`` is one of ``"numeric"``, ``"string"``, ``"bool"`` or
+    ``"unknown"``; ``dtype`` is the declared numpy dtype when the
+    operand maps directly onto a schema attribute (None for literals
+    and function results, whose width numpy chooses at evaluation).
+    """
+
+    kind: str
+    dtype: Optional[np.dtype] = None
+
+    def __str__(self) -> str:
+        if self.dtype is not None:
+            return f"{self.kind}[{self.dtype}]"
+        return self.kind
+
+
+NUMERIC = ExprType("numeric")
+STRING = ExprType("string")
+BOOLEAN = ExprType("bool")
+UNKNOWN = ExprType("unknown")
+
+_EQUALITY_OPS = ("=", "==")
+_INEQUALITY_OPS = ("!=", "<>")
+
+
+# ---------------------------------------------------------------------------
+# Aggregate dtype policy (shared with repro.core.aggregate)
+# ---------------------------------------------------------------------------
+
+
+def sum_accumulator_dtype(col_dtype: np.dtype) -> np.dtype:
+    """The accumulator dtype SUM/AVG use for an input attribute.
+
+    Integer and boolean inputs accumulate in int64 (exact, but can
+    overflow for 64-bit inputs — RT305 warns); everything else
+    accumulates in float64.
+    """
+    if col_dtype.kind in "iub":
+        return np.dtype(np.int64)
+    return np.dtype(np.float64)
+
+
+def aggregate_output_dtype(func: str, col_dtype: Optional[np.dtype]) -> np.dtype:
+    """The output dtype of one aggregate over an input attribute."""
+    if func == "count":
+        return np.dtype(np.int64)
+    if col_dtype is None:  # pragma: no cover - only COUNT lacks a column
+        raise ValueError(f"aggregate {func!r} requires an input attribute")
+    if func == "avg":
+        return np.dtype(np.float64)
+    if func == "sum":
+        return sum_accumulator_dtype(col_dtype)
+    return col_dtype
+
+
+def sum_may_overflow(col_dtype: np.dtype) -> bool:
+    """Whether SUM's int64 accumulator can overflow for this input."""
+    return col_dtype.kind in "iu" and col_dtype.itemsize >= 8
+
+
+# ---------------------------------------------------------------------------
+# Inference
+# ---------------------------------------------------------------------------
+
+
+def _literal_type(value: Union[Value, bool]) -> ExprType:
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, str):
+        return STRING
+    return NUMERIC
+
+
+def infer_type(
+    node: Node,
+    descriptor: "Descriptor",
+    functions: FunctionRegistry,
+) -> ExprType:
+    """Infer the static type of an operand expression.
+
+    Unknown attributes and unregistered functions infer ``UNKNOWN``
+    (their existence is reported by the RQ2xx analyzers; the
+    typechecker does not double-report).
+    """
+    if isinstance(node, Column):
+        if node.name not in descriptor.schema:
+            return UNKNOWN
+        attr = descriptor.schema.attribute(node.name)
+        if attr.type.is_numeric:
+            return ExprType("numeric", attr.dtype)
+        return ExprType("string", attr.dtype)
+    if isinstance(node, Literal):
+        return _literal_type(node.value)
+    if isinstance(node, BoolLiteral):
+        return BOOLEAN
+    if isinstance(node, FunctionCall):
+        if node.name not in functions:
+            return UNKNOWN
+        declared = functions.signature(node.name)
+        if declared is not None and declared.result_kind == "string":
+            return STRING
+        return NUMERIC
+    return UNKNOWN
+
+
+def _incomparable(left: ExprType, right: ExprType) -> bool:
+    if left.kind == "unknown" or right.kind == "unknown":
+        return False
+    if left.kind == "bool" or right.kind == "bool":
+        # TRUE/FALSE against a value column is a category error even
+        # though numpy would coerce it to 1/0.
+        return left.kind != right.kind
+    return left.kind != right.kind
+
+
+class _Checker:
+    """One typecheck run over a single query."""
+
+    def __init__(
+        self,
+        descriptor: "Descriptor",
+        query: Query,
+        functions: FunctionRegistry,
+        collector: "Collector",
+        span_of: Optional[SpanLookup],
+    ) -> None:
+        self.descriptor = descriptor
+        self.query = query
+        self.functions = functions
+        self.collector = collector
+        self.span_of = span_of
+        self._assumed: Set[str] = set()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _span(self, token: str) -> Optional["Span"]:
+        if self.span_of is None:
+            return None
+        return self.span_of(token)
+
+    def _emit(self, code: str, message: str, token: str) -> None:
+        self.collector.emit(code, message, span=self._span(token))
+
+    def _infer(self, node: Node) -> ExprType:
+        kind = infer_type(node, self.descriptor, self.functions)
+        if isinstance(node, FunctionCall):
+            self._check_function(node)
+        return kind
+
+    def _is_rq206_pair(self, a: Node, b: Node) -> bool:
+        """RQ206 already reports numeric-column-vs-string-literal."""
+        for column, literal in ((a, b), (b, a)):
+            if (
+                isinstance(column, Column)
+                and isinstance(literal, Literal)
+                and isinstance(literal.value, str)
+                and column.name in self.descriptor.schema
+                and self.descriptor.schema.attribute(column.name).type.is_numeric
+            ):
+                return True
+        return False
+
+    # -- function calls ------------------------------------------------------
+
+    def _check_function(self, node: FunctionCall) -> None:
+        if node.name not in self.functions:
+            return
+        declared = self.functions.signature(node.name)
+        if declared is None:
+            key = node.name.upper()
+            if key not in self._assumed:
+                self._assumed.add(key)
+                self._emit(
+                    "RT308",
+                    f"filter function {node.name!r} has no registered type "
+                    "signature; its result is assumed numeric",
+                    node.name,
+                )
+            for arg in node.args:
+                self._infer(arg)
+            return
+        for position, arg in enumerate(node.args, start=1):
+            arg_type = self._infer(arg)
+            if declared.arg_kind == "numeric" and arg_type.kind == "string":
+                self._emit(
+                    "RT302",
+                    f"argument {position} of {node.name}() has type "
+                    f"{arg_type} but {node.name} expects numeric arguments",
+                    node.name,
+                )
+
+    # -- literal representability against a typed column ---------------------
+
+    def _check_column_literal(self, column: Column, value: Value, op: str) -> None:
+        """RT306/RT307: a numeric literal the column's type cannot hold."""
+        if column.name not in self.descriptor.schema:
+            return
+        attr = self.descriptor.schema.attribute(column.name)
+        if not attr.type.is_numeric:
+            return
+        if isinstance(value, (bool, str)):
+            return
+        dtype = attr.dtype
+        if dtype.kind in "iu":
+            if isinstance(value, float) and not value.is_integer():
+                if op in _EQUALITY_OPS + _INEQUALITY_OPS:
+                    outcome = (
+                        "never match" if op in _EQUALITY_OPS else "always match"
+                    )
+                    self._emit(
+                        "RT306",
+                        f"attribute {column.name!r} has integer type "
+                        f"{attr.type.name!r}; comparison with fractional "
+                        f"literal {value!r} can {outcome}",
+                        column.name,
+                    )
+                return
+            info = np.iinfo(dtype)
+            self._check_bounds(
+                column, attr.type.name, value, op, float(info.min), float(info.max)
+            )
+        elif dtype.kind == "f":
+            if not math.isfinite(value):
+                return
+            if dtype.itemsize < 8:
+                finfo = np.finfo(dtype)
+                if (
+                    op in _EQUALITY_OPS + _INEQUALITY_OPS
+                    and abs(value) <= float(finfo.max)
+                    and float(dtype.type(value)) != float(value)
+                ):
+                    outcome = (
+                        "never match" if op in _EQUALITY_OPS else "always match"
+                    )
+                    self._emit(
+                        "RT306",
+                        f"literal {value!r} is not exactly representable in "
+                        f"the {attr.type.name!r} type of attribute "
+                        f"{column.name!r}; equality can {outcome}",
+                        column.name,
+                    )
+                self._check_bounds(
+                    column,
+                    attr.type.name,
+                    value,
+                    op,
+                    -float(finfo.max),
+                    float(finfo.max),
+                )
+
+    def _check_bounds(
+        self,
+        column: Column,
+        type_name: str,
+        value: Value,
+        op: str,
+        lo: float,
+        hi: float,
+    ) -> None:
+        if isinstance(value, str):  # pragma: no cover - filtered by caller
+            return
+        if lo <= value <= hi:
+            return
+        if value > hi:
+            constant = op in ("<", "<=") + _INEQUALITY_OPS
+        else:
+            constant = op in (">", ">=") + _INEQUALITY_OPS
+        self._emit(
+            "RT307",
+            f"literal {value!r} is outside the representable range "
+            f"[{lo:g}, {hi:g}] of attribute {column.name!r} "
+            f"({type_name!r}); the comparison is always "
+            f"{'true' if constant else 'false'}",
+            column.name,
+        )
+
+    # -- predicate checks ----------------------------------------------------
+
+    def _check_comparison(self, node: Comparison) -> None:
+        left = self._infer(node.left)
+        right = self._infer(node.right)
+        if _incomparable(left, right):
+            if not self._is_rq206_pair(node.left, node.right):
+                self._emit(
+                    "RT301",
+                    f"cannot compare {left} with {right} in {node}",
+                    str(node.left)
+                    if isinstance(node.left, Column)
+                    else str(node),
+                )
+            return
+        if isinstance(node.left, Column) and isinstance(node.right, Literal):
+            self._check_column_literal(node.left, node.right.value, node.op)
+        elif isinstance(node.right, Column) and isinstance(node.left, Literal):
+            self._check_column_literal(
+                node.right, node.left.value, MIRROR_OP[node.op]
+            )
+
+    def _check_membership(
+        self, operand: Node, value: Value, op: str, clause: str
+    ) -> None:
+        operand_type = self._infer(operand)
+        value_type = _literal_type(value)
+        if _incomparable(operand_type, value_type):
+            if not (
+                isinstance(operand, Column)
+                and isinstance(value, str)
+                and operand.name in self.descriptor.schema
+                and self.descriptor.schema.attribute(
+                    operand.name
+                ).type.is_numeric
+            ):
+                self._emit(
+                    "RT303",
+                    f"{clause} value {value!r} has type {value_type} but "
+                    f"{operand} has type {operand_type}",
+                    str(operand) if isinstance(operand, Column) else clause,
+                )
+            return
+        if isinstance(operand, Column):
+            self._check_column_literal(operand, value, op)
+
+    def _check_predicate(self, node: Optional[Node]) -> None:
+        if node is None or isinstance(node, BoolLiteral):
+            return
+        if isinstance(node, (And, Or)):
+            for term in node.terms:
+                self._check_predicate(term)
+        elif isinstance(node, Not):
+            self._check_predicate(node.term)
+        elif isinstance(node, Comparison):
+            self._check_comparison(node)
+        elif isinstance(node, Between):
+            self._check_membership(node.operand, node.lo, ">=", "BETWEEN")
+            self._check_membership(node.operand, node.hi, "<=", "BETWEEN")
+        elif isinstance(node, InList):
+            for value in node.values:
+                self._check_membership(node.operand, value, "=", "IN")
+        else:
+            # Bare operand used as a predicate: infer for side effects
+            # (function signature checks) but leave validity to RQ2xx.
+            self._infer(node)
+
+    # -- aggregates ----------------------------------------------------------
+
+    def _check_aggregates(self) -> None:
+        for item in self.query.aggregates():
+            if item.column is None or item.column not in self.descriptor.schema:
+                continue  # COUNT(*) / RQ213 territory
+            attr = self.descriptor.schema.attribute(item.column)
+            if item.func == "count":
+                continue
+            if not attr.type.is_numeric:
+                self._emit(
+                    "RT304",
+                    f"{item.label} aggregates attribute {item.column!r} of "
+                    f"non-numeric type {attr.type.name!r}",
+                    item.column,
+                )
+            elif item.func == "sum" and sum_may_overflow(attr.dtype):
+                self._emit(
+                    "RT305",
+                    f"{item.label} accumulates {attr.type.name!r} values in "
+                    "a 64-bit integer accumulator; large datasets can "
+                    "overflow silently",
+                    item.column,
+                )
+
+    def run(self) -> None:
+        self._check_predicate(self.query.where)
+        self._check_aggregates()
+
+
+def typecheck_query(
+    descriptor: "Descriptor",
+    query: Query,
+    functions: FunctionRegistry,
+    collector: "Collector",
+    span_of: Optional[SpanLookup] = None,
+) -> None:
+    """Type-check one query against a descriptor, emitting RT3xx codes.
+
+    ``span_of`` maps a source token (attribute or function name) to a
+    :class:`~repro.metadata.spans.Span` in the original SQL text; when
+    omitted, diagnostics carry no spans (programmatic queries).
+    """
+    _Checker(descriptor, query, functions, collector, span_of).run()
+
+
+def aggregate_state_dtypes(
+    func: str, col_dtype: Optional[np.dtype]
+) -> Tuple[np.dtype, ...]:
+    """Dtypes of the partial-aggregation state columns for one item.
+
+    COUNT keeps one int64 counter; AVG keeps an exact (sum, count)
+    pair; SUM keeps its accumulator; MIN/MAX keep the input dtype.
+    """
+    if func == "count":
+        return (np.dtype(np.int64),)
+    if col_dtype is None:  # pragma: no cover - only COUNT lacks a column
+        raise ValueError(f"aggregate {func!r} requires an input attribute")
+    if func == "avg":
+        return (sum_accumulator_dtype(col_dtype), np.dtype(np.int64))
+    if func == "sum":
+        return (sum_accumulator_dtype(col_dtype),)
+    return (col_dtype,)

@@ -1,0 +1,232 @@
+"""``str(Query)`` -> ``parse_query`` round-trip regression tests.
+
+The rewrite pass and the plan/cache layers re-render AST nodes to query
+text (span recovery, cache keys, explain output), so rendering must be a
+bit-identical inverse of parsing over the whole AST surface:
+
+    parse(str(node)) == node          (structural round trip)
+    str(parse(str(node))) == str(node)  (textual fixpoint)
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sql.ast import (
+    Aggregate,
+    And,
+    Between,
+    BoolLiteral,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    Literal,
+    Not,
+    Or,
+    Query,
+)
+from repro.sql.parser import parse_query, parse_where
+
+# ---------------------------------------------------------------------------
+# Seeded random AST generator (whole node surface)
+# ---------------------------------------------------------------------------
+
+NAMES = ["A", "B", "C", "TIME", "SOIL", "OILVX"]
+FUNCS = ["SPEED", "DISTANCE", "F1"]
+OPS = ["=", "==", "!=", "<>", "<", "<=", ">", ">="]
+STRINGS = ["a", "bc", "x_1", "osu0"]
+
+
+def rand_number(rng: random.Random):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return rng.randint(-50, 100)
+    if kind == 1:
+        return round(rng.uniform(-10.0, 10.0), 3)
+    if kind == 2:
+        return float(rng.randint(0, 9)) * 10.0 ** rng.randint(-8, 8)
+    return rng.randint(0, 5)
+
+
+def rand_value(rng: random.Random):
+    if rng.random() < 0.25:
+        return rng.choice(STRINGS)
+    return rand_number(rng)
+
+
+def rand_operand(rng: random.Random, depth: int):
+    roll = rng.random()
+    if roll < 0.5:
+        return Column(rng.choice(NAMES))
+    if roll < 0.8 or depth <= 0:
+        return Literal(rand_value(rng))
+    nargs = rng.randrange(0, 4)
+    args = tuple(rand_operand(rng, depth - 1) for _ in range(nargs))
+    return FunctionCall(rng.choice(FUNCS), args)
+
+
+def rand_predicate(rng: random.Random, depth: int):
+    atoms = ("cmp", "in", "between", "bool")
+    compound = ("and", "or", "not")
+    kind = rng.choice(atoms if depth <= 0 else atoms + compound * 2)
+    if kind == "cmp":
+        return Comparison(
+            rng.choice(OPS), rand_operand(rng, depth), rand_operand(rng, depth)
+        )
+    if kind == "in":
+        values = tuple(rand_value(rng) for _ in range(rng.randrange(1, 4)))
+        return InList(rand_operand(rng, depth), values)
+    if kind == "between":
+        return Between(rand_operand(rng, depth), rand_value(rng), rand_value(rng))
+    if kind == "bool":
+        return BoolLiteral(rng.random() < 0.5)
+    if kind == "not":
+        return Not(rand_predicate(rng, depth - 1))
+    terms = tuple(
+        rand_predicate(rng, depth - 1) for _ in range(rng.randrange(2, 4))
+    )
+    return And(terms) if kind == "and" else Or(terms)
+
+
+def rand_select(rng: random.Random):
+    if rng.random() < 0.2:
+        return None  # SELECT *
+    items = []
+    for _ in range(rng.randrange(1, 4)):
+        if rng.random() < 0.4:
+            func = rng.choice(["count", "sum", "min", "max", "avg"])
+            if func == "count" and rng.random() < 0.5:
+                items.append(Aggregate("count", None))
+            else:
+                items.append(Aggregate(func, rng.choice(NAMES)))
+        else:
+            items.append(rng.choice(NAMES))
+    return items
+
+
+def rand_query(rng: random.Random):
+    select = rand_select(rng)
+    where = rand_predicate(rng, rng.randrange(0, 4)) if rng.random() < 0.8 else None
+    group_by = None
+    if rng.random() < 0.3:
+        group_by = sorted(set(rng.choice(NAMES) for _ in range(rng.randrange(1, 3))))
+    return Query(table="T", select=select, where=where, group_by=group_by)
+
+
+class TestRandomizedRoundTrip:
+    def test_500_random_queries_round_trip(self):
+        rng = random.Random(20260808)
+        for i in range(500):
+            query = rand_query(rng)
+            text = str(query)
+            reparsed = parse_query(text)
+            assert reparsed == query, f"case {i}: {text!r}"
+            assert str(reparsed) == text, f"case {i}: {text!r}"
+
+    def test_500_random_predicates_round_trip(self):
+        rng = random.Random(4242)
+        for i in range(500):
+            node = rand_predicate(rng, 4)
+            text = str(node)
+            reparsed = parse_where(text)
+            assert reparsed == node, f"case {i}: {text!r}"
+            assert str(reparsed) == text, f"case {i}: {text!r}"
+
+
+# ---------------------------------------------------------------------------
+# Explicit regressions (shapes that used to render ambiguously)
+# ---------------------------------------------------------------------------
+
+
+def roundtrip(node):
+    text = str(node)
+    reparsed = parse_where(text)
+    assert reparsed == node, text
+    assert str(reparsed) == text
+    return text
+
+
+class TestExplicitShapes:
+    def test_nested_and_inside_and_keeps_parens(self):
+        a = Comparison(">", Column("A"), Literal(1))
+        b = Comparison("<", Column("B"), Literal(2))
+        c = Comparison("=", Column("C"), Literal(3))
+        node = And((a, And((b, c))))
+        # without parens this would reparse flattened as And((a, b, c))
+        assert roundtrip(node) == "A > 1 AND (B < 2 AND C = 3)"
+
+    def test_nested_or_inside_or_keeps_parens(self):
+        a = Comparison(">", Column("A"), Literal(1))
+        b = Comparison("<", Column("B"), Literal(2))
+        c = Comparison("=", Column("C"), Literal(3))
+        node = Or((Or((a, b)), c))
+        assert roundtrip(node) == "(A > 1 OR B < 2) OR C = 3"
+
+    def test_or_inside_and_keeps_parens(self):
+        a = Comparison(">", Column("A"), Literal(1))
+        b = Comparison("<", Column("B"), Literal(2))
+        node = And((Or((a, b)), a))
+        assert roundtrip(node) == "(A > 1 OR B < 2) AND A > 1"
+
+    def test_and_inside_or_needs_no_parens(self):
+        a = Comparison(">", Column("A"), Literal(1))
+        b = Comparison("<", Column("B"), Literal(2))
+        node = Or((And((a, b)), a))
+        assert roundtrip(node) == "A > 1 AND B < 2 OR A > 1"
+
+    def test_string_values_in_in_list_are_quoted(self):
+        node = InList(Column("DIR"), ("osu0", "osu1"))
+        assert roundtrip(node) == "DIR IN ('osu0', 'osu1')"
+
+    def test_string_values_in_between_are_quoted(self):
+        node = Between(Column("DIR"), "osu0", "osu3")
+        assert roundtrip(node) == "DIR BETWEEN 'osu0' AND 'osu3'"
+
+    def test_mixed_value_in_list(self):
+        node = InList(Column("A"), (1, "two", 3.5))
+        assert roundtrip(node) == "A IN (1, 'two', 3.5)"
+
+    def test_not_wraps_term_in_parens(self):
+        node = Not(InList(Column("A"), (1, 2)))
+        assert roundtrip(node) == "NOT (A IN (1, 2))"
+
+    def test_operator_spellings_preserved(self):
+        assert roundtrip(Comparison("==", Column("A"), Literal(3))) == "A == 3"
+        assert roundtrip(Comparison("<>", Column("A"), Literal(3))) == "A <> 3"
+
+    def test_negative_and_exponent_literals(self):
+        assert roundtrip(Comparison("<", Column("A"), Literal(-3))) == "A < -3"
+        assert roundtrip(Comparison("<", Column("A"), Literal(-2.5))) == "A < -2.5"
+        text = roundtrip(Comparison("<", Column("A"), Literal(1.5e-05)))
+        assert text == "A < 1.5e-05"
+
+    def test_zero_arg_function_call(self):
+        node = Comparison(">", FunctionCall("DISTANCE", ()), Literal(1))
+        assert roundtrip(node) == "DISTANCE() > 1"
+
+    def test_nested_function_call(self):
+        inner = FunctionCall("F1", (Column("A"), Literal(2)))
+        node = Comparison("<=", FunctionCall("SPEED", (inner, Column("B"))), Literal(9))
+        assert roundtrip(node) == "SPEED(F1(A, 2), B) <= 9"
+
+    def test_bool_literals(self):
+        assert roundtrip(BoolLiteral(True)) == "TRUE"
+        assert roundtrip(BoolLiteral(False)) == "FALSE"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT * FROM T",
+            "SELECT A, B FROM T WHERE A > 1",
+            "SELECT COUNT(*) FROM T",
+            "SELECT TIME, SUM(SOIL), AVG(SOIL) FROM T GROUP BY TIME",
+            "SELECT MIN(A), MAX(A) FROM T WHERE B IN (1, 2) GROUP BY C",
+        ],
+    )
+    def test_query_text_fixpoint(self, text):
+        query = parse_query(text)
+        assert str(query) == text
+        assert parse_query(str(query)) == query
