@@ -46,6 +46,7 @@ from .diag import (
     lint_text,
 )
 from .errors import (
+    AdmissionError,
     CodegenError,
     ExtractionError,
     FaultSpecError,
@@ -56,11 +57,14 @@ from .errors import (
     NodeFailureError,
     NodeTimeoutError,
     PlanningError,
+    QueryCancelledError,
     QueryError,
     QuerySyntaxError,
     QueryValidationError,
+    QuotaExceededError,
     ReproError,
     RowStoreError,
+    SchedulerError,
     SchemaError,
     StormError,
 )
@@ -72,6 +76,7 @@ from .obs import (
     tree_summary,
     write_chrome_trace,
 )
+from .sched import QueryHandle, Scheduler
 from .sql import FunctionRegistry, Query, filter_function, parse_query
 from .storm import (
     CostModel,
@@ -83,6 +88,7 @@ from .storm import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "AlignedFileChunkSet",
     "ChunkRef",
     "Client",
@@ -112,13 +118,18 @@ __all__ = [
     "NodeTimeoutError",
     "PlanningError",
     "Query",
+    "QueryCancelledError",
     "QueryError",
+    "QueryHandle",
     "QueryResult",
     "QueryService",
     "QuerySyntaxError",
     "QueryValidationError",
+    "QuotaExceededError",
     "ReproError",
     "RowStoreError",
+    "Scheduler",
+    "SchedulerError",
     "Schema",
     "SchemaError",
     "Severity",

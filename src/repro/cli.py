@@ -11,6 +11,8 @@ workflow end to end::
     python -m repro index-build DESC.txt --root D # build chunk summaries
     python -m repro query     DESC.txt "SELECT ..." --root D --format csv
     python -m repro cache stats DESC.txt --root D --query "SELECT ..." --repeat 3
+    python -m repro sched stats DESC.txt --root D --query "bulk=SELECT ..." \
+        --query "web:2=SELECT ..." --workers 2
     python -m repro trace     DESC.txt "SELECT ..." --root D -o trace.json
     python -m repro chaos     DESC.txt "SELECT ..." --root D --profile node-down
     python -m repro serve     DESC.txt --root D --node osu0 --port 7301
@@ -315,6 +317,86 @@ def cmd_cache(args) -> int:
                   f"{cleared.get('hits', 0)} hits, "
                   f"{cleared.get('misses', 0)} misses")
     return 0
+
+
+def cmd_sched(args) -> int:
+    """Run a workload through the scheduler and print its statistics.
+
+    Each ``--query`` is ``[TENANT[:PRIORITY]=]SQL`` (default tenant
+    ``"default"``, priority 0); the whole mix is submitted up front
+    (``--repeat`` times), so queue waits reflect real contention on
+    ``--workers`` dispatch lanes.  Prints one line per query (rows,
+    queue wait) and then the scheduler's counters, per-tenant lanes,
+    and abandoned-thread ledger.
+    """
+    import re
+
+    from .core.options import ExecOptions
+    from .errors import AdmissionError
+    from .sched import Scheduler
+    from .storm.cluster import VirtualCluster
+    from .storm.query_service import QueryService
+
+    if not args.query:
+        print("error: pass at least one --query to schedule",
+              file=sys.stderr)
+        return 2
+    descriptor = _load_descriptor(args.descriptor, args.dataset)
+    dataset = GeneratedDataset(descriptor)
+    cluster = VirtualCluster.for_storage(args.root, descriptor.storage)
+    spec_re = re.compile(
+        r"^(?P<tenant>[A-Za-z_][\w.-]*)(?::(?P<prio>\d+))?=(?P<sql>.+)$"
+    )
+    jobs = []
+    for raw in args.query:
+        match = spec_re.match(raw)
+        if match:
+            jobs.append((match.group("tenant"),
+                         int(match.group("prio") or 0),
+                         match.group("sql")))
+        else:
+            jobs.append(("default", 0, raw))
+    base = ExecOptions(remote=False, admission=args.admission,
+                       admission_budget=args.budget)
+    failed = 0
+    with QueryService(dataset, cluster) as service:
+        with Scheduler(service, workers=args.workers) as sched:
+            handles = []
+            for _ in range(args.repeat):
+                for tenant, prio, sql in jobs:
+                    opts = base.replace(tenant=tenant, priority=prio)
+                    try:
+                        handles.append(
+                            (tenant, prio, sql, sched.submit(sql, opts))
+                        )
+                    except AdmissionError as exc:
+                        failed += 1
+                        print(f"{tenant:>10}/{prio} REJECTED  {exc}")
+            for tenant, prio, sql, handle in handles:
+                try:
+                    result = handle.result()
+                except ReproError as exc:
+                    failed += 1
+                    print(f"{tenant:>10}/{prio} FAILED    "
+                          f"{type(exc).__name__}: {exc}")
+                else:
+                    wait_ms = (handle.wait_seconds or 0.0) * 1000
+                    print(f"{tenant:>10}/{prio} {result.num_rows:>9} rows  "
+                          f"wait {wait_ms:8.1f} ms  {sql[:60]}")
+            stats = sched.stats()
+    print(f"\nworkers: {stats['workers']} "
+          f"({stats['reserved_priority_workers']} reserved for priority)")
+    for name, value in sorted(stats["counters"].items()):
+        print(f"  {name:<28} {value}")
+    for tenant, lane in stats["tenants"].items():
+        print(f"  lane {tenant:<12} weight {lane['weight']:g}  "
+              f"vtime {lane['vtime']:.3f}")
+    for tenant, hist in sorted(stats["wait_seconds"].items()):
+        print(f"  wait[{tenant}]: n={hist['count']} "
+              f"mean={hist['mean'] * 1000:.1f}ms "
+              f"max={(hist['max'] or 0) * 1000:.1f}ms")
+    print(f"  threads abandoned: {stats['threads_abandoned']}")
+    return 1 if failed else 0
 
 
 def cmd_trace(args) -> int:
@@ -659,6 +741,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interpreted", action="store_true",
                    help="use the interpreted planner instead of codegen")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "sched",
+        help="run a workload through the scheduler and print its stats",
+    )
+    p.add_argument("action", choices=["stats"],
+                   help="stats: submit the workload and print queue/"
+                        "admission/wait statistics")
+    common(p, root=True)
+    p.add_argument("--query", action="append",
+                   metavar="[TENANT[:PRIO]=]SQL",
+                   help="query to schedule, optionally tagged with a "
+                        "tenant and priority; repeatable (the workload)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="submit the whole workload N times (default 1)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="scheduler dispatch workers (default 2)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="admission budget in simulated seconds "
+                        "(default: no admission control)")
+    p.add_argument("--admission", choices=["reject", "queue"],
+                   default="reject",
+                   help="over-budget handling (default reject)")
+    p.set_defaults(func=cmd_sched)
 
     p = sub.add_parser(
         "trace", help="run a query with tracing and export the timeline"

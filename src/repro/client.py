@@ -29,6 +29,7 @@ supported entry points; ``connect`` is the preferred front door.
 from __future__ import annotations
 
 import os
+import threading
 from typing import List, Optional, Tuple, Union
 
 from .core.codegen import GeneratedDataset
@@ -96,17 +97,45 @@ class Client:
         self.options = options
         self.url = url
         self._closed = False
+        self._scheduler = None
+        self._scheduler_lock = threading.Lock()
 
     # -- querying ------------------------------------------------------------
 
     def _opts(self, options: Optional[ExecOptions]) -> ExecOptions:
         return options if options is not None else self.options
 
+    @property
+    def scheduler(self):
+        """The client's :class:`~repro.sched.Scheduler`, built lazily.
+
+        Every ``submit``/``query`` routes through it, so tenants,
+        priorities, quotas, and cancellation work identically on the
+        ``local://`` and ``tcp://`` transports — over TCP the client is
+        the coordinator, so a process cluster gets the same fairness.
+        Dispatch workers only start once a query actually queues;
+        ``scheduler="off"`` queries run inline.
+        """
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                from .sched import Scheduler
+
+                self._scheduler = Scheduler(
+                    self.service,
+                    workers=self.options.scheduler_workers,
+                )
+            return self._scheduler
+
     def submit(
         self, sql, options: Optional[ExecOptions] = None
     ) -> QueryResult:
         """Run a query end-to-end; the full result with stats and trace."""
-        return self.service.submit(sql, self._opts(options))
+        return self.scheduler.run(sql, self._opts(options))
+
+    def schedule(self, sql, options: Optional[ExecOptions] = None):
+        """Queue a query without blocking; returns its
+        :class:`~repro.sched.QueryHandle` (``.result()``, ``.cancel()``)."""
+        return self.scheduler.submit(sql, self._opts(options))
 
     def query(
         self, sql, options: Optional[ExecOptions] = None
@@ -140,9 +169,17 @@ class Client:
     def cache_stats(self):
         return self.service.cache_stats()
 
+    def sched_stats(self):
+        """Scheduler queue/admission/wait metrics (``repro sched stats``)."""
+        return self.scheduler.stats()
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            with self._scheduler_lock:
+                scheduler, self._scheduler = self._scheduler, None
+            if scheduler is not None:
+                scheduler.close()
             self.service.close()
 
     def __enter__(self) -> "Client":

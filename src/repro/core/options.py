@@ -116,6 +116,45 @@ class ExecOptions:
     ``plan_cache_entries``  entry budget of the plan cache; ``0``
                       disables plan memoization while leaving result
                       caching on.
+
+    Scheduling (see docs/architecture.md, "Scheduling & admission";
+    these fields are read by :class:`repro.sched.Scheduler` — plain
+    ``QueryService.submit`` honours only the quotas/deadline/run_state
+    group):
+
+    ``tenant``        fair-share accounting identity of the submitter;
+                      each tenant gets its own weighted queue.
+    ``priority``      ``> 0`` routes the query onto the priority lane,
+                      which is served before any fair-share queue and
+                      has a reserved worker (higher values first).
+    ``scheduler``     ``"fair"`` (default) weighted fair-share across
+                      tenants; ``"fifo"`` one global arrival-order
+                      queue (priority lane still honoured); ``"off"``
+                      bypasses scheduling entirely — the ablation mode
+                      used by the latency benchmarks.
+    ``scheduler_workers``  concurrent queries the scheduler dispatches
+                      (and the size of the query service's shared node
+                      fan-out pool); ``0`` picks an automatic size.
+    ``admission``     what happens to a query predicted over its
+                      ``admission_budget``: ``"reject"`` (default)
+                      raises :class:`~repro.errors.AdmissionError`,
+                      ``"queue"`` parks it on the backfill lane, served
+                      only when every other lane is empty.
+    ``admission_budget``  cost ceiling in *simulated seconds* (the
+                      deterministic ``storm/cost.py`` scale, not wall
+                      time); ``None`` disables admission control.
+    ``row_quota``     max filtered rows the query may produce;
+                      enforced cooperatively at data-source partial
+                      boundaries, tripping with
+                      :class:`~repro.errors.QuotaExceededError`.
+    ``byte_quota``    max bytes the query may read from disk; same
+                      cooperative enforcement.
+    ``deadline``      seconds after submission at which the query is
+                      auto-cancelled (queued work immediately,
+                      in-flight work at its next boundary).
+    ``run_state``     internal: the scheduler's live cancel/quota state
+                      for this submission.  Never set by callers and
+                      never serialised to node servers.
     """
 
     remote: bool = True
@@ -138,6 +177,18 @@ class ExecOptions:
     cache_mode: str = "off"
     result_cache_bytes: int = 64 * 1024 * 1024
     plan_cache_entries: int = 128
+    tenant: str = "default"
+    priority: int = 0
+    scheduler: str = "fair"
+    scheduler_workers: int = 0
+    admission: str = "reject"
+    admission_budget: Optional[float] = None
+    row_quota: Optional[int] = None
+    byte_quota: Optional[int] = None
+    deadline: Optional[float] = None
+    run_state: Optional[object] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("off", "exact", "subsume"):
@@ -149,6 +200,16 @@ class ExecOptions:
             raise ValueError("result_cache_bytes must be >= 0")
         if self.plan_cache_entries < 0:
             raise ValueError("plan_cache_entries must be >= 0")
+        if self.scheduler not in ("fair", "fifo", "off"):
+            raise ValueError(
+                f"scheduler must be 'fair', 'fifo', or 'off', "
+                f"not {self.scheduler!r}"
+            )
+        if self.admission not in ("reject", "queue"):
+            raise ValueError(
+                f"admission must be 'reject' or 'queue', "
+                f"not {self.admission!r}"
+            )
 
     def replace(self, **changes) -> "ExecOptions":
         """A copy with the given fields changed."""
@@ -157,6 +218,20 @@ class ExecOptions:
     def tracer(self) -> Union[Tracer, NullTracer]:
         """Resolve :attr:`trace` to a tracer instance (see ``as_tracer``)."""
         return as_tracer(self.trace)
+
+
+def resolve_workers(requested: int) -> int:
+    """Concrete worker count for ``ExecOptions.scheduler_workers``.
+
+    ``0`` (auto) sizes generously — enough lanes that a lone client
+    never queues behind an idle machine — while staying bounded; any
+    positive value is taken as-is.
+    """
+    if requested > 0:
+        return requested
+    import os
+
+    return min(32, 4 * (os.cpu_count() or 2))
 
 
 #: Shared defaults, so call sites can write ``DEFAULT_OPTIONS.replace(...)``.

@@ -96,6 +96,11 @@ CODES: Dict[str, Tuple["Severity", str]] = {
     "RO306": (Severity.WARNING, "inflight_limit below per-node pool size"),
     "RO307": (Severity.ERROR, "node_timeout must be positive"),
     "RO308": (Severity.INFO, "aggregate pushdown disabled"),
+    "RO309": (Severity.ERROR, "scheduler_workers must be non-negative"),
+    "RO310": (Severity.ERROR, "admission_budget admits nothing"),
+    "RO311": (Severity.ERROR, "quota must be positive"),
+    "RO312": (Severity.ERROR, "deadline must be positive"),
+    "RO313": (Severity.WARNING, "scheduling knobs with scheduler off"),
     "RT301": (Severity.ERROR, "incomparable operand types"),
     "RT302": (Severity.ERROR, "function argument type mismatch"),
     "RT303": (Severity.ERROR, "IN/BETWEEN value type mismatch"),

@@ -94,4 +94,49 @@ def analyze_options(options) -> List[Diagnostic]:
             "partial aggregates (ablation/debugging mode)",
             fix="leave agg_pushdown at its default of True",
         )
+    if options.scheduler_workers < 0:
+        out.emit(
+            "RO309",
+            f"scheduler_workers={options.scheduler_workers} is negative; "
+            "use 0 for automatic sizing",
+            fix="set scheduler_workers to 0 (auto) or a positive count",
+        )
+    if options.admission_budget is not None and options.admission_budget <= 0:
+        out.emit(
+            "RO310",
+            f"admission_budget={options.admission_budget} admits no query "
+            "ever (every plan costs more than nothing); use None to "
+            "disable admission control",
+            fix="set admission_budget to a positive number of simulated "
+            "seconds or None",
+        )
+    for name, quota in (
+        ("row_quota", options.row_quota),
+        ("byte_quota", options.byte_quota),
+    ):
+        if quota is not None and quota <= 0:
+            out.emit(
+                "RO311",
+                f"{name}={quota} trips on the first partial produced; "
+                "use None for no quota",
+                fix=f"set {name} to a positive budget or None",
+            )
+    if options.deadline is not None and options.deadline <= 0:
+        out.emit(
+            "RO312",
+            f"deadline={options.deadline} cancels the query before it "
+            "starts; use None for no deadline",
+            fix="set deadline to a positive number of seconds or None",
+        )
+    if options.scheduler == "off" and (
+        options.tenant != "default"
+        or options.priority != 0
+        or options.admission_budget is not None
+    ):
+        out.emit(
+            "RO313",
+            "scheduler='off' bypasses the scheduler: tenant, priority, "
+            "and admission_budget have no effect on this query",
+            fix="drop the scheduling knobs or use scheduler='fair'",
+        )
     return list(out)

@@ -205,5 +205,66 @@ class PartitionError(StormError):
     """Partition generation was asked for an unknown or invalid scheme."""
 
 
+class SchedulerError(StormError):
+    """Base class for errors raised by the workload scheduler.
+
+    Deliberately NOT a subclass of :class:`ExtractionError`: scheduler
+    decisions (admission refusals, quota trips, cancellations) are
+    verdicts about the query, not transient I/O faults — they are never
+    retried and never degraded away under ``allow_partial``.
+    """
+
+
+class AdmissionError(SchedulerError):
+    """Admission control refused a query predicted over its cost budget.
+
+    Raised by ``Scheduler.submit`` when ``ExecOptions.admission_budget``
+    is set, the cost model predicts more simulated seconds than the
+    budget, and ``ExecOptions.admission == "reject"`` (with
+    ``"queue"`` the query is queued on the backfill lane instead).
+    """
+
+    def __init__(self, predicted_seconds: float, budget_seconds: float,
+                 sql: str = ""):
+        self.predicted_seconds = predicted_seconds
+        self.budget_seconds = budget_seconds
+        self.sql = sql
+        suffix = f" for {sql[:120]!r}" if sql else ""
+        super().__init__(
+            f"admission refused: predicted {predicted_seconds:.3f}s exceeds "
+            f"budget {budget_seconds:g}s{suffix}"
+        )
+
+
+class QueryCancelledError(SchedulerError):
+    """A query was cancelled before it produced a result.
+
+    ``reason`` distinguishes explicit ``handle.cancel()`` calls
+    (``"cancelled"``) from deadline-based auto-cancel (``"deadline"``)
+    and scheduler shutdown (``"scheduler closed"``).
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        self.reason = reason
+        super().__init__(f"query cancelled ({reason})")
+
+
+class QuotaExceededError(SchedulerError):
+    """A query tripped its cooperative row or byte quota mid-execution.
+
+    Checked at data-source partial boundaries (per AFC locally, per node
+    partial over ``tcp://``), so a query may briefly overshoot by at
+    most one partial before the trip surfaces.
+    """
+
+    def __init__(self, kind: str, used: int, quota: int):
+        self.kind = kind
+        self.used = used
+        self.quota = quota
+        super().__init__(
+            f"{kind} quota exceeded: {used} > {quota}"
+        )
+
+
 class RowStoreError(ReproError):
     """Base class for errors in the baseline relational row store."""

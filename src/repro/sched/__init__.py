@@ -1,0 +1,30 @@
+"""``repro.sched``: workload-aware scheduling for the STORM front door.
+
+Fair-share queues per tenant, a priority express lane, cost-based
+admission control, cooperative row/byte quotas, cancellation, and
+deadlines — see :mod:`repro.sched.scheduler` for the design and
+docs/architecture.md ("Scheduling & admission") for the overview.
+
+:class:`Scheduler` / :class:`QueryHandle` load lazily (PEP 562): the
+leaf :mod:`repro.sched.state` module must stay importable from inside
+:mod:`repro.storm` without dragging in the scheduler (which itself
+imports storm).
+"""
+
+from .state import RunState, record_abandoned_thread, threads_abandoned
+
+__all__ = [
+    "QueryHandle",
+    "RunState",
+    "Scheduler",
+    "record_abandoned_thread",
+    "threads_abandoned",
+]
+
+
+def __getattr__(name: str):
+    if name in ("Scheduler", "QueryHandle"):
+        from . import scheduler
+
+        return getattr(scheduler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,554 @@
+"""Workload-aware scheduler in front of ``QueryService.submit``.
+
+The paper's services assume one polite client; this module makes the
+front door safe for heavy mixed traffic.  A :class:`Scheduler` owns a
+bounded pool of dispatch workers and three lanes of queued work:
+
+1. **Priority lane** — queries submitted with ``ExecOptions(priority>0)``
+   jump every queue (higher values first, FIFO within a value).  One
+   dispatch worker is *reserved* for this lane, so an interactive query
+   never waits behind a bulk scan that grabbed the last worker — the
+   express-lane property the latency benchmarks measure.
+2. **Fair-share lanes** — one weighted queue per ``ExecOptions.tenant``,
+   served by weighted fair queuing over virtual time: each dispatch
+   advances the tenant's virtual clock by ``cost / weight``, and the
+   lane with the smallest clock goes next, so a tenant with weight 3
+   gets 3x the dispatch share of a weight-1 tenant under contention.
+   ``scheduler="fifo"`` collapses this to one arrival-order queue.
+3. **Backfill lane** — queries predicted over their
+   ``admission_budget`` with ``admission="queue"``; served only when
+   every other lane is empty, so over-budget work scavenges idle
+   capacity instead of competing.
+
+Admission control happens at :meth:`Scheduler.submit` using
+``CostModel.estimate_plan`` (a-priori simulated seconds from the plan's
+chunk layout): over budget with ``admission="reject"`` raises a typed
+:class:`~repro.errors.AdmissionError` before any work is queued.
+
+Every admitted query carries a :class:`~repro.sched.state.RunState` on
+``ExecOptions.run_state``; ``handle.cancel()`` tears queued work down
+immediately and flips the run state so in-flight work stops at its next
+cooperative boundary, and a ``deadline`` is auto-enforced by a monitor
+thread plus in-band checks.  ``ExecOptions(scheduler="off")`` bypasses
+the whole apparatus (the ablation mode).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ..core.options import ExecOptions, resolve_workers
+from ..errors import (
+    AdmissionError,
+    QueryCancelledError,
+    QuotaExceededError,
+    SchedulerError,
+)
+from ..obs.metrics import MetricsRegistry
+from .state import RunState, threads_abandoned
+
+_FINISHED = ("done", "failed", "cancelled")
+
+#: Virtual-time cost of a query with no cost estimate: each dispatch
+#: counts as one unit, degrading fair-share to weighted round-robin.
+_UNIT_COST = 1.0
+
+
+class QueryHandle:
+    """One submitted query's future: state, result, cancellation."""
+
+    def __init__(
+        self,
+        sql,
+        options: ExecOptions,
+        run_state: RunState,
+        predicted_seconds: Optional[float],
+        clock: Callable[[], float],
+        scheduler: Optional["Scheduler"],
+    ):
+        self.sql = sql
+        self.options = options
+        self.tenant = options.tenant
+        self.priority = options.priority
+        self.run_state = run_state
+        #: Simulated seconds the cost model predicted, when admission
+        #: control ran; None otherwise.
+        self.predicted_seconds = predicted_seconds
+        self.submitted_at = clock()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._clock = clock
+        self._sched = scheduler
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self._state = "queued"
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``queued`` / ``running`` / ``done`` / ``failed`` / ``cancelled``."""
+        with self._lock:
+            return self._state
+
+    def done(self) -> bool:
+        return self.state in _FINISHED
+
+    def cancelled(self) -> bool:
+        return self.state == "cancelled"
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        """Queue wait before dispatch; None while still queued."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    # -- outcome --------------------------------------------------------------
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the :class:`~repro.storm.query_service.QueryResult`.
+
+        Re-raises whatever ended the query: the execution error, a
+        :class:`~repro.errors.QuotaExceededError`, or a
+        :class:`~repro.errors.QueryCancelledError`.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query not finished within {timeout:g}s (state={self.state})"
+            )
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            return self._result
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Stop this query; returns False if it already finished.
+
+        Queued work is torn down immediately (``result()`` raises
+        :class:`~repro.errors.QueryCancelledError` at once); running
+        work stops at its next cooperative boundary, and a hung node
+        attempt is abandoned through the timeout machinery.
+        """
+        self.run_state.cancel(reason)
+        with self._lock:
+            if self._state in _FINISHED:
+                return False
+            was_queued = self._state == "queued"
+            if was_queued:
+                self._state = "cancelled"
+                self._error = QueryCancelledError(reason)
+                self.finished_at = self._clock()
+                self._event.set()
+        if was_queued and self._sched is not None:
+            self._sched._on_queued_cancel(reason)
+        return True
+
+    def _finish(self, state: str, result=None, error=None) -> bool:
+        with self._lock:
+            if self._state in _FINISHED:
+                return False
+            self._state = state
+            self._result = result
+            self._error = error
+            self.finished_at = self._clock()
+            self._event.set()
+            return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryHandle {self.tenant}/{self.priority} "
+            f"[{self.state}] {str(self.sql)[:60]!r}>"
+        )
+
+
+class _TenantLane:
+    __slots__ = ("name", "weight", "queue", "vtime")
+
+    def __init__(self, name: str, weight: float):
+        self.name = name
+        self.weight = weight
+        self.queue: deque = deque()
+        self.vtime = 0.0
+
+
+class Scheduler:
+    """Fair-share dispatch, admission control, quotas, cancellation.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.storm.query_service.QueryService` (or any
+        object with ``submit(sql, options)``) queries dispatch into.
+    workers:
+        Concurrent dispatches; ``0`` resolves like
+        ``ExecOptions.scheduler_workers`` auto-sizing.
+    reserve_priority:
+        Dispatch workers reserved for the priority lane (clamped so at
+        least one worker always serves the fair lanes); ``0`` disables
+        the express lane's reservation.
+    weights:
+        Per-tenant fair-share weights (default 1.0 each).
+    cost_model:
+        Admission cost model; defaults to the service's.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        workers: int = 0,
+        reserve_priority: int = 1,
+        weights: Optional[Dict[str, float]] = None,
+        cost_model=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.service = service
+        self.workers = resolve_workers(workers)
+        self._reserved = max(0, min(reserve_priority, self.workers - 1))
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else getattr(service, "cost_model", None)
+        )
+        self.metrics = MetricsRegistry()
+        self._weights = dict(weights or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        #: Heap of (-priority, seq, handle): the express lane.
+        self._priority: List[tuple] = []
+        self._lanes: Dict[str, _TenantLane] = {}
+        self._backfill: deque = deque()
+        #: Heap of (deadline_at, seq, handle) for the monitor thread.
+        self._deadlines: List[tuple] = []
+        self._gvtime = 0.0
+        self._queued = 0
+        self._running = 0
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, sql, options: Optional[ExecOptions] = None) -> QueryHandle:
+        """Queue a query; returns its :class:`QueryHandle` immediately.
+
+        With ``options.scheduler == "off"`` the query runs inline on
+        the calling thread instead — no lanes, no admission, no quotas
+        — and the returned handle is already finished (the ablation
+        path the benchmarks compare against).
+        """
+        opts = options if options is not None else ExecOptions()
+        if self._closed:
+            raise SchedulerError("scheduler is closed")
+        if opts.scheduler == "off":
+            return self._run_inline(sql, opts)
+
+        predicted = None
+        backfill = False
+        if opts.admission_budget is not None and self.cost_model is not None:
+            predicted = self._predict(sql, opts)
+            if predicted > opts.admission_budget:
+                if opts.admission == "reject":
+                    self.metrics.record("sched.rejected")
+                    raise AdmissionError(
+                        predicted, opts.admission_budget, str(sql)
+                    )
+                backfill = True
+                self.metrics.record("sched.queued_over_budget")
+
+        deadline_at = None
+        if opts.deadline is not None:
+            deadline_at = self._clock() + opts.deadline
+        run_state = RunState(
+            row_quota=opts.row_quota,
+            byte_quota=opts.byte_quota,
+            deadline_at=deadline_at,
+            clock=self._clock,
+        )
+        handle = QueryHandle(sql, opts, run_state, predicted, self._clock, self)
+        with self._cond:
+            if self._closed:
+                raise SchedulerError("scheduler is closed")
+            seq = next(self._seq)
+            if backfill:
+                self._backfill.append(handle)
+            elif opts.priority > 0:
+                heapq.heappush(self._priority, (-opts.priority, seq, handle))
+            else:
+                # fifo mode funnels every tenant into one shared
+                # arrival-order lane; fair mode keeps one per tenant.
+                lane = "*" if opts.scheduler == "fifo" else opts.tenant
+                self._lane_for(lane).queue.append(handle)
+            self._queued += 1
+            if deadline_at is not None:
+                heapq.heappush(self._deadlines, (deadline_at, seq, handle))
+            self.metrics.record("sched.submitted")
+            self._update_gauges_locked()
+            self._ensure_workers_locked()
+            if deadline_at is not None:
+                self._ensure_monitor_locked()
+            self._cond.notify_all()
+        return handle
+
+    def run(self, sql, options: Optional[ExecOptions] = None):
+        """Submit and block: the scheduled analogue of ``service.submit``."""
+        return self.submit(sql, options).result()
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Queue depths, per-tenant lanes, counters, wait histograms."""
+        with self._cond:
+            tenants = {
+                name: {
+                    "queued": len(lane.queue),
+                    "weight": lane.weight,
+                    "vtime": round(lane.vtime, 6),
+                }
+                for name, lane in sorted(self._lanes.items())
+            }
+            snapshot = {
+                "workers": self.workers,
+                "reserved_priority_workers": self._reserved,
+                "queued": self._queued,
+                "running": self._running,
+                "priority_queued": len(self._priority),
+                "backfill_queued": len(self._backfill),
+                "tenants": tenants,
+            }
+        data = self.metrics.as_dict()
+        snapshot["counters"] = data["counters"]
+        snapshot["wait_seconds"] = {
+            name[len("sched.wait_seconds.") :]: hist
+            for name, hist in data["histograms"].items()
+            if name.startswith("sched.wait_seconds.")
+        }
+        overall = data["histograms"].get("sched.wait_seconds")
+        if overall is not None:
+            snapshot["wait_seconds"]["*"] = overall
+        snapshot["threads_abandoned"] = threads_abandoned()
+        return snapshot
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop dispatching; queued queries are cancelled, running ones
+        finish (``wait=True`` joins them)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            drained = [h for _, _, h in self._priority]
+            drained.extend(self._backfill)
+            for lane in self._lanes.values():
+                drained.extend(lane.queue)
+            self._priority.clear()
+            self._backfill.clear()
+            for lane in self._lanes.values():
+                lane.queue.clear()
+            self._queued = 0
+            self._update_gauges_locked()
+            self._cond.notify_all()
+            threads = list(self._threads)
+            monitor = self._monitor
+        for handle in drained:
+            if handle._finish(
+                "cancelled", error=QueryCancelledError("scheduler closed")
+            ):
+                self.metrics.record("sched.cancelled")
+        if wait:
+            for thread in threads:
+                thread.join()
+            if monitor is not None:
+                monitor.join()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _run_inline(self, sql, opts: ExecOptions) -> QueryHandle:
+        self.metrics.record("sched.bypassed")
+        handle = QueryHandle(
+            sql, opts, RunState(clock=self._clock), None, self._clock, None
+        )
+        handle.started_at = handle.submitted_at
+        try:
+            result = self.service.submit(sql, opts)
+        except BaseException as exc:
+            handle._finish("failed", error=exc)
+        else:
+            handle._finish("done", result=result)
+        return handle
+
+    def _predict(self, sql, opts: ExecOptions) -> float:
+        dataset = self.service.dataset
+        resolve = getattr(dataset, "resolve_query", None)
+        resolved = resolve(sql) if resolve is not None else sql
+        plan = dataset.plan(resolved)
+        return self.cost_model.estimate_plan(plan, remote=opts.remote)
+
+    def _lane_for(self, name: str) -> _TenantLane:
+        lane = self._lanes.get(name)
+        if lane is None:
+            lane = _TenantLane(name, float(self._weights.get(name, 1.0)))
+            self._lanes[name] = lane
+        if not lane.queue:
+            # An idle tenant's clock catches up to the global virtual
+            # time, so sitting out earns no banked priority.
+            lane.vtime = max(lane.vtime, self._gvtime)
+        return lane
+
+    def _ensure_workers_locked(self) -> None:
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker,
+                args=(index,),
+                name=f"sched-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _ensure_monitor_locked(self) -> None:
+        if self._monitor is None:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="sched-deadline", daemon=True
+            )
+            self._monitor.start()
+
+    def _pop_locked(self, priority_only: bool) -> Optional[QueryHandle]:
+        if self._priority:
+            handle = heapq.heappop(self._priority)[2]
+            self._queued -= 1
+            return handle
+        if priority_only:
+            return None
+        best: Optional[_TenantLane] = None
+        for name in sorted(self._lanes):
+            lane = self._lanes[name]
+            if lane.queue and (best is None or lane.vtime < best.vtime):
+                best = lane
+        if best is not None:
+            handle = best.queue.popleft()
+            self._queued -= 1
+            self._gvtime = best.vtime
+            cost = handle.predicted_seconds
+            best.vtime += max(
+                cost if cost is not None else _UNIT_COST, 1e-9
+            ) / max(best.weight, 1e-9)
+            return handle
+        if self._backfill:
+            self._queued -= 1
+            return self._backfill.popleft()
+        return None
+
+    def _worker(self, index: int) -> None:
+        priority_only = index < self._reserved
+        while True:
+            with self._cond:
+                handle = None
+                while handle is None:
+                    if self._closed:
+                        return
+                    handle = self._pop_locked(priority_only)
+                    if handle is None:
+                        self._cond.wait()
+                    elif handle.done():
+                        # Cancelled while queued; already torn down.
+                        handle = None
+                self._running += 1
+                self._update_gauges_locked()
+            try:
+                self._dispatch(handle)
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    self._update_gauges_locked()
+                    self._cond.notify_all()
+
+    def _dispatch(self, handle: QueryHandle) -> None:
+        with handle._lock:
+            if handle._state != "queued":
+                return
+            handle._state = "running"
+            handle.started_at = self._clock()
+        wait = handle.started_at - handle.submitted_at
+        self.metrics.record("sched.dispatched")
+        self.metrics.histogram("sched.wait_seconds").observe(wait)
+        self.metrics.histogram(
+            f"sched.wait_seconds.{handle.tenant}"
+        ).observe(wait)
+        opts = handle.options.replace(run_state=handle.run_state)
+        tracer = opts.tracer()
+        try:
+            if tracer.enabled:
+                with tracer.span(
+                    "sched",
+                    tenant=handle.tenant,
+                    priority=handle.priority,
+                    wait_seconds=round(wait, 6),
+                    predicted_seconds=handle.predicted_seconds,
+                ):
+                    result = self.service.submit(handle.sql, opts)
+            else:
+                result = self.service.submit(handle.sql, opts)
+        except QueryCancelledError as exc:
+            self.metrics.record("sched.cancelled")
+            if exc.reason == "deadline":
+                self.metrics.record("sched.deadline_cancelled")
+            handle._finish("cancelled", error=exc)
+        except QuotaExceededError as exc:
+            self.metrics.record("sched.quota_trips")
+            handle._finish("failed", error=exc)
+        except BaseException as exc:
+            self.metrics.record("sched.failed")
+            handle._finish("failed", error=exc)
+        else:
+            self.metrics.record("sched.completed")
+            handle._finish("done", result=result)
+
+    def _on_queued_cancel(self, reason: str) -> None:
+        self.metrics.record("sched.cancelled")
+        if reason == "deadline":
+            self.metrics.record("sched.deadline_cancelled")
+        with self._cond:
+            self._update_gauges_locked()
+
+    def _monitor_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                now = self._clock()
+                fire = []
+                while self._deadlines and self._deadlines[0][0] <= now:
+                    fire.append(heapq.heappop(self._deadlines)[2])
+                fire = [h for h in fire if not h.done()]
+                if not fire:
+                    timeout = None
+                    if self._deadlines:
+                        timeout = max(0.01, self._deadlines[0][0] - now)
+                    self._cond.wait(timeout)
+                    continue
+            for handle in fire:
+                handle.cancel("deadline")
+
+    def _update_gauges_locked(self) -> None:
+        self.metrics.gauge("sched.queue_depth").set(self._queued)
+        self.metrics.gauge("sched.running").set(self._running)

@@ -83,6 +83,52 @@ class CostModel:
         remote = stats.remote_bytes_read / self.network_bandwidth
         return io + cpu + remote
 
+    def estimate_plan(self, plan, remote: bool = False) -> float:
+        """Predicted simulated seconds for a plan *before* running it.
+
+        The a-priori counterpart of :meth:`makespan`, driving admission
+        control: per node, planned chunk bytes (projection pushdown
+        respected) at disk bandwidth plus an open per distinct file, a
+        seek per chunk, and per-row decode+filter CPU; the slowest node
+        plus query overhead is the estimate.  Deliberately an upper
+        bound on the I/O side — it assumes no coalescing, no caches,
+        and no summary fast path — because admission exists to protect
+        the service from the worst case, not the lucky one.
+        """
+        needed = set(plan.needed)
+        per_node_io: Dict[str, float] = {}
+        per_node_rows: Dict[str, int] = {}
+        for afc in plan.afcs:
+            node = afc.chunks[0].node if afc.chunks else "local"
+            files = set()
+            nbytes = 0
+            chunks = 0
+            for chunk in afc.chunks:
+                if not needed.intersection(chunk.strip.attrs):
+                    continue
+                files.add((chunk.node, chunk.path))
+                nbytes += chunk.total_bytes(afc.num_rows)
+                chunks += 1
+            per_node_io[node] = per_node_io.get(node, 0.0) + (
+                len(files) * self.open_time
+                + chunks * self.seek_time
+                + nbytes / self.disk_bandwidth
+            )
+            per_node_rows[node] = per_node_rows.get(node, 0) + afc.num_rows
+        slowest = 0.0
+        for node, io in per_node_io.items():
+            cpu = per_node_rows[node] * (self.tuple_cpu + self.filter_cpu)
+            slowest = max(slowest, io + cpu)
+        transfer = 0.0
+        if remote and plan.afcs:
+            # Upper-bound the shipped bytes: every planned row survives
+            # the filter and carries the full output row width.
+            row_bytes = 8 * max(1, len(plan.output))
+            transfer = self.network_time(
+                sum(a.num_rows for a in plan.afcs) * row_bytes, 1
+            )
+        return self.query_overhead + slowest + transfer
+
     def network_time(self, bytes_sent: int, messages: int = 1) -> float:
         return messages * self.network_latency + bytes_sent / self.network_bandwidth
 

@@ -86,6 +86,7 @@ class DataSourceService:
                 plan, afcs, stats, tracer, opts, coalesce
             )
         needed_set = set(plan.needed)
+        run_state = opts.run_state
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
         workers = min(max(1, opts.intra_node_workers), len(afcs) or 1)
         if workers > 1:
@@ -93,7 +94,7 @@ class DataSourceService:
             def job(afc: AlignedFileChunkSet):
                 local = IOStats()
                 selected = self._extract_one(
-                    plan, afc, needed_set, local, tracer, coalesce
+                    plan, afc, needed_set, local, tracer, coalesce, run_state
                 )
                 return selected, local
 
@@ -112,7 +113,7 @@ class DataSourceService:
         else:
             for afc in afcs:
                 selected = self._extract_one(
-                    plan, afc, needed_set, stats, tracer, coalesce
+                    plan, afc, needed_set, stats, tracer, coalesce, run_state
                 )
                 if selected is None:
                     continue
@@ -147,6 +148,7 @@ class DataSourceService:
 
         spec = plan.aggregate
         needed_set = set(plan.needed)
+        run_state = opts.run_state
 
         def one(afc: AlignedFileChunkSet, st: IOStats):
             # filtering.apply adds the filtered row count to rows_output;
@@ -155,7 +157,7 @@ class DataSourceService:
             # a per-job local or used strictly sequentially.
             before = st.rows_output
             selected = self._extract_one(
-                plan, afc, needed_set, st, tracer, coalesce
+                plan, afc, needed_set, st, tracer, coalesce, run_state
             )
             if selected is None:
                 return None
@@ -196,8 +198,23 @@ class DataSourceService:
         stats: IOStats,
         tracer,
         coalesce: Optional[CoalescePlan],
+        run_state=None,
     ) -> Optional[Dict[str, np.ndarray]]:
-        """Extract + filter one AFC; returns owned columns or None if empty."""
+        """Extract + filter one AFC; returns owned columns or None if empty.
+
+        ``run_state`` is the scheduler's cooperative cancel/quota state
+        (``ExecOptions.run_state``): checked before the read and charged
+        with this AFC's row/byte deltas after the filter, so each AFC is
+        one cooperative boundary — a trip raises here and the query
+        overshoots its quota by at most one AFC.  The deltas are safe
+        because ``stats`` is always owned by a single thread (a per-job
+        local under ``intra_node_workers``, the per-attempt stats
+        otherwise).
+        """
+        if run_state is not None:
+            run_state.checkpoint()
+        before_rows = stats.rows_output
+        before_bytes = stats.bytes_read
         stats.afcs_processed += 1
         for chunk in afc.chunks:
             if chunk.node != self.node and needed_set.intersection(
@@ -217,6 +234,11 @@ class DataSourceService:
         selected = self.filtering.apply(
             plan.where, columns, plan.output, afc.num_rows, stats, tracer
         )
+        if run_state is not None:
+            run_state.charge(
+                rows=stats.rows_output - before_rows,
+                nbytes=stats.bytes_read - before_bytes,
+            )
         if selected is None:
             return None
         return {name: own_column(selected[name]) for name in plan.output}

@@ -25,13 +25,12 @@ import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, List, Optional, Union
 
 from ..core.afc import AlignedFileChunkSet
-from ..core.options import ExecOptions
+from ..core.options import ExecOptions, resolve_workers
 from ..core.planner import CompiledDataset
 from ..core.stats import IOStats
 from ..core.table import VirtualTable, concat_tables
@@ -43,6 +42,7 @@ from ..errors import (
     StormError,
 )
 from ..obs.tracer import TraceContext, Tracer
+from ..sched.state import record_abandoned_thread
 from ..sql.ast import Query
 from ..sql.functions import FunctionRegistry
 from .cluster import VirtualCluster
@@ -163,6 +163,7 @@ class QueryService:
         handle_cache: int = 64,
         fault_injector=None,
         transport: Optional[Transport] = None,
+        max_sacrificial_threads: int = 16,
     ):
         self.dataset = dataset
         self.cluster = cluster
@@ -199,6 +200,20 @@ class QueryService:
         self._query_cache = None
         self._cache_unsupported = False
         self._cache_lock = threading.Lock()
+        #: Long-lived node fan-out pool shared by every submit (built
+        #: lazily by the first parallel extraction; threads spawn on
+        #: demand, so an idle service costs nothing).  Replaces the old
+        #: per-submit ThreadPoolExecutor churn.
+        self._node_pool: Optional[ThreadPoolExecutor] = None
+        self._node_pool_lock = threading.Lock()
+        #: Cap on concurrent sacrificial timeout threads: a hung attempt
+        #: is abandoned to finish on its own, but only this many may be
+        #: in flight at once — a flaky node under retries can no longer
+        #: grow threads without limit.
+        self.max_sacrificial_threads = max_sacrificial_threads
+        self._sacrificial_slots = threading.BoundedSemaphore(
+            max_sacrificial_threads
+        )
 
     @property
     def indexing(self) -> IndexingService:
@@ -241,6 +256,23 @@ class QueryService:
                     opts.result_cache_bytes, opts.plan_cache_entries
                 )
             return self._query_cache
+
+    def _pool(self, opts: ExecOptions) -> ThreadPoolExecutor:
+        """The shared node fan-out pool, built on first parallel use.
+
+        Sized once, by ``max_workers`` or the first submit's
+        ``scheduler_workers`` auto-resolution; later submits reuse the
+        same threads whatever their node count.
+        """
+        with self._node_pool_lock:
+            if self._node_pool is None:
+                size = self.max_workers or resolve_workers(
+                    opts.scheduler_workers
+                )
+                self._node_pool = ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix="storm-node"
+                )
+            return self._node_pool
 
     def drop_caches(self) -> None:
         """Cold-cache mode: benchmarks call this between measured queries.
@@ -292,6 +324,10 @@ class QueryService:
             remote=remote,
             parallel=parallel,
         )
+        run_state = opts.run_state
+        if run_state is not None:
+            # A query cancelled while queued must not start executing.
+            run_state.checkpoint()
         tracer = opts.tracer()
         cache = self._cache_for(opts)
         resolved: Union[Query, str] = sql
@@ -519,6 +555,8 @@ class QueryService:
         #: node -> terminal failure; distinct keys per worker thread.
         failures: Dict[str, NodeFailureError] = {}
 
+        run_state = opts.run_state
+
         def attempt_node(node: str, attempt_stats: IOStats) -> VirtualTable:
             """One extraction attempt, bounded by node_timeout."""
             if opts.node_timeout is None:
@@ -528,25 +566,55 @@ class QueryService:
             # A hung attempt cannot be interrupted from outside, so it
             # runs on a sacrificial thread we abandon on timeout (it
             # ends when its blocking read does, still writing into an
-            # attempt_stats that is discarded, never merged).
-            pool = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"extract-{node}"
-            )
-            future = pool.submit(
-                self.transport.execute_node,
-                node,
-                plan,
-                by_node[node],
-                attempt_stats,
-                tracer,
-                opts,
-            )
-            pool.shutdown(wait=False)
-            try:
-                return future.result(opts.node_timeout)
-            except FuturesTimeout:
-                future.cancel()
+            # attempt_stats that is discarded, never merged).  The
+            # semaphore bounds how many abandoned threads can be in
+            # flight at once: a slot is held from spawn until the
+            # thread actually finishes, so a flaky node under retries
+            # blocks on a slot instead of growing threads forever.
+            if not self._sacrificial_slots.acquire(
+                timeout=opts.node_timeout
+            ):
+                tracer.metrics.record("sched.sacrificial_saturated")
                 raise NodeTimeoutError(node, opts.node_timeout) from None
+            done = threading.Event()
+            box: Dict[str, object] = {}
+
+            def work() -> None:
+                try:
+                    box["result"] = self.transport.execute_node(
+                        node, plan, by_node[node], attempt_stats, tracer, opts
+                    )
+                except BaseException as exc:  # noqa: BLE001 - relayed below
+                    box["error"] = exc
+                finally:
+                    self._sacrificial_slots.release()
+                    done.set()
+
+            thread = threading.Thread(
+                target=work, name=f"extract-{node}", daemon=True
+            )
+            thread.start()
+            deadline = time.monotonic() + opts.node_timeout
+            # Poll in short slices when a run state is attached so a
+            # cancel/quota trip abandons the in-flight attempt through
+            # this same machinery instead of waiting out the timeout.
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._abandon_thread(tracer)
+                    raise NodeTimeoutError(node, opts.node_timeout) from None
+                slice_ = remaining if run_state is None else min(
+                    remaining, 0.05
+                )
+                if done.wait(slice_):
+                    break
+                if run_state is not None and run_state.should_stop:
+                    self._abandon_thread(tracer)
+                    run_state.checkpoint()
+            error = box.get("error")
+            if error is not None:
+                raise error  # type: ignore[misc]
+            return box["result"]  # type: ignore[return-value]
 
         def run_node(node: str) -> VirtualTable:
             # Worker threads have an empty span stack; parent the
@@ -557,6 +625,8 @@ class QueryService:
                 node_ctx = ctx.child(span)
                 last_exc: Optional[Exception] = None
                 for attempt in range(attempts_allowed):
+                    if run_state is not None:
+                        run_state.checkpoint()
                     attempt_stats = IOStats()
                     try:
                         if attempt == 0:
@@ -585,6 +655,16 @@ class QueryService:
                         last_exc = exc
                         continue
                     per_node_stats[node].merge(attempt_stats)
+                    if run_state is not None and not getattr(
+                        self.transport, "cooperative_quotas", False
+                    ):
+                        # Remote nodes never see the run state (it does
+                        # not cross the wire), so quotas are charged
+                        # here, per node partial, at the coordinator.
+                        run_state.charge(
+                            rows=partial.num_rows,
+                            nbytes=attempt_stats.bytes_read,
+                        )
                     span.tag(
                         rows=partial.num_rows,
                         bytes_read=per_node_stats[node].bytes_read,
@@ -609,12 +689,16 @@ class QueryService:
 
         nodes = list(by_node)
         if opts.parallel and len(nodes) > 1:
-            with ThreadPoolExecutor(
-                max_workers=self.max_workers or len(nodes)
-            ) as pool:
-                maybe_partials = list(pool.map(guarded, nodes))
+            maybe_partials = list(self._pool(opts).map(guarded, nodes))
         else:
             maybe_partials = [guarded(node) for node in nodes]
+
+        if run_state is not None:
+            # A cancel or quota trip that raced the last node's
+            # completion must win *before* any merge: a degraded or
+            # partial table must never be half-assembled from work that
+            # finished while the teardown was in flight.
+            run_state.checkpoint()
 
         failed_nodes = [node for node in nodes if node in failures]
         if failed_nodes and not opts.allow_partial:
@@ -748,7 +832,17 @@ class QueryService:
             TRANSFER_NODE, attempts_allowed, last_exc
         )
 
+    def _abandon_thread(self, tracer) -> None:
+        """Account one sacrificial thread left to die on its own."""
+        record_abandoned_thread()
+        tracer.metrics.record("sched.threads_abandoned")
+
     def close(self) -> None:
+        with self._node_pool_lock:
+            pool, self._node_pool = self._node_pool, None
+        if pool is not None:
+            # wait=False: a node hung mid-extraction must not hang close.
+            pool.shutdown(wait=False)
         self.transport.close()
 
     def __enter__(self) -> "QueryService":

@@ -36,6 +36,12 @@ class Transport:
     #: URL scheme this transport answers to (for reprs and docs).
     scheme = "abstract"
 
+    #: True when ``execute_node`` enforces ``ExecOptions.run_state``
+    #: quota/cancel boundaries itself (per AFC); False makes the query
+    #: service charge quotas at the coordinator, per node partial —
+    #: the run state never crosses a process boundary.
+    cooperative_quotas = False
+
     def execute_node(
         self,
         node: str,
@@ -69,6 +75,7 @@ class LocalTransport(Transport):
     """In-process data-source services over a directory-backed cluster."""
 
     scheme = "local"
+    cooperative_quotas = True
 
     def __init__(
         self,

@@ -154,6 +154,155 @@ class TestDropCachesRace:
             assert_tables_identical(result.table, serial[sql].table)
 
 
+class TestSubmitPathThreadHygiene:
+    """Regressions for the submit-path thread sweep: one long-lived
+    node pool per service (not one pool per submit), and a hard bound
+    on sacrificial threads abandoned by the timeout machinery."""
+
+    @pytest.fixture()
+    def fresh_env(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("thread_hygiene")
+        cluster = VirtualCluster.create(str(root), CONFIG.num_nodes)
+        text, _ = ipars.generate(CONFIG, "L0", cluster.mount())
+        return cluster, GeneratedDataset(text)
+
+    def test_hundred_submits_share_one_node_pool(self, fresh_env, monkeypatch):
+        import repro.storm.query_service as qs
+
+        created = []
+        real = qs.ThreadPoolExecutor
+
+        class Counting(real):
+            def __init__(self, *args, **kwargs):
+                created.append(kwargs.get("thread_name_prefix", ""))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(qs, "ThreadPoolExecutor", Counting)
+        cluster, dataset = fresh_env
+        with qs.QueryService(dataset, cluster) as service:
+            service.submit(self.SQL, LOCAL)  # builds the pool lazily
+            before = threading.active_count()
+            for _ in range(100):
+                result = service.submit(self.SQL, LOCAL)
+            assert result.num_rows > 0
+            growth = threading.active_count() - before
+        # Before the fix every submit built (and leaked the threads of)
+        # its own ThreadPoolExecutor: 101 pools and a rising count.
+        # The shared pool may still be lazily filling towards its cap,
+        # so growth is bounded by the pool size, not per-submit.
+        from repro.core.options import resolve_workers
+
+        assert created.count("storm-node") == 1
+        assert growth < resolve_workers(0)
+
+    SQL = "SELECT REL, TIME, X, SOIL FROM IparsData"
+
+    class _HangAllMounts:
+        """cluster.mount() stand-in that hangs every resolve for one
+        node until released."""
+
+        def __init__(self, real_mount, node):
+            self._real = real_mount
+            self._node = node
+            self.release = threading.Event()
+
+        def __call__(self):
+            return self._resolve
+
+        def _resolve(self, node, path):
+            if node == self._node and not self.release.is_set():
+                self.release.wait(30)
+            return self._real(node, path)
+
+    def test_sacrificial_threads_are_bounded(self, fresh_env, monkeypatch):
+        from repro.sched import threads_abandoned
+
+        cluster, dataset = fresh_env
+        mounts = self._HangAllMounts(cluster.mount(), "osu0")
+        monkeypatch.setattr(cluster, "mount", mounts)
+        opts = LOCAL.replace(
+            node_timeout=0.15, retries=2, allow_partial=True, parallel=False
+        )
+        ledger_before = threads_abandoned()
+        try:
+            with QueryService(
+                dataset, cluster, max_sacrificial_threads=2
+            ) as service:
+                before = threading.active_count()
+                result = service.submit(self.SQL, opts)
+                # osu0's three attempts: two spawned-and-abandoned
+                # sacrificial threads fill both slots, the third finds
+                # the semaphore saturated and times out without ever
+                # spawning — the ledger and the thread count both stop
+                # at the bound.
+                assert result.degraded
+                assert "osu0" in result.failed_nodes
+                assert threads_abandoned() - ledger_before == 2
+                assert threading.active_count() - before <= 2
+        finally:
+            mounts.release.set()
+
+    def test_recovers_after_hang_clears(self, fresh_env, monkeypatch):
+        cluster, dataset = fresh_env
+        mounts = self._HangAllMounts(cluster.mount(), "osu0")
+        monkeypatch.setattr(cluster, "mount", mounts)
+        opts = LOCAL.replace(
+            node_timeout=0.15, retries=0, allow_partial=True, parallel=False
+        )
+        with QueryService(
+            dataset, cluster, max_sacrificial_threads=2
+        ) as service:
+            assert service.submit(self.SQL, opts).degraded
+            mounts.release.set()
+            # The hung thread drains, frees its slot, and the same
+            # service answers cleanly.
+            clean = service.submit(self.SQL, LOCAL)
+            assert not clean.degraded
+
+
+class TestCancelQuotaMergeRace:
+    """Regression: a cancel or quota trip racing the last node partial
+    must never yield a half-merged degraded table — the caller gets the
+    complete result or the typed teardown error, nothing in between."""
+
+    SQL = "SELECT REL, TIME, X, SOIL FROM IparsData"
+
+    def test_cancel_race_is_all_or_nothing(self, service):
+        import random
+
+        from repro.errors import QueryCancelledError
+        from repro.sched import Scheduler
+
+        expected = service.submit(self.SQL, LOCAL).num_rows
+        rng = random.Random(7)
+        opts = LOCAL.replace(allow_partial=True, retries=1)
+        with Scheduler(service, workers=2) as sched:
+            for _ in range(15):
+                handle = sched.submit(self.SQL, opts)
+                time.sleep(rng.uniform(0.0, 0.01))
+                handle.cancel()
+                try:
+                    result = handle.result(timeout=30)
+                except QueryCancelledError:
+                    continue
+                # Finished first: then it must be the whole answer.
+                assert not result.degraded
+                assert result.num_rows == expected
+
+    def test_quota_trip_never_returns_partial(self, service):
+        from repro.errors import QuotaExceededError
+        from repro.sched import Scheduler
+
+        expected = service.submit(self.SQL, LOCAL).num_rows
+        opts = LOCAL.replace(
+            allow_partial=True, retries=1, row_quota=expected - 1
+        )
+        with Scheduler(service, workers=2) as sched:
+            for _ in range(10):
+                with pytest.raises(QuotaExceededError):
+                    sched.run(self.SQL, opts)
+
+
 class TestEvictionStress:
     """N threads x mixed queries x tiny caches: results must be
     bit-identical to serial runs and the caches' size accounting must

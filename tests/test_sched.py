@@ -1,0 +1,429 @@
+"""Scheduler semantics: fair share, admission, quotas, cancellation.
+
+Ordering tests drive a stub service (deterministic, no I/O); policy
+tests (admission, quotas, deadlines) run real queries through a real
+:class:`~repro.storm.query_service.QueryService`; the transport tests
+assert the same knobs behave identically via ``repro.connect`` on
+``local://`` and ``tcp://`` endpoints.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core import ExecOptions, GeneratedDataset
+from repro.core.options import resolve_workers
+from repro.datasets import IparsConfig, ipars
+from repro.errors import (
+    AdmissionError,
+    QueryCancelledError,
+    QuotaExceededError,
+    SchedulerError,
+)
+from repro.sched import Scheduler, threads_abandoned
+from repro.storm import QueryService, VirtualCluster
+from tests.conftest import assert_tables_equal
+
+CONFIG = IparsConfig(num_rels=2, num_times=6, cells_per_node=16, num_nodes=2)
+LOCAL = ExecOptions(remote=False)
+SCAN = "SELECT REL, TIME, X, SOIL FROM IparsData"
+TOTAL_ROWS = 2 * 6 * 16 * CONFIG.num_nodes
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sched")
+    cluster = VirtualCluster.create(str(root), CONFIG.num_nodes)
+    text, _ = ipars.generate(CONFIG, "L0", cluster.mount())
+    with QueryService(GeneratedDataset(text), cluster) as service:
+        yield service, text, str(root)
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.002)
+
+
+class StubService:
+    """submit() records dispatch order; named queries block on a gate."""
+
+    cost_model = None
+
+    def __init__(self, gates=None):
+        self.order = []
+        self.gates = gates or {}
+        self._lock = threading.Lock()
+
+    def submit(self, sql, opts):
+        with self._lock:
+            self.order.append(sql)
+        gate = self.gates.get(sql)
+        if gate is not None:
+            assert gate.wait(10), f"gate for {sql!r} never opened"
+        return sql
+
+
+class CooperativeStub:
+    """submit() loops forever at cooperative checkpoints."""
+
+    cost_model = None
+
+    def __init__(self):
+        self.running = threading.Event()
+
+    def submit(self, sql, opts):
+        self.running.set()
+        while True:
+            opts.run_state.checkpoint()
+            time.sleep(0.005)
+
+
+class TestFairShare:
+    def blocked_scheduler(self, **kwargs):
+        gate = threading.Event()
+        stub = StubService(gates={"BLOCK": gate})
+        sched = Scheduler(stub, workers=1, reserve_priority=0, **kwargs)
+        blocker = sched.submit("BLOCK", LOCAL.replace(tenant="zz"))
+        wait_for(lambda: "BLOCK" in stub.order)
+        return stub, sched, gate, blocker
+
+    def test_weighted_fair_share_interleave(self):
+        stub, sched, gate, blocker = self.blocked_scheduler(
+            weights={"b": 3.0}
+        )
+        with sched:
+            handles = [
+                sched.submit(sql, LOCAL.replace(tenant=sql[0]))
+                for sql in ("a1", "a2", "a3", "b1", "b2", "b3")
+            ]
+            gate.set()
+            for handle in handles:
+                handle.result(timeout=10)
+            # Weight 3 earns three dispatches for every one of weight 1:
+            # after a1 charges 1/1 of virtual time, b's clock stays
+            # behind until it has burned 3 x 1/3.
+            assert stub.order == ["BLOCK", "a1", "b1", "b2", "b3", "a2", "a3"]
+            assert blocker.result() == "BLOCK"
+
+    def test_fifo_mode_is_arrival_order(self):
+        stub, sched, gate, _ = self.blocked_scheduler(weights={"b": 3.0})
+        with sched:
+            fifo = LOCAL.replace(scheduler="fifo")
+            handles = [
+                sched.submit(sql, fifo.replace(tenant=sql[0]))
+                for sql in ("a1", "b1", "a2", "b2")
+            ]
+            gate.set()
+            for handle in handles:
+                handle.result(timeout=10)
+            assert stub.order == ["BLOCK", "a1", "b1", "a2", "b2"]
+
+    def test_priority_jumps_every_queue(self):
+        stub, sched, gate, _ = self.blocked_scheduler()
+        with sched:
+            fair = [
+                sched.submit(sql, LOCAL.replace(tenant="bulk"))
+                for sql in ("f1", "f2")
+            ]
+            lo = sched.submit("p1", LOCAL.replace(priority=1))
+            hi = sched.submit("p2", LOCAL.replace(priority=2))
+            gate.set()
+            for handle in (*fair, lo, hi):
+                handle.result(timeout=10)
+            assert stub.order == ["BLOCK", "p2", "p1", "f1", "f2"]
+
+    def test_reserved_worker_is_an_express_lane(self):
+        slow_gate = threading.Event()
+        stub = StubService(gates={"slow1": slow_gate, "slow2": slow_gate})
+        with Scheduler(stub, workers=2, reserve_priority=1) as sched:
+            s1 = sched.submit("slow1", LOCAL.replace(tenant="bulk"))
+            wait_for(lambda: "slow1" in stub.order)
+            s2 = sched.submit("slow2", LOCAL.replace(tenant="bulk"))
+            # The general worker is pinned inside slow1 and slow2 can
+            # only ever follow it; the reserved worker refuses fair-lane
+            # work, so a priority query overtakes both.
+            express = sched.submit("vip", LOCAL.replace(priority=1))
+            assert express.result(timeout=5) == "vip"
+            assert s2.state == "queued"
+            slow_gate.set()
+            assert s1.result(timeout=5) == "slow1"
+            assert s2.result(timeout=5) == "slow2"
+
+    def test_wait_seconds_and_stats_shape(self):
+        stub, sched, gate, _ = self.blocked_scheduler()
+        with sched:
+            handle = sched.submit("q1", LOCAL.replace(tenant="t"))
+            assert handle.wait_seconds is None
+            gate.set()
+            handle.result(timeout=10)
+            assert handle.wait_seconds >= 0
+            stats = sched.stats()
+            assert stats["workers"] == 1
+            assert stats["reserved_priority_workers"] == 0
+            assert stats["counters"]["sched.dispatched"] >= 2
+            assert stats["tenants"]["t"]["queued"] == 0
+            assert "t" in stats["wait_seconds"]
+            assert "*" in stats["wait_seconds"]
+            assert stats["threads_abandoned"] == threads_abandoned()
+
+    def test_submit_after_close_raises(self):
+        sched = Scheduler(StubService(), workers=1)
+        sched.close()
+        with pytest.raises(SchedulerError):
+            sched.submit("q", LOCAL)
+
+    def test_close_cancels_queued_work(self):
+        gate = threading.Event()
+        stub = StubService(gates={"BLOCK": gate})
+        sched = Scheduler(stub, workers=1, reserve_priority=0)
+        sched.submit("BLOCK", LOCAL)
+        wait_for(lambda: "BLOCK" in stub.order)
+        queued = sched.submit("never", LOCAL)
+        gate.set()
+        sched.close()
+        assert queued.cancelled()
+        with pytest.raises(QueryCancelledError, match="scheduler closed"):
+            queued.result(timeout=1)
+
+
+class TestAdmission:
+    def test_reject_over_budget(self, env):
+        service, _, _ = env
+        with Scheduler(service, workers=1) as sched:
+            with pytest.raises(AdmissionError) as info:
+                sched.submit(SCAN, LOCAL.replace(admission_budget=1e-9))
+            assert info.value.predicted_seconds > 1e-9
+            assert info.value.budget_seconds == 1e-9
+            assert sched.stats()["counters"]["sched.rejected"] == 1
+
+    def test_queue_over_budget_backfills(self, env):
+        service, _, _ = env
+        with Scheduler(service, workers=1) as sched:
+            handle = sched.submit(
+                SCAN,
+                LOCAL.replace(admission_budget=1e-9, admission="queue"),
+            )
+            result = handle.result(timeout=30)
+            assert result.num_rows == TOTAL_ROWS
+            counters = sched.stats()["counters"]
+            assert counters["sched.queued_over_budget"] == 1
+            assert "sched.rejected" not in counters
+
+    def test_under_budget_runs_normally(self, env):
+        service, _, _ = env
+        with Scheduler(service, workers=1) as sched:
+            result = sched.run(SCAN, LOCAL.replace(admission_budget=1e9))
+            assert result.num_rows == TOTAL_ROWS
+            assert "sched.rejected" not in sched.stats()["counters"]
+
+
+class TestQuotas:
+    def test_row_quota_trips_mid_query(self, env):
+        service, _, _ = env
+        with Scheduler(service, workers=1) as sched:
+            handle = sched.submit(SCAN, LOCAL.replace(row_quota=10))
+            with pytest.raises(QuotaExceededError, match="row quota"):
+                handle.result(timeout=30)
+            assert handle.state == "failed"
+            assert sched.stats()["counters"]["sched.quota_trips"] == 1
+
+    def test_byte_quota_trips_mid_query(self, env):
+        service, _, _ = env
+        # Byte quotas meter bytes *read*; a warm segment cache reads
+        # nothing, so cold-start the service first.
+        service.drop_caches()
+        with Scheduler(service, workers=1) as sched:
+            with pytest.raises(QuotaExceededError, match="byte quota"):
+                sched.run(SCAN, LOCAL.replace(byte_quota=64))
+
+    def test_quota_error_is_not_degraded_away(self, env):
+        # allow_partial degrades node *failures*; a quota trip is the
+        # caller's budget speaking and must surface even then.
+        service, _, _ = env
+        with Scheduler(service, workers=1) as sched:
+            with pytest.raises(QuotaExceededError):
+                sched.run(
+                    SCAN,
+                    LOCAL.replace(row_quota=10, allow_partial=True, retries=2),
+                )
+
+    def test_generous_quota_passes(self, env):
+        service, _, _ = env
+        with Scheduler(service, workers=1) as sched:
+            result = sched.run(
+                SCAN, LOCAL.replace(row_quota=TOTAL_ROWS, byte_quota=10**9)
+            )
+            assert result.num_rows == TOTAL_ROWS
+
+
+class TestCancellation:
+    def test_cancel_queued_tears_down_immediately(self):
+        gate = threading.Event()
+        stub = StubService(gates={"BLOCK": gate})
+        with Scheduler(stub, workers=1, reserve_priority=0) as sched:
+            sched.submit("BLOCK", LOCAL)
+            wait_for(lambda: "BLOCK" in stub.order)
+            queued = sched.submit("victim", LOCAL)
+            assert queued.cancel() is True
+            assert queued.state == "cancelled"
+            with pytest.raises(QueryCancelledError):
+                queued.result(timeout=1)
+            # Already finished: a second cancel is a no-op.
+            assert queued.cancel() is False
+            gate.set()
+            # The worker skips the cancelled handle; it never dispatches.
+            sched.close()
+            assert "victim" not in stub.order
+
+    def test_cancel_running_stops_at_checkpoint(self):
+        stub = CooperativeStub()
+        with Scheduler(stub, workers=1) as sched:
+            handle = sched.submit("spin", LOCAL)
+            assert stub.running.wait(5)
+            assert handle.cancel() is True
+            with pytest.raises(QueryCancelledError) as info:
+                handle.result(timeout=5)
+            assert info.value.reason == "cancelled"
+            assert handle.cancelled()
+            assert sched.stats()["counters"]["sched.cancelled"] == 1
+
+    def test_cancel_finished_returns_false(self):
+        stub = StubService()
+        with Scheduler(stub, workers=1) as sched:
+            handle = sched.submit("q", LOCAL)
+            handle.result(timeout=5)
+            assert handle.cancel() is False
+            assert handle.state == "done"
+
+    def test_deadline_auto_cancels(self):
+        stub = CooperativeStub()
+        with Scheduler(stub, workers=1) as sched:
+            handle = sched.submit("spin", LOCAL.replace(deadline=0.1))
+            with pytest.raises(QueryCancelledError) as info:
+                handle.result(timeout=10)
+            assert info.value.reason == "deadline"
+            counters = sched.stats()["counters"]
+            assert counters["sched.deadline_cancelled"] == 1
+
+    def test_deadline_expires_while_queued(self):
+        gate = threading.Event()
+        stub = StubService(gates={"BLOCK": gate})
+        with Scheduler(stub, workers=1, reserve_priority=0) as sched:
+            sched.submit("BLOCK", LOCAL)
+            wait_for(lambda: "BLOCK" in stub.order)
+            queued = sched.submit("victim", LOCAL.replace(deadline=0.05))
+            with pytest.raises(QueryCancelledError) as info:
+                queued.result(timeout=10)
+            assert info.value.reason == "deadline"
+            gate.set()
+
+
+class TestOffMode:
+    def test_off_runs_inline_with_no_workers(self, env):
+        service, _, _ = env
+        with Scheduler(service, workers=4) as sched:
+            handle = sched.submit(SCAN, LOCAL.replace(scheduler="off"))
+            assert handle.done()
+            assert handle.result().num_rows == TOTAL_ROWS
+            assert sched.stats()["counters"]["sched.bypassed"] == 1
+            # No queued dispatch ever happened: workers never started.
+            assert sched._threads == []
+
+    def test_off_stores_error_instead_of_raising(self):
+        class Exploding:
+            cost_model = None
+
+            def submit(self, sql, opts):
+                raise ValueError("boom")
+
+        with Scheduler(Exploding(), workers=1) as sched:
+            handle = sched.submit("q", LOCAL.replace(scheduler="off"))
+            assert handle.state == "failed"
+            with pytest.raises(ValueError, match="boom"):
+                handle.result()
+
+
+class TestClientTransports:
+    def test_local_client_schedules(self, env):
+        service, text, root = env
+        reference = service.submit(SCAN, LOCAL).table
+        with repro.connect(f"local://{root}", descriptor=text) as db:
+            handle = db.schedule(
+                SCAN, LOCAL.replace(tenant="team-a", priority=1)
+            )
+            assert_tables_equal(handle.result(timeout=30).table, reference)
+            assert db.submit(SCAN, LOCAL).num_rows == TOTAL_ROWS
+            stats = db.sched_stats()
+            assert stats["counters"]["sched.completed"] >= 2
+            assert "team-a" in stats["wait_seconds"]
+        with pytest.raises(QuotaExceededError):
+            db2 = repro.connect(f"local://{root}", descriptor=text)
+            try:
+                db2.submit(SCAN, LOCAL.replace(row_quota=5))
+            finally:
+                db2.close()
+
+    def test_tcp_client_schedules_and_enforces_quotas(self, env):
+        from repro.net import ProcessCluster
+
+        service, text, root = env
+        reference = service.submit(SCAN, LOCAL).table
+        with ProcessCluster(text, root) as cluster:
+            with cluster.connect() as db:
+                handle = db.schedule(
+                    SCAN, ExecOptions(tenant="remote", priority=1)
+                )
+                assert_tables_equal(
+                    handle.result(timeout=60).table, reference
+                )
+                # The run state never crosses the wire: quotas are
+                # charged per node partial at the coordinator.
+                with pytest.raises(QuotaExceededError):
+                    db.submit(SCAN, ExecOptions(row_quota=5))
+                counters = db.sched_stats()["counters"]
+                assert counters["sched.completed"] >= 1
+                assert counters["sched.quota_trips"] >= 1
+
+
+class TestOptionValidation:
+    def test_bad_scheduler_value_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            ExecOptions(scheduler="bogus")
+
+    def test_bad_admission_value_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            ExecOptions(admission="maybe")
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+
+    def test_diag_codes_for_nonsense_knobs(self):
+        from repro.diag import analyze_options
+
+        codes = [
+            d.code
+            for d in analyze_options(
+                ExecOptions(
+                    scheduler_workers=-1,
+                    admission_budget=0,
+                    row_quota=0,
+                    byte_quota=-5,
+                    deadline=0,
+                    scheduler="off",
+                    priority=2,
+                )
+            )
+        ]
+        for expected in ("RO309", "RO310", "RO311", "RO312", "RO313"):
+            assert expected in codes
+
+    def test_default_options_emit_no_sched_diags(self):
+        from repro.diag import analyze_options
+
+        assert analyze_options(ExecOptions()) == []
