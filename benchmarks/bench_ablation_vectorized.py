@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Ablation: compiled vectorized WHERE kernels vs the interpreted walk.
+
+The fig7/fig8 workloads' filter-heavy archetypes — region-of-interest
+membership (``IN`` over grid coordinates / selected time steps),
+iso-band selection (unions of ``BETWEEN`` windows over a sensor), and
+UDF thresholds — are run over finely chunked datasets
+(``chunk_row_cap`` models the paper's fine-grained chunk sets, where
+per-chunk-set Python overhead dominates once I/O is coalesced).  Each
+workload runs twice: ``vectorize="off"`` (the interpreted AST oracle,
+one evaluation per chunk set) and ``vectorize="on"`` (the compiled
+kernel with cross-AFC block batching), and the benchmark asserts:
+
+* result tables are **bit-identical** between the modes for every
+  query (exact dtype + exact values, canonical row order);
+* ``off`` never touches ``rows_vectorized``; ``on`` vectorizes every
+  extracted row;
+* in full mode, the filter-heavy suite shows **>= 5x** aggregate
+  wall-clock speedup (the acceptance floor; ~10x is the target on
+  IN-dominated shapes).
+
+Plan memoization is enabled (with a zero-byte result cache, so every
+query still extracts and filters) in *both* modes: planning cost is
+identical per mode and would otherwise dilute the filter comparison.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_vectorized.py          # full
+    PYTHONPATH=src python benchmarks/bench_ablation_vectorized.py --smoke  # CI
+
+Writes ``BENCH_vectorized.json`` next to the other figure outputs and
+exits nonzero on any failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench import fig6_titan_config, fig9_ipars_config
+from repro.bench.harness import results_dir
+from repro.core import ExecOptions, Virtualizer
+from repro.core.stats import IOStats
+from repro.datasets import ipars, titan
+from repro.storm import VirtualCluster
+
+#: Fine-grained chunk sets: small AFCs are where per-chunk-set Python
+#: overhead shows, and what the kernel's block batching amortizes away.
+CHUNK_ROW_CAP = 32
+
+SPEEDUP_FLOOR = 5.0
+
+#: Plan memoization on, result caching effectively off (0-byte budget):
+#: repeated passes re-extract and re-filter every row in both modes.
+BASE = dict(
+    remote=False, cache_mode="exact", result_cache_bytes=0,
+    plan_cache_entries=64,
+)
+ON = ExecOptions(vectorize="on", **BASE)
+OFF = ExecOptions(vectorize="off", **BASE)
+
+
+#: Iso-levels per band-union query.  The paper's Titan use case is
+#: iso-surface visualization; a few dozen contour levels per rendering
+#: pass is the realistic shape, and each level is a BETWEEN window.
+NUM_BANDS = 32
+
+
+def value_bands(attr: str, count: int = NUM_BANDS,
+                width: float = 0.015) -> str:
+    """An iso-band union: ``attr`` in any of ``count`` narrow bands."""
+    return " OR ".join(
+        f"({attr} BETWEEN {i / (count + 4):.4f} "
+        f"AND {i / (count + 4) + width:.4f})"
+        for i in range(count)
+    )
+
+
+def ipars_workload(rng: random.Random, num_times: int) -> List[str]:
+    """fig8-flavored filter-heavy queries over the IPARS grid."""
+    bands = value_bands("SOIL")
+    lo, hi = max(1, num_times // 8), max(3, num_times - num_times // 8)
+    return [
+        # fig8 Q3 shape: indexed time window plus iso-band selection.
+        f"SELECT SOIL FROM IparsData WHERE TIME>{lo} AND TIME<{hi} "
+        f"AND ({bands})",
+        # Pure iso-band selection over the sensor value (full scan).
+        f"SELECT SOIL FROM IparsData WHERE {bands}",
+        # fig8 Q4 shape: UDF threshold plus bands.
+        "SELECT SOIL FROM IparsData "
+        f"WHERE SPEED(OILVX, OILVY, OILVZ) < 45 AND ({bands})",
+    ]
+
+
+def titan_workload(rng: random.Random, num_times: int) -> List[str]:
+    """fig7-flavored filter-heavy queries over the Titan point cloud."""
+    steps = ", ".join(
+        str(t)
+        for t in sorted(rng.sample(range(num_times), max(1, num_times // 2)))
+    )
+    s1_bands = value_bands("S1")
+    return [
+        # Selected animation frames (membership over the time
+        # dimension) rendered with the same iso-band levels.
+        f"SELECT TIME, S1 FROM TitanData WHERE TIME IN ({steps}) "
+        f"AND ({s1_bands})",
+        # Iso-band selection over the S1 sensor.
+        f"SELECT S1 FROM TitanData WHERE {s1_bands}",
+        # fig7 Q3 shape: distance-from-origin threshold plus bands.
+        "SELECT S1 FROM TitanData "
+        f"WHERE DISTANCE(X, Y, Z) < 5000 AND ({s1_bands})",
+    ]
+
+
+def run_mode(
+    virt: Virtualizer,
+    opts: ExecOptions,
+    queries: List[str],
+    repeats: int,
+) -> Tuple[Dict[Tuple[str, int], np.ndarray], IOStats, float, List[float]]:
+    """Run the workload; canonicalisation happens off the clock."""
+    tables = {}
+    totals = IOStats()
+    per_query = [0.0] * len(queries)
+    start = time.perf_counter()
+    for round_no in range(repeats):
+        for qi, sql in enumerate(queries):
+            q0 = time.perf_counter()
+            run = IOStats()
+            tables[(sql, round_no)] = virt.query(sql, stats=run, options=opts)
+            per_query[qi] += time.perf_counter() - q0
+            totals.merge(run)
+    wall = time.perf_counter() - start
+    results = {
+        key: table.canonical().to_structured()
+        for key, table in tables.items()
+    }
+    return results, totals, wall, [t / repeats for t in per_query]
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def bench_dataset(name, text, mount, queries, repeats, smoke):
+    """off-vs-on comparison for one dataset; returns the report dict."""
+    with Virtualizer(text, mount, chunk_row_cap=CHUNK_ROW_CAP) as virt:
+        # Warm both paths off the clock: handle/segment caches, plan
+        # memoization, and the kernel compile + first selectivity pass.
+        for sql in queries:
+            virt.query(sql, options=OFF)
+            virt.query(sql, options=ON)
+        off_results, off_totals, off_wall, off_each = run_mode(
+            virt, OFF, queries, repeats
+        )
+        on_results, on_totals, on_wall, on_each = run_mode(
+            virt, ON, queries, repeats
+        )
+
+    for key, want in off_results.items():
+        got = on_results[key]
+        if not len(want):
+            # An empty result costs 0 bytes and would slip under the
+            # 0-byte result-cache budget, so later passes would measure
+            # cache hits instead of filtering.  The workload must not
+            # produce one.
+            fail(f"{name}: workload query returned no rows: {key[0][:70]!r}")
+        if got.dtype != want.dtype or not np.array_equal(got, want):
+            fail(f"{name}: results differ for {key[0][:70]!r}...")
+    if off_totals.result_cache_hits or on_totals.result_cache_hits:
+        fail(f"{name}: timed passes must never hit the result cache")
+    if off_totals.rows_vectorized:
+        fail(f"{name}: vectorize='off' must not count rows_vectorized")
+    if on_totals.rows_vectorized != on_totals.rows_extracted:
+        fail(
+            f"{name}: vectorize='on' must vectorize every extracted row "
+            f"({on_totals.rows_vectorized} vs {on_totals.rows_extracted})"
+        )
+
+    speedup = off_wall / on_wall
+    print(f"\n{name}: {len(queries)} queries x {repeats} passes")
+    for sql, off_t, on_t in zip(queries, off_each, on_each):
+        print(
+            f"  {off_t * 1000:8.1f} ms -> {on_t * 1000:7.1f} ms "
+            f"({off_t / on_t:5.2f}x)  {sql[:64]}..."
+        )
+    print(
+        f"  total {off_wall:.3f}s -> {on_wall:.3f}s ({speedup:.2f}x); "
+        f"vectorized {on_totals.rows_vectorized:,} rows"
+    )
+    return {
+        "dataset": name,
+        "queries": queries,
+        "off_seconds": off_wall,
+        "on_seconds": on_wall,
+        "speedup": speedup,
+        "per_query": [
+            {"sql": sql, "off_seconds": o, "on_seconds": n, "speedup": o / n}
+            for sql, o, n in zip(queries, off_each, on_each)
+        ],
+        "rows_vectorized": on_totals.rows_vectorized,
+        "rows_extracted": on_totals.rows_extracted,
+        "identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small datasets, equivalence assertions only (no wall-clock "
+        "bar); used by the CI vectorized-smoke job",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="workload passes per mode (default 3)")
+    args = parser.parse_args(argv)
+
+    ipars_config = dataclasses.replace(
+        fig9_ipars_config(), num_times=30, cells_per_node=2000
+    )
+    titan_config = dataclasses.replace(
+        fig6_titan_config(), chunks_t=2, elems_per_chunk=500
+    )
+    if args.smoke:
+        ipars_config = dataclasses.replace(
+            ipars_config, num_times=8, cells_per_node=400
+        )
+        titan_config = dataclasses.replace(
+            titan_config, chunks_x=4, chunks_y=4, chunks_z=2,
+            elems_per_chunk=50,
+        )
+
+    rng = random.Random(20260808)
+    reports = []
+    with tempfile.TemporaryDirectory(prefix="vectorized_") as root:
+        ipars_cluster = VirtualCluster.create(
+            os.path.join(root, "ipars"), ipars_config.num_nodes
+        )
+        ipars_text, _ = ipars.generate(
+            ipars_config, "L0", ipars_cluster.mount()
+        )
+        reports.append(
+            bench_dataset(
+                "fig8-ipars",
+                ipars_text,
+                ipars_cluster.mount(),
+                ipars_workload(rng, ipars_config.num_times),
+                args.repeats,
+                args.smoke,
+            )
+        )
+
+        titan_cluster = VirtualCluster.create(
+            os.path.join(root, "titan"), titan_config.num_nodes
+        )
+        titan_text, _ = titan.generate(titan_config, titan_cluster.mount())
+        reports.append(
+            bench_dataset(
+                "fig7-titan",
+                titan_text,
+                titan_cluster.mount(),
+                titan_workload(rng, titan_config.chunks_t * 10),
+                args.repeats,
+                args.smoke,
+            )
+        )
+
+    off_total = sum(r["off_seconds"] for r in reports)
+    on_total = sum(r["on_seconds"] for r in reports)
+    overall = off_total / on_total
+    print(
+        f"\noverall: {off_total:.3f}s -> {on_total:.3f}s "
+        f"({overall:.2f}x, floor {SPEEDUP_FLOOR}x"
+        f"{', smoke: floor not enforced' if args.smoke else ''})"
+    )
+
+    payload = {
+        "figure": "BENCH_vectorized",
+        "mode": "smoke" if args.smoke else "full",
+        "chunk_row_cap": CHUNK_ROW_CAP,
+        "repeats": args.repeats,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "overall_speedup": overall,
+        "workloads": reports,
+    }
+    out_path = os.path.join(results_dir(), "BENCH_vectorized.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {out_path}")
+
+    if not args.smoke and overall < SPEEDUP_FLOOR:
+        fail(
+            f"expected >= {SPEEDUP_FLOOR}x aggregate speedup on the "
+            f"filter-heavy suite, got {overall:.2f}x"
+        )
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -156,6 +156,7 @@ class QueryCache:
         stats: IOStats,
         tracer=NULL_TRACER,
         mode: str = "exact",
+        vectorize: bool = False,
     ) -> Optional[CacheServe]:
         """Answer from cache, or None on a miss.
 
@@ -185,7 +186,8 @@ class QueryCache:
             # cached superset does not store.
             canonical, _ = rewrite_query(query)
             table = filtering.refilter(
-                canonical.where, entry.table, list(key.output), stats, tracer
+                canonical.where, entry.table, list(key.output), stats, tracer,
+                vectorize=vectorize,
             )
         stats.cache_saved_bytes += entry.source_bytes_read
         if tracer.enabled:

@@ -429,6 +429,7 @@ def cmd_trace(args) -> int:
         remote=not args.local,
         num_clients=args.clients,
         agg_pushdown=not args.no_agg_pushdown,
+        vectorize="off" if args.no_vectorize else "on",
     )
     with QueryService(dataset, cluster) as service:
         result = service.submit(args.sql, options)
@@ -586,6 +587,7 @@ def cmd_cluster(args) -> int:
         connect_timeout=args.connect_timeout,
         trace=tracer,
         agg_pushdown=not args.no_agg_pushdown,
+        vectorize="off" if args.no_vectorize else "on",
     )
     cluster = ProcessCluster(
         args.descriptor if args.descriptor != "-" else _read_text("-"),
@@ -787,6 +789,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-agg-pushdown", action="store_true",
                    help="aggregate at the coordinator instead of per node "
                         "(ablation; ships every filtered row)")
+    p.add_argument("--no-vectorize", action="store_true",
+                   help="interpret the WHERE per block instead of the "
+                        "compiled batch kernel (ablation; identical rows)")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -885,6 +890,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-agg-pushdown", action="store_true",
                    help="aggregate at the coordinator instead of per node "
                         "(ablation; ships every filtered row)")
+    p.add_argument("--no-vectorize", action="store_true",
+                   help="interpret the WHERE per block instead of the "
+                        "compiled batch kernel (ablation; identical rows)")
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("explain", help="show the plan for a query")

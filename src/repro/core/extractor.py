@@ -41,6 +41,7 @@ from ..errors import ExtractionError
 from ..obs.tracer import NULL_TRACER
 from ..sql.functions import DEFAULT_REGISTRY, FunctionRegistry
 from .afc import AlignedFileChunkSet, ExtractionPlan
+from .kernels import KERNEL_BLOCK_ROWS, BlockPipeline, KernelCache
 from .stats import IOStats
 from .table import VirtualTable, own_column
 
@@ -296,6 +297,9 @@ class Extractor:
     ):
         self.mount = mount
         self.functions = functions or DEFAULT_REGISTRY
+        #: Compiled predicate kernels, one per distinct WHERE node
+        #: (vectorized execution; see repro.core.kernels).
+        self._kernels = KernelCache(self.functions)
         #: A FaultyMount (repro.faults) carries its injector here; plain
         #: mounts leave it None and the hot path pays one is-None check.
         self._injector = getattr(mount, "injector", None)
@@ -573,16 +577,22 @@ class Extractor:
         stats: Optional[IOStats] = None,
         tracer=NULL_TRACER,
         coalesce_gap_bytes: int = 0,
+        vectorize: bool = False,
     ) -> VirtualTable:
         """Run a full extraction plan and return the projected table.
 
         ``coalesce_gap_bytes > 0`` merges nearby chunk reads across the
         whole plan into wide reads (see :meth:`plan_coalesce`); the
         default 0 reads chunk-at-a-time, the paper's baseline behaviour.
+        ``vectorize`` filters through a compiled predicate kernel with
+        small AFCs fused into shared evaluation blocks — bit-identical
+        rows in identical order, minus the per-chunk interpreter cost.
         """
         stats = stats if stats is not None else IOStats()
         with tracer.span("extract", afcs=len(plan.afcs)) as span:
-            table = self._execute(plan, stats, tracer, coalesce_gap_bytes)
+            table = self._execute(
+                plan, stats, tracer, coalesce_gap_bytes, vectorize
+            )
             span.tag(rows=table.num_rows, bytes_read=stats.bytes_read)
         return table
 
@@ -592,7 +602,12 @@ class Extractor:
         stats: IOStats,
         tracer,
         coalesce_gap_bytes: int = 0,
+        vectorize: bool = False,
     ) -> VirtualTable:
+        if vectorize and plan.where is not None:
+            return self._execute_vectorized(
+                plan, stats, tracer, coalesce_gap_bytes
+            )
         coalesce = self.coalesce_for(plan.afcs, plan.needed, coalesce_gap_bytes)
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
         for afc in plan.afcs:
@@ -627,6 +642,40 @@ class Extractor:
             stats.rows_output += count
             for name in plan.output:
                 pieces[name].append(own_column(selected[name]))
+        return self._finish(pieces, plan)
+
+    def _execute_vectorized(
+        self,
+        plan: ExtractionPlan,
+        stats: IOStats,
+        tracer,
+        coalesce_gap_bytes: int,
+    ) -> VirtualTable:
+        """Batched kernel path: extract per AFC, filter per fused block.
+
+        AFC blocks accumulate until :data:`KERNEL_BLOCK_ROWS` rows are
+        pending, then one kernel evaluation and one gather per output
+        column emit the block's surviving rows — same rows, same serial
+        order, one interpreter-free pass.
+        """
+        coalesce = self.coalesce_for(plan.afcs, plan.needed, coalesce_gap_bytes)
+        kernel = self._kernels.get(plan.where, tracer)
+        pipeline = BlockPipeline(
+            kernel, plan.needed, plan.output, KERNEL_BLOCK_ROWS, stats, tracer
+        )
+        for afc in plan.afcs:
+            stats.afcs_processed += 1
+            columns = self.extract_afc(
+                afc, plan.needed, stats, plan.dtypes, tracer, coalesce
+            )
+            stats.rows_extracted += afc.num_rows
+            pipeline.add(columns, afc.num_rows)
+        pipeline.finish()
+        return self._finish(pipeline.pieces, plan)
+
+    def _finish(
+        self, pieces: Dict[str, List[np.ndarray]], plan: ExtractionPlan
+    ) -> VirtualTable:
         final: Dict[str, np.ndarray] = {}
         for name in plan.output:
             if pieces[name]:
@@ -643,6 +692,7 @@ class Extractor:
         stats: Optional[IOStats] = None,
         tracer=NULL_TRACER,
         coalesce_gap_bytes: int = 0,
+        vectorize: bool = False,
     ):
         """Stream a plan's results as a sequence of VirtualTable batches.
 
@@ -652,11 +702,20 @@ class Extractor:
         Streaming keeps peak memory proportional to the batch size, not
         the result size — the natural mode for the paper's
         tens-of-gigabytes subsets.
+
+        ``vectorize`` runs the WHERE through the compiled kernel per
+        AFC.  Unlike :meth:`execute` it never fuses AFCs into larger
+        blocks: batch boundaries (whole chunk sets, flushed on filtered
+        row count) must stay identical to the interpreted path, which
+        cross-AFC fusion would shift.
         """
         if batch_rows < 1:
             raise ExtractionError("batch_rows must be positive")
         stats = stats if stats is not None else IOStats()
         coalesce = self.coalesce_for(plan.afcs, plan.needed, coalesce_gap_bytes)
+        kernel = None
+        if vectorize and plan.where is not None:
+            kernel = self._kernels.get(plan.where, tracer)
         pieces: Dict[str, List[np.ndarray]] = {n: [] for n in plan.output}
         buffered = 0
 
@@ -670,6 +729,14 @@ class Extractor:
             buffered = 0
             return table
 
+        def mask_of(columns, num_rows):
+            if kernel is not None:
+                stats.rows_vectorized += num_rows
+                return np.asarray(
+                    kernel.evaluate(columns, num_rows, tracer=tracer)
+                )
+            return np.asarray(plan.where.evaluate(columns, self.functions))
+
         for afc in plan.afcs:
             stats.afcs_processed += 1
             columns = self.extract_afc(
@@ -678,12 +745,13 @@ class Extractor:
             stats.rows_extracted += afc.num_rows
             if plan.where is not None:
                 if tracer.enabled:
-                    with tracer.span("filter", rows=afc.num_rows):
-                        mask = np.asarray(
-                            plan.where.evaluate(columns, self.functions)
-                        )
+                    with tracer.span(
+                        "filter", rows=afc.num_rows,
+                        vectorized=kernel is not None,
+                    ):
+                        mask = mask_of(columns, afc.num_rows)
                 else:
-                    mask = np.asarray(plan.where.evaluate(columns, self.functions))
+                    mask = mask_of(columns, afc.num_rows)
                 if mask.ndim == 0:
                     if not bool(mask):
                         continue

@@ -1,0 +1,553 @@
+"""Compiled vectorized predicate kernels.
+
+The paper's central move is shifting work from query time to compile
+time: the descriptor is compiled once into a generated index function,
+then every query reuses it.  This module extends that philosophy to the
+row path.  The interpreted evaluator in ``repro.sql.ast`` walks the AST
+once per chunk set — one Python dispatch and one intermediate array per
+node per AFC — which dominates filter-heavy workloads now that the I/O
+side is coalesced.  A :class:`CompiledPredicate` walks the (already
+rewrite-canonicalized) WHERE **once**, producing a fused batch kernel
+that every evaluation block reuses:
+
+* **constant folding** — subtrees referencing no column are evaluated
+  once at compile time (functions are pure by contract) and become
+  scalars; a fully constant predicate never touches row data at all;
+* **selectivity-ordered conjuncts** — the kernel tracks each top-level
+  AND term's observed pass fraction (an EWMA over evaluated blocks) and
+  runs the most selective terms first, short-circuiting the rest of the
+  conjunction as soon as the running mask drains to all-False;
+* **in-place boolean ops** — AND/OR/NOT combine into reusable
+  per-thread mask buffers (``np.logical_and(..., out=...)``) instead of
+  allocating a fresh array per AST node;
+* **IN via one pass** — membership tests lower to the shared
+  :func:`repro.sql.ast.in_list_mask` (``np.isin``, sort-based) instead
+  of one full-column equality scan per value;
+* **vectorized UDFs** — functions registered with ``vectorized=True``
+  are called directly on whole blocks; undeclared functions fall back
+  to a batched ``np.vectorize`` adapter (correct but one Python call
+  per row — the static analyzer flags the regression as RT309 and the
+  tracer counts ``kernel.scalar_udf_calls``).
+
+Bit-identity with the interpreted oracle is by construction: every leaf
+uses the same operations (``ast._CMP``, ``in_list_mask``) over the same
+full-length blocks, boolean combination is commutative so reordering
+cannot change bits, and early exit only skips terms that cannot flip an
+already-drained mask.  A term that evaluates to a non-boolean array (no
+parser-produced predicate does) makes the kernel defer the whole block
+to the interpreted evaluator, so even degenerate hand-built trees agree
+exactly.
+
+:class:`BlockPipeline` is the batching half: small AFCs are accumulated
+into fused evaluation blocks (one ``np.concatenate`` per needed column,
+one kernel evaluation, one fancy-index gather per output column), which
+amortizes the per-chunk Python overhead while preserving serial row
+order exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import QueryValidationError
+from ..obs.tracer import NULL_TRACER
+from ..sql.ast import (
+    And,
+    Between,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    Node,
+    Not,
+    Or,
+    _CMP,
+    in_list_mask,
+)
+from ..sql.functions import FunctionRegistry
+from .stats import IOStats
+from .table import own_column
+
+#: Target rows per fused evaluation block.  Small AFCs are concatenated
+#: up to this size before one kernel pass; large AFCs simply form their
+#: own block.  64Ki rows of one float64 column is 512 KiB — big enough
+#: to amortize per-block Python overhead, small enough to stay cache-
+#: and memory-friendly.
+KERNEL_BLOCK_ROWS = 65536
+
+#: Compile returns this for "not a compile-time constant".
+_NOT_CONST = object()
+
+#: EWMA smoothing for observed conjunct selectivity.
+_SELECTIVITY_ALPHA = 0.25
+
+MaskLike = Union[np.ndarray, bool]
+
+
+class _NonBooleanTerm(Exception):
+    """A combinator term produced a non-boolean array; the kernel defers
+    the block to the interpreted evaluator to mirror its exact (bitwise)
+    semantics."""
+
+
+class _Ctx:
+    """One evaluation's state: the column block plus this thread's
+    reusable mask buffers, indexed by compile-time slot."""
+
+    __slots__ = ("columns", "num_rows", "bufs")
+
+    def __init__(self, columns: Mapping[str, np.ndarray], num_rows: int,
+                 bufs: List[Optional[np.ndarray]]):
+        self.columns = columns
+        self.num_rows = num_rows
+        self.bufs = bufs
+
+    def buffer(self, slot: int, n: int) -> np.ndarray:
+        buf = self.bufs[slot]
+        if buf is None or buf.shape[0] != n:
+            buf = np.empty(n, dtype=bool)
+            self.bufs[slot] = buf
+        return buf
+
+
+class _Conjunct:
+    """One top-level AND term with its observed-selectivity estimate.
+
+    ``ewma`` is advisory only — it chooses evaluation *order*, never
+    result bits — so it is updated without a lock; a lost update under
+    concurrent blocks just leaves a slightly stale estimate.
+    """
+
+    __slots__ = ("fn", "ewma", "seen")
+
+    def __init__(self, fn: Callable[[_Ctx], MaskLike]):
+        self.fn = fn
+        self.ewma = 1.0
+        self.seen = False
+
+    def observe(self, selectivity: float) -> None:
+        if self.seen:
+            self.ewma += _SELECTIVITY_ALPHA * (selectivity - self.ewma)
+        else:
+            self.ewma = selectivity
+            self.seen = True
+
+
+class CompiledPredicate:
+    """A WHERE clause compiled once into a fused numpy batch kernel.
+
+    Thread safe: mask buffers are per-thread, selectivity statistics are
+    advisory, and the compiled closures themselves are immutable.  The
+    returned mask may alias an internal per-thread buffer — consume it
+    (count/gather) before the next ``evaluate`` call on the same thread,
+    exactly like every in-repo consumer does.
+    """
+
+    def __init__(self, where: Node, functions: FunctionRegistry):
+        self._where = where
+        self._functions = functions
+        self._num_slots = 0
+        self._num_nodes = 0
+        #: Names of referenced functions running through the np.vectorize
+        #: fallback (registered without ``vectorized=True``).
+        self.scalar_udfs: List[str] = []
+        self._tls = threading.local()
+        self._const: Union[object, bool] = _NOT_CONST
+        self._conjuncts: List[_Conjunct] = []
+        self._root_slot = 0
+        self._compile_root(where)
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile_root(self, where: Node) -> None:
+        if not where.referenced_columns():
+            self._const = bool(self._fold(where))
+            return
+        terms = where.terms if isinstance(where, And) else (where,)
+        conjuncts: List[_Conjunct] = []
+        for term in terms:
+            fn, const = self._compile(term)
+            if const is not _NOT_CONST:
+                if not const:
+                    self._const = False  # one False term drains the AND
+                    return
+                continue  # True is neutral in a conjunction
+            conjuncts.append(_Conjunct(fn))
+        if not conjuncts:
+            self._const = True
+            return
+        self._root_slot = self._new_slot()
+        self._conjuncts = conjuncts
+
+    def _fold(self, node: Node):
+        """Evaluate a column-free subtree once, at compile time."""
+        value = node.evaluate({}, self._functions)
+        if isinstance(value, np.ndarray) and value.ndim == 0:
+            value = value.item()
+        return value
+
+    def _new_slot(self) -> int:
+        self._num_slots += 1
+        return self._num_slots - 1
+
+    def _compile(self, node: Node) -> Tuple[Callable[[_Ctx], MaskLike], object]:
+        """Closure for one subtree, plus its folded value when constant."""
+        self._num_nodes += 1
+        if not node.referenced_columns() and not isinstance(node, (Column,)):
+            value = self._fold(node)
+            return (lambda ctx: value), value
+        if isinstance(node, Column):
+            name = node.name
+
+            def load(ctx: _Ctx):
+                try:
+                    return ctx.columns[name]
+                except KeyError:
+                    raise QueryValidationError(
+                        f"unknown attribute {name!r}"
+                    ) from None
+
+            return load, _NOT_CONST
+        if isinstance(node, Comparison):
+            return self._compile_comparison(node), _NOT_CONST
+        if isinstance(node, Between):
+            return self._compile_between(node), _NOT_CONST
+        if isinstance(node, InList):
+            return self._compile_in(node), _NOT_CONST
+        if isinstance(node, And):
+            return self._compile_chain(node.terms, is_and=True), _NOT_CONST
+        if isinstance(node, Or):
+            return self._compile_chain(node.terms, is_and=False), _NOT_CONST
+        if isinstance(node, Not):
+            return self._compile_not(node), _NOT_CONST
+        if isinstance(node, FunctionCall):
+            return self._compile_call(node), _NOT_CONST
+        # Unknown node type (an extension subclass): defer to its own
+        # interpreted evaluate, which is by definition the oracle.
+        functions = self._functions
+        return (lambda ctx: node.evaluate(ctx.columns, functions)), _NOT_CONST
+
+    def _compile_comparison(self, node: Comparison):
+        op = _CMP[node.op]
+        left, _ = self._compile(node.left)
+        right, _ = self._compile(node.right)
+
+        def run(ctx: _Ctx):
+            return op(left(ctx), right(ctx))
+
+        return run
+
+    def _compile_between(self, node: Between):
+        operand, _ = self._compile(node.operand)
+        lo, hi = node.lo, node.hi
+
+        def run(ctx: _Ctx):
+            data = operand(ctx)
+            low = data >= lo
+            high = data <= hi
+            if (
+                isinstance(low, np.ndarray)
+                and low.dtype == np.bool_
+                and isinstance(high, np.ndarray)
+            ):
+                # ``low`` is a fresh comparison result, safe to reuse.
+                return np.logical_and(low, high, out=low)
+            return low & high
+
+        return run
+
+    def _compile_in(self, node: InList):
+        operand, _ = self._compile(node.operand)
+        values = node.values
+
+        def run(ctx: _Ctx):
+            return in_list_mask(np.asarray(operand(ctx)), values)
+
+        return run
+
+    def _compile_not(self, node: Not):
+        term, _ = self._compile(node.term)
+        slot = self._new_slot()
+
+        def run(ctx: _Ctx):
+            arr = np.asarray(term(ctx))
+            if arr.ndim == 0:
+                return not bool(arr)
+            if arr.dtype != np.bool_:
+                return ~arr  # mirror the interpreted bitwise ~
+            return np.logical_not(arr, out=ctx.buffer(slot, arr.shape[0]))
+
+        return run
+
+    def _compile_chain(self, terms: Sequence[Node], is_and: bool):
+        """A nested AND/OR: in-place combination with early exit, source
+        order (only the *root* conjunction reorders by selectivity)."""
+        fns = []
+        for term in terms:
+            fn, const = self._compile(term)
+            if const is not _NOT_CONST:
+                if bool(const) != is_and:
+                    # False in an AND / True in an OR decides the chain.
+                    decided = not is_and
+                    return lambda ctx: decided
+                continue  # neutral element
+            fns.append(fn)
+        if not fns:
+            neutral = is_and
+            return lambda ctx: neutral
+        if len(fns) == 1:
+            return fns[0]
+        slot = self._new_slot()
+        combine = np.logical_and if is_and else np.logical_or
+
+        def run(ctx: _Ctx):
+            out = None
+            for fn in fns:
+                arr = np.asarray(fn(ctx))
+                if arr.ndim == 0:
+                    if bool(arr) != is_and:
+                        return not is_and
+                    continue
+                if arr.dtype != np.bool_:
+                    raise _NonBooleanTerm
+                if out is None:
+                    out = ctx.buffer(slot, arr.shape[0])
+                    np.copyto(out, arr)
+                else:
+                    combine(out, arr, out=out)
+                # Early exit: a drained AND / saturated OR is decided.
+                if is_and:
+                    if not out.any():
+                        return out
+                elif out.all():
+                    return out
+            if out is None:
+                return is_and
+            return out
+
+        return run
+
+    def _compile_call(self, node: FunctionCall):
+        func = self._functions.get(node.name)
+        if self._functions.is_vectorized(node.name):
+            call = func
+        else:
+            # Batched elementwise adapter: correct for any pure scalar
+            # function, but one Python call per row — the visible
+            # regression RT309/kernel.scalar_udf_calls report.
+            call = np.vectorize(func)
+            self.scalar_udfs.append(node.name.upper())
+        args = [self._compile(arg)[0] for arg in node.args]
+
+        def run(ctx: _Ctx):
+            return call(*[fn(ctx) for fn in args])
+
+        return run
+
+    # -- evaluation ----------------------------------------------------------
+
+    @property
+    def num_conjuncts(self) -> int:
+        return len(self._conjuncts)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def is_constant(self) -> bool:
+        return self._const is not _NOT_CONST
+
+    def _buffers(self) -> List[Optional[np.ndarray]]:
+        bufs = getattr(self._tls, "bufs", None)
+        if bufs is None or len(bufs) != self._num_slots:
+            bufs = [None] * self._num_slots
+            self._tls.bufs = bufs
+        return bufs
+
+    def evaluate(
+        self,
+        columns: Mapping[str, np.ndarray],
+        num_rows: int,
+        tracer=NULL_TRACER,
+    ) -> MaskLike:
+        """The predicate's mask over one block: a bool array of
+        ``num_rows`` (possibly aliasing a per-thread buffer) or a scalar
+        bool meaning all/no rows pass."""
+        if self._const is not _NOT_CONST:
+            return bool(self._const)
+        if num_rows == 0:
+            return np.zeros(0, dtype=bool)
+        ctx = _Ctx(columns, num_rows, self._buffers())
+        conjuncts = self._conjuncts
+        if len(conjuncts) > 1:
+            # Most selective first: stable sort keeps source order for
+            # ties and for the first, unobserved block.
+            conjuncts = sorted(conjuncts, key=lambda c: c.ewma)
+        try:
+            return self._evaluate_ordered(ctx, conjuncts, num_rows, tracer)
+        except _NonBooleanTerm:
+            # Degenerate tree (non-boolean term): the interpreted
+            # evaluator IS the semantics; defer the whole block.
+            return np.asarray(self._where.evaluate(columns, self._functions))
+
+    def _evaluate_ordered(self, ctx, conjuncts, num_rows, tracer) -> MaskLike:
+        out: Optional[np.ndarray] = None
+        for index, conjunct in enumerate(conjuncts):
+            value = conjunct.fn(ctx)
+            arr = np.asarray(value)
+            if arr.ndim == 0:
+                if not arr:
+                    return False
+                continue
+            if arr.dtype != np.bool_:
+                raise _NonBooleanTerm
+            conjunct.observe(np.count_nonzero(arr) / num_rows)
+            if out is None:
+                out = ctx.buffer(self._root_slot, arr.shape[0])
+                np.copyto(out, arr)
+            else:
+                np.logical_and(out, arr, out=out)
+            if not out.any():
+                if tracer.enabled and index + 1 < len(conjuncts):
+                    tracer.metrics.record("kernel.early_exits")
+                return out
+        if out is None:
+            return True
+        return out
+
+
+class KernelCache:
+    """Bounded LRU of compiled predicates, keyed by the (hashable,
+    rewrite-canonicalized) WHERE node.  One cache per consumer, bound to
+    that consumer's function registry; thread safe."""
+
+    def __init__(self, functions: FunctionRegistry, capacity: int = 256):
+        self.functions = functions
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._kernels: "OrderedDict[Node, CompiledPredicate]" = OrderedDict()
+
+    def get(self, where: Node, tracer=NULL_TRACER) -> CompiledPredicate:
+        with self._lock:
+            kernel = self._kernels.get(where)
+            if kernel is not None:
+                self._kernels.move_to_end(where)
+                return kernel
+        # Compile outside the lock: a racing duplicate compile is
+        # harmless (last one wins) and compilation may call UDFs
+        # (constant folding) that must not serialize other queries.
+        if tracer.enabled:
+            with tracer.span("kernel_compile") as span:
+                kernel = CompiledPredicate(where, self.functions)
+                span.tag(
+                    conjuncts=kernel.num_conjuncts,
+                    nodes=kernel.num_nodes,
+                    scalar_udfs=len(kernel.scalar_udfs),
+                )
+            tracer.metrics.record("kernel.compiles")
+            for name in kernel.scalar_udfs:
+                tracer.metrics.record("kernel.scalar_udf_calls")
+                tracer.event("kernel_scalar_udf", function=name)
+        else:
+            kernel = CompiledPredicate(where, self.functions)
+        with self._lock:
+            self._kernels[where] = kernel
+            while len(self._kernels) > self.capacity:
+                self._kernels.popitem(last=False)
+        return kernel
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._kernels)
+
+
+class BlockPipeline:
+    """Fuses small per-AFC column blocks into large kernel evaluations.
+
+    ``add`` buffers one AFC's needed columns; once ``block_rows`` rows
+    are pending, the pipeline concatenates each needed column once,
+    evaluates the kernel once, and gathers each output column with one
+    fancy index — appending owned, serially-ordered pieces to
+    :attr:`pieces`.  ``finish`` flushes the remainder.  Row order is the
+    ``add`` order throughout, identical to per-AFC filtering.
+    """
+
+    def __init__(
+        self,
+        kernel: CompiledPredicate,
+        needed: Sequence[str],
+        output: Sequence[str],
+        block_rows: int = KERNEL_BLOCK_ROWS,
+        stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
+    ):
+        self.kernel = kernel
+        self.needed = list(needed)
+        self.output = list(output)
+        self.block_rows = max(1, block_rows)
+        self.stats = stats
+        self.tracer = tracer
+        self.pieces: Dict[str, List[np.ndarray]] = {n: [] for n in self.output}
+        self.rows_selected = 0
+        self._pending: List[Tuple[Mapping[str, np.ndarray], int]] = []
+        self._pending_rows = 0
+
+    def add(self, columns: Mapping[str, np.ndarray], num_rows: int) -> None:
+        self._pending.append((columns, num_rows))
+        self._pending_rows += num_rows
+        if self._pending_rows >= self.block_rows:
+            self._flush()
+
+    def finish(self) -> None:
+        self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        num_rows = self._pending_rows
+        if len(self._pending) == 1:
+            block = dict(self._pending[0][0])
+        else:
+            block = {
+                name: np.concatenate(
+                    [columns[name] for columns, _ in self._pending]
+                )
+                for name in self.needed
+            }
+        self._pending = []
+        self._pending_rows = 0
+        if self.stats is not None:
+            self.stats.rows_vectorized += num_rows
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "filter", rows=num_rows, vectorized=True
+            ) as span:
+                count = self._filter_block(block, num_rows)
+                span.tag(out=count)
+            self.tracer.metrics.record("kernel.blocks")
+        else:
+            count = self._filter_block(block, num_rows)
+        if self.stats is not None:
+            self.stats.rows_output += count
+        self.rows_selected += count
+
+    def _filter_block(self, block: Dict[str, np.ndarray], num_rows: int) -> int:
+        mask = self.kernel.evaluate(block, num_rows, tracer=self.tracer)
+        if isinstance(mask, (bool, np.bool_)):
+            if not mask:
+                return 0
+            for name in self.output:
+                self.pieces[name].append(own_column(block[name]))
+            return num_rows
+        count = int(np.count_nonzero(mask))
+        if count:
+            for name in self.output:
+                # Fancy indexing copies, so the piece is owned and the
+                # kernel's mask buffer is free for the next block.
+                self.pieces[name].append(own_column(block[name][mask]))
+        return count

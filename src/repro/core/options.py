@@ -101,6 +101,22 @@ class ExecOptions:
                       notes the ablation).  Coordinator-side only; node
                       servers never see this flag.
 
+    Vectorized execution (see docs/architecture.md, "Vectorized
+    execution"):
+
+    ``vectorize``     ``"on"`` (the default) compiles each query's
+                      residual WHERE once into a fused numpy batch
+                      kernel (``repro.core.kernels``) and batches small
+                      chunk sets into shared evaluation blocks —
+                      results are bit-identical to the interpreted
+                      walk, only faster.  ``"off"`` is the ablation
+                      oracle: the per-node interpreted AST evaluator,
+                      exactly as before kernels existed (diag RO314
+                      notes the ablation).  Honoured by every path —
+                      local extraction, per-node services (the flag
+                      crosses the wire to ``tcp://`` node servers), and
+                      cache-subsumption refiltering.
+
     Caching (see docs/architecture.md, "Caching & reuse"):
 
     ``cache_mode``    ``"off"`` (default) runs every query cold, exactly
@@ -171,6 +187,7 @@ class ExecOptions:
     allow_partial: bool = False
     strict: bool = False
     agg_pushdown: bool = True
+    vectorize: str = "on"
     connect_timeout: float = 5.0
     max_connections_per_node: int = 4
     inflight_limit: int = 64
@@ -191,6 +208,10 @@ class ExecOptions:
     )
 
     def __post_init__(self) -> None:
+        if self.vectorize not in ("off", "on"):
+            raise ValueError(
+                f"vectorize must be 'off' or 'on', not {self.vectorize!r}"
+            )
         if self.cache_mode not in ("off", "exact", "subsume"):
             raise ValueError(
                 f"cache_mode must be 'off', 'exact', or 'subsume', "

@@ -68,6 +68,12 @@ class IOStats:
     #: service to serve subsumption hits; the cost model charges these
     #: at ``filter_cpu`` like any other filtered row.
     rows_refiltered: int = 0
+    #: Rows whose residual WHERE ran through a compiled vectorized
+    #: kernel (``repro.core.kernels``) instead of the interpreted
+    #: per-node AST walk.  A subset of ``rows_extracted`` +
+    #: ``rows_refiltered``; the cost model charges these at
+    #: ``vector_filter_cpu`` instead of ``filter_cpu``.
+    rows_vectorized: int = 0
 
     def merge(self, other: "IOStats") -> None:
         """Accumulate another stats object into this one."""

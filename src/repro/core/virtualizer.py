@@ -31,7 +31,7 @@ from .afc import ExtractionPlan
 from .analysis import ChunkSummaries
 from .codegen import GeneratedDataset
 from .extractor import Extractor, Mount, local_mount
-from .options import ExecOptions
+from .options import DEFAULT_OPTIONS, ExecOptions
 from .planner import CompiledDataset
 from .stats import IOStats
 from .table import VirtualTable
@@ -195,17 +195,22 @@ class Virtualizer:
         self._run_diagnostics(query, options, tracer)
         target = stats if stats is not None else self.stats
         cache = self._cache_for(options)
+        vectorize = _vectorize_on(options)
         with tracer.span("query", sql=_sql_tag(query)):
             if cache is None:
                 plan = self.dataset.plan(query, tracer=tracer)
                 if plan.aggregate is not None:
-                    return self._execute_aggregate(plan, target, tracer)
-                return self.extractor.execute(plan, target, tracer)
+                    return self._execute_aggregate(
+                        plan, target, tracer, vectorize
+                    )
+                return self.extractor.execute(
+                    plan, target, tracer, vectorize=vectorize
+                )
             key, needed = cache.key_and_needed(query)
             run = IOStats()
             served = cache.serve(
                 key, query, needed, self._filtering_service(), run,
-                tracer, options.cache_mode,
+                tracer, options.cache_mode, vectorize=vectorize,
             )
             if served is not None:
                 target.merge(run)
@@ -216,14 +221,16 @@ class Virtualizer:
             if plan.aggregate is not None:
                 # Aggregates cache the final labelled table verbatim
                 # (exact hits only; no widening, nothing to project).
-                table = self._execute_aggregate(plan, run, tracer)
+                table = self._execute_aggregate(plan, run, tracer, vectorize)
                 target.merge(run)
                 cache.store(key, table, run.bytes_read, len(plan.afcs), tracer)
                 return table
             # Execute with every needed column emitted (same reads, same
             # filtering) so the cached table can answer later narrower
             # queries filtering on WHERE-only attributes.
-            full = self.extractor.execute(widen_plan(plan), run, tracer)
+            full = self.extractor.execute(
+                widen_plan(plan), run, tracer, vectorize=vectorize
+            )
             target.merge(run)
             cache.store(key, full, run.bytes_read, len(plan.afcs), tracer)
             return project(full, plan.output)
@@ -233,6 +240,7 @@ class Virtualizer:
         plan: ExtractionPlan,
         stats: IOStats,
         tracer: "Tracer",
+        vectorize: bool = True,
     ) -> VirtualTable:
         """Run an aggregate plan on the local (single-process) path.
 
@@ -258,7 +266,7 @@ class Virtualizer:
         # comes from the filter's rows_output (exact on this single-pass
         # local path), counted in an isolated stats object.
         local = IOStats()
-        rows = self.extractor.execute(plan, local, tracer)
+        rows = self.extractor.execute(plan, local, tracer, vectorize=vectorize)
         num_rows = local.rows_output
         local.rows_aggregated += num_rows
         table = agg.aggregate_rows(spec, rows, plan.dtypes, num_rows=num_rows)
@@ -297,6 +305,8 @@ class Virtualizer:
         target = stats if stats is not None else self.stats
         cache = self._cache_for(opts)
 
+        vectorize = _vectorize_on(opts)
+
         def iterate():
             # The span wraps planning AND iteration: an iterator query's
             # trace was previously invisible (query() got a span, this
@@ -308,7 +318,7 @@ class Virtualizer:
                     run = IOStats()
                     served = cache.serve(
                         key, query, needed, self._filtering_service(), run,
-                        tracer, opts.cache_mode,
+                        tracer, opts.cache_mode, vectorize=vectorize,
                     )
                     if served is not None:
                         target.merge(run)
@@ -321,11 +331,14 @@ class Virtualizer:
                     # Aggregate results are group-count sized, so the
                     # bounded-memory concern streaming exists for does
                     # not apply: materialise, then slice into batches.
-                    table = self._execute_aggregate(plan, target, tracer)
+                    table = self._execute_aggregate(
+                        plan, target, tracer, vectorize
+                    )
                     yield from _batched(table, opts.batch_rows)
                     return
                 yield from self.extractor.execute_iter(
-                    plan, opts.batch_rows, target, tracer
+                    plan, opts.batch_rows, target, tracer,
+                    vectorize=vectorize,
                 )
 
         return iterate()
@@ -357,6 +370,12 @@ class Virtualizer:
 def _sql_tag(sql: Union[Query, str]) -> str:
     """A bounded string form of the query for span tags."""
     return str(sql)[:200]
+
+
+def _vectorize_on(options: Optional[ExecOptions]) -> bool:
+    """Resolve the ``vectorize`` knob; kernels are the default path."""
+    opts = options if options is not None else DEFAULT_OPTIONS
+    return opts.vectorize == "on"
 
 
 def _batched(table: VirtualTable, batch_rows: int):

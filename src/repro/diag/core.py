@@ -101,6 +101,7 @@ CODES: Dict[str, Tuple["Severity", str]] = {
     "RO311": (Severity.ERROR, "quota must be positive"),
     "RO312": (Severity.ERROR, "deadline must be positive"),
     "RO313": (Severity.WARNING, "scheduling knobs with scheduler off"),
+    "RO314": (Severity.INFO, "vectorized execution disabled"),
     "RT301": (Severity.ERROR, "incomparable operand types"),
     "RT302": (Severity.ERROR, "function argument type mismatch"),
     "RT303": (Severity.ERROR, "IN/BETWEEN value type mismatch"),
@@ -109,6 +110,7 @@ CODES: Dict[str, Tuple["Severity", str]] = {
     "RT306": (Severity.WARNING, "literal unrepresentable in attribute type"),
     "RT307": (Severity.WARNING, "literal outside the attribute's range"),
     "RT308": (Severity.INFO, "function result type assumed numeric"),
+    "RT309": (Severity.INFO, "scalar UDF falls back to per-row calls"),
     "RW400": (Severity.INFO, "constant folded"),
     "RW401": (Severity.INFO, "comparison canonicalized"),
     "RW402": (Severity.INFO, "NOT pushed inward"),

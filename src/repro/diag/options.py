@@ -94,6 +94,15 @@ def analyze_options(options) -> List[Diagnostic]:
             "partial aggregates (ablation/debugging mode)",
             fix="leave agg_pushdown at its default of True",
         )
+    if options.vectorize == "off":
+        out.emit(
+            "RO314",
+            "vectorize='off' evaluates the WHERE through the interpreted "
+            "AST walker on every block instead of the compiled batch "
+            "kernel (ablation/debugging mode; results are identical, "
+            "only slower)",
+            fix="leave vectorize at its default of 'on'",
+        )
     if options.scheduler_workers < 0:
         out.emit(
             "RO309",

@@ -276,7 +276,12 @@ def decode_plan(data: Dict[str, Any]) -> ExtractionPlan:
 
 #: The only fields a node server acts on; everything else (retries,
 #: caching, partitioning, admission control) is coordinator business.
-_NODE_OPTION_FIELDS = ("coalesce_gap_bytes", "intra_node_workers", "batch_rows")
+_NODE_OPTION_FIELDS = (
+    "coalesce_gap_bytes",
+    "intra_node_workers",
+    "batch_rows",
+    "vectorize",
+)
 
 
 def encode_options(options: ExecOptions) -> Dict[str, Any]:

@@ -27,6 +27,35 @@ def _render_value(value: Value) -> str:
     return str(value)
 
 
+def in_list_mask(data: np.ndarray, values: Sequence[Value]) -> np.ndarray:
+    """Membership mask over ``data`` in one ``np.isin`` pass.
+
+    Bit-identical to the per-value equality loop (``mask |= data == v``)
+    it replaces, at O(n log k) instead of O(n·k) full-column passes:
+
+    * values whose kind cannot match the column (a string against a
+      numeric column, a number against a string column) are dropped
+      before the comparison — elementwise ``==`` across kinds is False
+      everywhere, so they never contributed a match;
+    * the surviving values promote through ``np.asarray`` exactly as
+      the binary ``==`` would (an int column against a float value
+      compares in float64 either way);
+    * NaN matches nothing in both formulations (``NaN == NaN`` is
+      False, and ``np.isin``'s sort-based path detects equality with
+      ``==`` on adjacent elements).
+
+    Shared by the interpreted :meth:`InList.evaluate` and the compiled
+    predicate kernels, so both paths agree by construction.
+    """
+    if data.dtype.kind in "US":
+        usable = [v for v in values if isinstance(v, str)]
+    else:
+        usable = [v for v in values if isinstance(v, (int, float))]
+    if not usable:
+        return np.zeros(data.shape, dtype=bool)
+    return np.isin(data, np.asarray(usable))
+
+
 class Node:
     """Base class for query AST nodes."""
 
@@ -169,12 +198,8 @@ class InList(Node):
     __slots__ = ("operand", "values")
 
     def evaluate(self, columns, functions) -> np.ndarray:
-        data = self.operand.evaluate(columns, functions)
-        data = np.asarray(data)
-        mask = np.zeros(data.shape, dtype=bool)
-        for value in self.values:
-            mask |= data == value
-        return mask
+        data = np.asarray(self.operand.evaluate(columns, functions))
+        return in_list_mask(data, self.values)
 
     def referenced_columns(self) -> Tuple[str, ...]:
         return self.operand.referenced_columns()
@@ -214,6 +239,17 @@ class And(Node):
 
     __slots__ = ("terms",)
 
+    def __post_init__(self):
+        # An empty conjunction used to evaluate to None, which every
+        # consumer downstream misread as "no mask".  The rewrite pass
+        # never builds one (it folds empty AND to TRUE); hand-built
+        # trees fail here, at construction, with a typed error.
+        if not self.terms:
+            raise QueryValidationError(
+                "AND requires at least one term; use BoolLiteral(True) "
+                "for the empty conjunction"
+            )
+
     def evaluate(self, columns, functions) -> np.ndarray:
         mask = None
         for term in self.terms:
@@ -242,6 +278,13 @@ class Or(Node):
     terms: Tuple[Node, ...]
 
     __slots__ = ("terms",)
+
+    def __post_init__(self):
+        if not self.terms:
+            raise QueryValidationError(
+                "OR requires at least one term; use BoolLiteral(False) "
+                "for the empty disjunction"
+            )
 
     def evaluate(self, columns, functions) -> np.ndarray:
         mask = None

@@ -13,6 +13,18 @@ evaluation; applications register their own with
 :meth:`FunctionRegistry.register` or the :func:`filter_function` decorator,
 optionally declaring a :class:`FunctionSignature` so the static analyzer
 can check arity and argument types without calling the function.
+
+**Vectorization contract.**  ``register(..., vectorized=True)`` declares
+that a function accepts full numpy arrays and returns an aligned array —
+the contract the compiled predicate kernels (``repro.core.kernels``)
+need to call it directly over a whole evaluation block.  Functions left
+at the default ``vectorized=False`` still work everywhere: the
+interpreted path calls them exactly as before, and the kernels wrap
+them in a batched ``np.vectorize`` adapter (one Python call per row —
+correct but slow; the static analyzer notes the regression as RT309).
+Declared-vectorized functions must also be *elementwise* (row i of the
+output depends only on row i of the inputs), which is what makes fusing
+several chunks into one evaluation block sound.
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ class FunctionRegistry:
     def __init__(self, parent: Optional["FunctionRegistry"] = None):
         self._functions: Dict[str, FilterFunction] = {}
         self._signatures: Dict[str, FunctionSignature] = {}
+        self._vectorized: Dict[str, bool] = {}
         self._parent = parent
 
     def register(
@@ -62,11 +75,13 @@ class FunctionRegistry:
         name: str,
         func: FilterFunction,
         signature: Optional[FunctionSignature] = None,
+        vectorized: bool = False,
     ) -> None:
         key = name.upper()
         if not key.isidentifier():
             raise QueryValidationError(f"invalid function name {name!r}")
         self._functions[key] = func
+        self._vectorized[key] = vectorized
         if signature is not None:
             self._signatures[key] = signature
 
@@ -103,6 +118,23 @@ class FunctionRegistry:
                 return registry._signatures.get(key)
             registry = registry._parent
         return None
+
+    def is_vectorized(self, name: str) -> bool:
+        """Whether the function declared the vectorized calling contract.
+
+        Resolved at the registry that owns the *function* (same walk as
+        :meth:`signature`): a child-registry override that does not
+        declare ``vectorized=True`` also hides the parent's declaration —
+        the override's body is what actually runs, so the parent's
+        promise says nothing about it.  Unregistered names are False.
+        """
+        key = name.upper()
+        registry: Optional[FunctionRegistry] = self
+        while registry is not None:
+            if key in registry._functions:
+                return registry._vectorized.get(key, False)
+            registry = registry._parent
+        return False
 
     def arity(self, name: str) -> "Tuple[int, Optional[int]]":
         """(min, max) positional argument count of a registered function.
@@ -163,22 +195,30 @@ def filter_function(
     name: str,
     registry: Optional[FunctionRegistry] = None,
     signature: Optional[FunctionSignature] = None,
+    vectorized: bool = False,
 ):
-    """Decorator: register a vectorised filter function.
+    """Decorator: register a filter function.
 
-    >>> @filter_function("HALF", signature=FunctionSignature(1, 1))
+    >>> @filter_function("HALF", signature=FunctionSignature(1, 1),
+    ...                  vectorized=True)
     ... def half(x):
     ...     return x / 2
+
+    ``vectorized=True`` declares the array-in/array-out elementwise
+    contract (see the module docstring); leave it off for scalar
+    functions and the compiled kernels fall back to ``np.vectorize``.
     """
 
     def wrap(func: FilterFunction) -> FilterFunction:
-        (registry or DEFAULT_REGISTRY).register(name, func, signature=signature)
+        (registry or DEFAULT_REGISTRY).register(
+            name, func, signature=signature, vectorized=vectorized
+        )
         return func
 
     return wrap
 
 
-@filter_function("SPEED", signature=FunctionSignature(3, 3))
+@filter_function("SPEED", signature=FunctionSignature(3, 3), vectorized=True)
 def speed(vx, vy, vz):
     """Magnitude of a velocity vector — the paper's IPARS Speed() filter."""
     vx = np.asarray(vx, dtype=np.float64)
@@ -187,7 +227,9 @@ def speed(vx, vy, vz):
     return np.sqrt(vx * vx + vy * vy + vz * vz)
 
 
-@filter_function("DISTANCE", signature=FunctionSignature(1, None))
+@filter_function(
+    "DISTANCE", signature=FunctionSignature(1, None), vectorized=True
+)
 def distance(*coords):
     """Euclidean distance from the origin — the paper's Titan filter."""
     if not coords:

@@ -18,6 +18,8 @@ RT307     comparison bound outside the attribute type's representable
           range — the comparison is constant (warning)
 RT308     function result type assumed numeric; no signature
           registered (info)
+RT309     filter function not declared vectorized; the compiled
+          kernel calls it once per row (info)
 ========  ==========================================================
 
 Errors block execution under ``ExecOptions(strict=True)`` before any
@@ -221,6 +223,7 @@ class _Checker:
         self.collector = collector
         self.span_of = span_of
         self._assumed: Set[str] = set()
+        self._unvectorized: Set[str] = set()
 
     # -- helpers -------------------------------------------------------------
 
@@ -256,6 +259,18 @@ class _Checker:
     def _check_function(self, node: FunctionCall) -> None:
         if node.name not in self.functions:
             return
+        if not self.functions.is_vectorized(node.name):
+            key = node.name.upper()
+            if key not in self._unvectorized:
+                self._unvectorized.add(key)
+                self._emit(
+                    "RT309",
+                    f"filter function {node.name!r} is not declared "
+                    "vectorized; the compiled kernel falls back to one "
+                    "Python call per row for it (register with "
+                    "vectorized=True if it is elementwise over arrays)",
+                    node.name,
+                )
         declared = self.functions.signature(node.name)
         if declared is None:
             key = node.name.upper()

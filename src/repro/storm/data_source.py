@@ -26,6 +26,7 @@ import numpy as np
 from ..core.afc import AlignedFileChunkSet, ExtractionPlan
 from ..core.aggregate import partial_aggregate
 from ..core.extractor import CoalescePlan, Extractor, Mount
+from ..core.kernels import KERNEL_BLOCK_ROWS, BlockPipeline
 from ..core.options import DEFAULT_OPTIONS, ExecOptions
 from ..core.stats import IOStats
 from ..core.table import VirtualTable, own_column
@@ -87,6 +88,7 @@ class DataSourceService:
             )
         needed_set = set(plan.needed)
         run_state = opts.run_state
+        vectorize = opts.vectorize == "on"
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in plan.output}
         workers = min(max(1, opts.intra_node_workers), len(afcs) or 1)
         if workers > 1:
@@ -94,7 +96,8 @@ class DataSourceService:
             def job(afc: AlignedFileChunkSet):
                 local = IOStats()
                 selected = self._extract_one(
-                    plan, afc, needed_set, local, tracer, coalesce, run_state
+                    plan, afc, needed_set, local, tracer, coalesce, run_state,
+                    vectorize,
                 )
                 return selected, local
 
@@ -110,10 +113,19 @@ class DataSourceService:
                     continue
                 for name in plan.output:
                     pieces[name].append(selected[name])
+        elif vectorize and plan.where is not None and run_state is None:
+            # Serial, unmetered path: fuse small AFCs into shared kernel
+            # evaluation blocks.  Skipped under a run_state because the
+            # scheduler charges quotas at per-AFC boundaries — batching
+            # across AFCs would widen the documented overshoot bound.
+            pieces = self._execute_vectorized(
+                plan, afcs, needed_set, stats, tracer, coalesce
+            )
         else:
             for afc in afcs:
                 selected = self._extract_one(
-                    plan, afc, needed_set, stats, tracer, coalesce, run_state
+                    plan, afc, needed_set, stats, tracer, coalesce, run_state,
+                    vectorize,
                 )
                 if selected is None:
                     continue
@@ -126,6 +138,34 @@ class DataSourceService:
             else:
                 final[name] = np.empty(0, dtype=plan.dtypes.get(name, np.float64))
         return VirtualTable(final, order=plan.output)
+
+    def _execute_vectorized(
+        self,
+        plan: ExtractionPlan,
+        afcs: List[AlignedFileChunkSet],
+        needed_set: Set[str],
+        stats: IOStats,
+        tracer,
+        coalesce: Optional[CoalescePlan],
+    ) -> Dict[str, List[np.ndarray]]:
+        """Batched kernel filtering: per-AFC extraction, per-block WHERE.
+
+        Emits the same rows in the same serial AFC order as the per-AFC
+        path; only the number of predicate evaluations (and the Python
+        overhead per chunk set) changes.  The gathered pieces are owned
+        arrays, so no per-AFC ``own_column`` pass is needed.
+        """
+        kernel = self.filtering.kernel_for(plan.where, tracer)
+        pipeline = BlockPipeline(
+            kernel, plan.needed, plan.output, KERNEL_BLOCK_ROWS, stats, tracer
+        )
+        for afc in afcs:
+            columns = self._extract_columns(
+                plan, afc, needed_set, stats, tracer, coalesce
+            )
+            pipeline.add(columns, afc.num_rows)
+        pipeline.finish()
+        return pipeline.pieces
 
     def _execute_aggregate(
         self,
@@ -149,6 +189,7 @@ class DataSourceService:
         spec = plan.aggregate
         needed_set = set(plan.needed)
         run_state = opts.run_state
+        vectorize = opts.vectorize == "on"
 
         def one(afc: AlignedFileChunkSet, st: IOStats):
             # filtering.apply adds the filtered row count to rows_output;
@@ -157,7 +198,8 @@ class DataSourceService:
             # a per-job local or used strictly sequentially.
             before = st.rows_output
             selected = self._extract_one(
-                plan, afc, needed_set, st, tracer, coalesce, run_state
+                plan, afc, needed_set, st, tracer, coalesce, run_state,
+                vectorize,
             )
             if selected is None:
                 return None
@@ -190,7 +232,7 @@ class DataSourceService:
         stats.groups_emitted += merged.num_rows
         return merged
 
-    def _extract_one(
+    def _extract_columns(
         self,
         plan: ExtractionPlan,
         afc: AlignedFileChunkSet,
@@ -198,23 +240,9 @@ class DataSourceService:
         stats: IOStats,
         tracer,
         coalesce: Optional[CoalescePlan],
-        run_state=None,
-    ) -> Optional[Dict[str, np.ndarray]]:
-        """Extract + filter one AFC; returns owned columns or None if empty.
-
-        ``run_state`` is the scheduler's cooperative cancel/quota state
-        (``ExecOptions.run_state``): checked before the read and charged
-        with this AFC's row/byte deltas after the filter, so each AFC is
-        one cooperative boundary — a trip raises here and the query
-        overshoots its quota by at most one AFC.  The deltas are safe
-        because ``stats`` is always owned by a single thread (a per-job
-        local under ``intra_node_workers``, the per-attempt stats
-        otherwise).
-        """
-        if run_state is not None:
-            run_state.checkpoint()
-        before_rows = stats.rows_output
-        before_bytes = stats.bytes_read
+    ) -> Dict[str, np.ndarray]:
+        """Extract one AFC's needed columns with full per-AFC accounting
+        (chunk counts, remote bytes, extraction span) but no filtering."""
         stats.afcs_processed += 1
         for chunk in afc.chunks:
             if chunk.node != self.node and needed_set.intersection(
@@ -231,8 +259,43 @@ class DataSourceService:
                 afc, plan.needed, stats, plan.dtypes, coalesce=coalesce
             )
         stats.rows_extracted += afc.num_rows
+        return columns
+
+    def _extract_one(
+        self,
+        plan: ExtractionPlan,
+        afc: AlignedFileChunkSet,
+        needed_set: Set[str],
+        stats: IOStats,
+        tracer,
+        coalesce: Optional[CoalescePlan],
+        run_state=None,
+        vectorize: bool = False,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Extract + filter one AFC; returns owned columns or None if empty.
+
+        ``run_state`` is the scheduler's cooperative cancel/quota state
+        (``ExecOptions.run_state``): checked before the read and charged
+        with this AFC's row/byte deltas after the filter, so each AFC is
+        one cooperative boundary — a trip raises here and the query
+        overshoots its quota by at most one AFC.  The deltas are safe
+        because ``stats`` is always owned by a single thread (a per-job
+        local under ``intra_node_workers``, the per-attempt stats
+        otherwise).  ``vectorize`` applies the WHERE through the
+        filtering service's compiled kernel (still one evaluation per
+        AFC on this path — the per-AFC quota/parallelism boundaries stay
+        exactly where they were).
+        """
+        if run_state is not None:
+            run_state.checkpoint()
+        before_rows = stats.rows_output
+        before_bytes = stats.bytes_read
+        columns = self._extract_columns(
+            plan, afc, needed_set, stats, tracer, coalesce
+        )
         selected = self.filtering.apply(
-            plan.where, columns, plan.output, afc.num_rows, stats, tracer
+            plan.where, columns, plan.output, afc.num_rows, stats, tracer,
+            vectorize=vectorize,
         )
         if run_state is not None:
             run_state.charge(

@@ -5,6 +5,15 @@ filters" (paper Section 2.3).  Chunk- and file-level pruning uses only the
 *necessary* range conditions; every extracted row still passes through the
 full WHERE expression here, including user-defined filter functions, so
 pruning can never change results.
+
+Two evaluation paths produce bit-identical masks (see
+docs/architecture.md, "Vectorized execution"):
+
+* ``vectorize=True`` compiles the WHERE once per distinct predicate into
+  a fused numpy batch kernel (:mod:`repro.core.kernels`, cached per
+  service) — the default through ``ExecOptions.vectorize="on"``;
+* ``vectorize=False`` walks the AST per block, the interpreted oracle
+  retained for the ablation knob and the equivalence tests.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..core.kernels import KernelCache
 from ..core.stats import IOStats
 from ..core.table import VirtualTable, own_column
 from ..obs.tracer import NULL_TRACER
@@ -25,6 +35,11 @@ class FilteringService:
 
     def __init__(self, functions: Optional[FunctionRegistry] = None):
         self.functions = functions or DEFAULT_REGISTRY
+        self._kernels = KernelCache(self.functions)
+
+    def kernel_for(self, where: Node, tracer=NULL_TRACER):
+        """The compiled kernel for a WHERE node (cached per predicate)."""
+        return self._kernels.get(where, tracer)
 
     def apply(
         self,
@@ -34,6 +49,7 @@ class FilteringService:
         num_rows: int,
         stats: Optional[IOStats] = None,
         tracer=NULL_TRACER,
+        vectorize: bool = False,
     ) -> Optional[Dict[str, np.ndarray]]:
         """Filter one block; returns projected columns or None if empty.
 
@@ -41,14 +57,20 @@ class FilteringService:
         the result contains exactly ``output``.
         """
         if tracer.enabled and where is not None:
-            with tracer.span("filter", rows=num_rows) as span:
-                selected = self._apply(where, columns, output, num_rows, stats)
+            with tracer.span(
+                "filter", rows=num_rows, vectorized=vectorize
+            ) as span:
+                selected = self._apply(
+                    where, columns, output, num_rows, stats, tracer, vectorize
+                )
                 if selected is None:
                     span.tag(out=0)
                 elif output:
                     span.tag(out=int(len(selected[output[0]])))
             return selected
-        return self._apply(where, columns, output, num_rows, stats)
+        return self._apply(
+            where, columns, output, num_rows, stats, tracer, vectorize
+        )
 
     def refilter(
         self,
@@ -57,6 +79,7 @@ class FilteringService:
         output: List[str],
         stats: Optional[IOStats] = None,
         tracer=NULL_TRACER,
+        vectorize: bool = False,
     ) -> VirtualTable:
         """Re-run a full WHERE over a cached superset table (subsumption).
 
@@ -68,7 +91,7 @@ class FilteringService:
         """
         columns = {name: table.column(name) for name in table.column_names}
         selected = self.apply(
-            where, columns, output, table.num_rows, stats, tracer
+            where, columns, output, table.num_rows, stats, tracer, vectorize
         )
         if selected is None:
             # Even the empty projection must go through own_column: a bare
@@ -88,6 +111,8 @@ class FilteringService:
         output: List[str],
         num_rows: int,
         stats: Optional[IOStats] = None,
+        tracer=NULL_TRACER,
+        vectorize: bool = False,
     ) -> Optional[Dict[str, np.ndarray]]:
         # own_column: extracted columns can be read-only zero-copy views
         # over segment-cache payloads; never emit those to callers.
@@ -95,7 +120,15 @@ class FilteringService:
             selected = {name: own_column(columns[name]) for name in output}
             count = num_rows
         else:
-            mask = np.asarray(where.evaluate(columns, self.functions))
+            if vectorize:
+                kernel = self._kernels.get(where, tracer)
+                mask = np.asarray(
+                    kernel.evaluate(columns, num_rows, tracer=tracer)
+                )
+                if stats is not None:
+                    stats.rows_vectorized += num_rows
+            else:
+                mask = np.asarray(where.evaluate(columns, self.functions))
             if mask.ndim == 0:
                 if not bool(mask):
                     return None

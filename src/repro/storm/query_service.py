@@ -350,6 +350,7 @@ class QueryService:
                 served = cache.serve(
                     key, resolved, needed, self.filtering, cache_io,
                     tracer, opts.cache_mode,
+                    vectorize=opts.vectorize == "on",
                 )
             if served is not None:
                 # Cache hit: no planning, no extraction, no node I/O.
